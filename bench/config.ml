@@ -1,0 +1,35 @@
+(* Benchmark configuration.  BENCH_FULL=1 enlarges every sweep (paper-scale
+   runs, minutes to hours); the default sizes finish in a few minutes.
+   BENCH_SEED overrides the root seed. *)
+
+type t = { full : bool; seed : int; domains : int }
+
+let load () =
+  let full =
+    match Sys.getenv_opt "BENCH_FULL" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false
+  in
+  let seed =
+    match Sys.getenv_opt "BENCH_SEED" with
+    | Some s -> ( match int_of_string_opt s with Some v -> v | None -> 0xB0B )
+    | None -> 0xB0B
+  in
+  let domains =
+    match Sys.getenv_opt "BENCH_DOMAINS" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some v when v >= 1 -> v
+        | _ -> 1)
+    | None -> 1
+  in
+  { full; seed; domains }
+
+let rng cfg = Prng.Rng.create ~seed:cfg.seed ()
+
+(* Every experiment derives an independent stream so that adding or
+   reordering experiments does not perturb the others. *)
+let rng_for cfg ~experiment =
+  let g = Prng.Rng.create ~seed:(cfg.seed + (0x9E37 * experiment)) () in
+  ignore (Prng.Rng.bits64 g);
+  g

@@ -1,0 +1,54 @@
+(* E2 — Section 1.1 (second removal scenario): starting from an arbitrary
+   assignment, Id-ABKU[d] recovers the typical maximum load
+   ln ln n / ln d + O(1) within O(n ln n) steps.
+
+   We start with all n balls in one bin and measure the first time the
+   maximum load drops to (fluid-limit prediction + 1), sweeping n. *)
+
+let run (cfg : Config.t) =
+  Exp_util.heading ~id:"E2"
+    ~claim:"scenario-A recovery from the worst state in O(n ln n) steps";
+  let sizes =
+    if cfg.full then [ 128; 256; 512; 1024; 2048; 4096 ]
+    else [ 128; 256; 512; 1024; 2048 ]
+  in
+  let reps = if cfg.full then 31 else 11 in
+  let d = 2 in
+  let table =
+    Stats.Table.create
+      ~title:"E2: recovery of Id-ABKU[2] to fluid max load + 1"
+      ~columns:
+        [ "n=m"; "target"; "median steps [q10,q90]"; "n ln n"; "ratio" ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun n ->
+      let profile = Fluid.Mean_field.fixed_point_a ~d ~m_over_n:1. ~levels:40 in
+      let target = Fluid.Mean_field.predicted_max_load ~n profile + 1 in
+      let spec =
+        {
+          Core.Recovery.scenario = Core.Scenario.A;
+          rule = Core.Scheduling_rule.abku d;
+          n;
+          m = n;
+        }
+      in
+      let scale = Theory.Bounds.recovery_a_steps ~n in
+      let rng = Config.rng_for cfg ~experiment:(2000 + n) in
+      let meas =
+        Core.Recovery.measure ~domains:cfg.domains ~rng ~reps spec ~target
+          ~limit:(200 * int_of_float scale)
+      in
+      points := (float_of_int n, meas.median) :: !points;
+      Stats.Table.add_row table
+        [
+          string_of_int n;
+          string_of_int target;
+          Exp_util.cell_measurement meas;
+          Printf.sprintf "%.0f" scale;
+          Exp_util.ratio_cell meas.median scale;
+        ])
+    sizes;
+  Exp_util.note_exponent table ~points:(List.rev !points) ~log_exponent:1.
+    ~expected:"1 (n ln n growth)" ~what:"median vs n (after / ln n)";
+  Exp_util.output table

@@ -1,0 +1,63 @@
+(* E3 — Claim 5.3 and the full-version remarks: the scenario-B processes
+   mix within O(n m^2 ln eps^-1); the improved analysis gives
+   O~(m^2), and Omega(m^2) holds for large m.
+
+   Same protocol as E1 with scenario B; the fitted exponent should land
+   near 2 (the O(n m) / O~(m^2) / Omega(m^2) cluster at n = m), well
+   below the exponent 3 of the simple Claim 5.3 bound. *)
+
+module Lv = Loadvec.Load_vector
+module Mv = Loadvec.Mutable_vector
+module Sr = Core.Scheduling_rule
+
+let eps = 0.25
+
+let run (cfg : Config.t) =
+  Exp_util.heading ~id:"E3"
+    ~claim:"Claim 5.3: scenario-B mixing O(n m^2); improved O~(m^2), Omega(m^2)";
+  let sizes = if cfg.full then [ 8; 16; 32; 64; 128; 192 ] else [ 8; 16; 32; 64; 128 ] in
+  let reps = if cfg.full then 31 else 15 in
+  let table =
+    Stats.Table.create
+      ~title:"E3: coalescence of Ib-ABKU[2] vs scenario-B bounds"
+      ~columns:
+        [
+          "n=m";
+          "median coalescence [q10,q90]";
+          "n m";
+          "m^2 ln m";
+          "Claim 5.3 (n m^2)";
+          "ratio to n m";
+        ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun n ->
+      let m = n in
+      let process = Core.Dynamic_process.make Core.Scenario.B (Sr.abku 2) ~n in
+      let coupled = Core.Coupled.monotone process in
+      let improved = Theory.Bounds.scenario_b_improved ~m in
+      let claim = Theory.Bounds.claim53 ~n ~m ~eps in
+      let limit = 200 * int_of_float improved in
+      let rng = Config.rng_for cfg ~experiment:(3000 + n) in
+      let meas =
+        Coupling.Coalescence.measure ~domains:cfg.domains ~reps ~limit ~rng coupled ~init:(fun _g ->
+            ( Mv.of_load_vector (Lv.all_in_one ~n ~m),
+              Mv.of_load_vector (Lv.uniform ~n ~m) ))
+      in
+      points := (float_of_int m, meas.median) :: !points;
+      let nm = float_of_int (n * m) in
+      Stats.Table.add_row table
+        [
+          string_of_int n;
+          Exp_util.cell_measurement meas;
+          Printf.sprintf "%.0f" nm;
+          Printf.sprintf "%.0f" improved;
+          Printf.sprintf "%.0f" claim;
+          Exp_util.ratio_cell meas.median nm;
+        ])
+    sizes;
+  Exp_util.note_exponent table ~points:(List.rev !points) ~log_exponent:0.
+    ~expected:"2 (Omega(m^2) .. O~(m^2)); Claim 5.3 alone would allow 3"
+    ~what:"median vs m";
+  Exp_util.output table

@@ -1,0 +1,46 @@
+(* E5 — the Azar et al. baseline the paper builds on: the static maximum
+   load of ABKU[d] is ln n / ln ln n (1+o(1)) for d = 1 and drops to
+   ln ln n / ln d (1+o(1)) + O(m/n) for d >= 2. *)
+
+module Sr = Core.Scheduling_rule
+
+let run (cfg : Config.t) =
+  Exp_util.heading ~id:"E5"
+    ~claim:"Azar et al.: static max load, one choice vs d choices";
+  let sizes =
+    if cfg.full then [ 4096; 16384; 65536; 262144; 1048576 ]
+    else [ 1024; 4096; 16384; 65536; 262144 ]
+  in
+  let reps = if cfg.full then 15 else 7 in
+  let ds = [ 1; 2; 3; 4 ] in
+  let table =
+    Stats.Table.create ~title:"E5: static max load of ABKU[d], m = n"
+      ~columns:
+        ([ "n" ]
+        @ List.concat_map
+            (fun d ->
+              [ Printf.sprintf "d=%d measured" d; Printf.sprintf "d=%d formula" d ])
+            ds)
+  in
+  List.iter
+    (fun n ->
+      let rng = Config.rng_for cfg ~experiment:(5000 + n) in
+      let cells =
+        List.concat_map
+          (fun d ->
+            let samples =
+              Core.Static_process.max_load_samples (Sr.abku d) rng ~n ~m:n ~reps
+            in
+            let median =
+              Stats.Quantile.median (Stats.Quantile.of_ints samples)
+            in
+            let formula = Theory.Bounds.azar_static_max_load ~n ~m:n ~d in
+            [ Printf.sprintf "%.1f" median; Printf.sprintf "%.2f" formula ])
+          ds
+      in
+      Stats.Table.add_row table (string_of_int n :: cells))
+    sizes;
+  Stats.Table.add_note table
+    "who wins: every d >= 2 beats d = 1 and the d = 1 column grows with n \
+     while d >= 2 columns stay nearly flat (the ln ln n effect)";
+  Exp_util.output table

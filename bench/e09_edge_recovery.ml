@@ -1,0 +1,78 @@
+(* E9 — the application view of Section 1.1 (fair allocations): from an
+   atypical state, the greedy protocol's unfairness returns to the
+   Theta(log log n) stationary regime within O~(n^2) steps; and the
+   stationary unfairness itself grows like log log n (Ajtai et al.). *)
+
+module O = Edgeorient.Orientation
+
+let run (cfg : Config.t) =
+  Exp_util.heading ~id:"E9"
+    ~claim:"edge orientation: unfairness recovery and Theta(log log n) regime";
+  let sizes =
+    if cfg.full then [ 64; 128; 256; 512; 1024; 2048 ] else [ 64; 128; 256; 512; 1024 ]
+  in
+  let reps = if cfg.full then 21 else 9 in
+  let table =
+    Stats.Table.create
+      ~title:"E9: greedy protocol, recovery and stationary unfairness"
+      ~columns:
+        [
+          "n";
+          "target";
+          "median recovery steps [q10,q90]";
+          "n^2 ln n";
+          "stationary mean unf";
+          "log2 log2 n";
+        ]
+  in
+  let rec_points = ref [] in
+  List.iter
+    (fun n ->
+      let rng = Config.rng_for cfg ~experiment:(9000 + n) in
+      let loglog = Theory.Bounds.edge_stationary_unfairness ~n in
+      let target = int_of_float (ceil loglog) + 1 in
+      let scale = float_of_int n *. float_of_int n *. log (float_of_int n) in
+      let limit = 50 * int_of_float scale in
+      (* Recovery measurements. *)
+      let times = ref [] in
+      let failures = ref 0 in
+      for _ = 1 to reps do
+        let g = Prng.Rng.split rng in
+        let t = O.adversarial ~n in
+        let steps = ref 0 in
+        while O.unfairness t > target && !steps < limit do
+          O.greedy_step g t;
+          incr steps
+        done;
+        if !steps >= limit then incr failures else times := float_of_int !steps :: !times
+      done;
+      let xs = Array.of_list !times in
+      let median = if Array.length xs = 0 then nan else Stats.Quantile.median xs in
+      (* Stationary unfairness: run on from a typical state. *)
+      let t = O.create ~n in
+      O.run rng t ~steps:(10 * n * n);
+      let summary = Stats.Summary.create () in
+      for _ = 1 to 300 do
+        O.run rng t ~steps:n;
+        Stats.Summary.add_int summary (O.unfairness t)
+      done;
+      rec_points := (float_of_int n, median) :: !rec_points;
+      Stats.Table.add_row table
+        [
+          string_of_int n;
+          string_of_int target;
+          (if Float.is_nan median then "(limit)"
+           else
+             Printf.sprintf "%.0f [%.0f, %.0f]" median
+               (Stats.Quantile.quantile xs 0.1)
+               (Stats.Quantile.quantile xs 0.9));
+          Printf.sprintf "%.0f" scale;
+          Printf.sprintf "%.2f" (Stats.Summary.mean summary);
+          Printf.sprintf "%.2f" loglog;
+        ])
+    sizes;
+  Exp_util.note_exponent table ~points:(List.rev !rec_points) ~log_exponent:1.
+    ~expected:"2 (recovery ~ n^2 up to logs)" ~what:"recovery vs n (after / ln n)";
+  Stats.Table.add_note table
+    "stationary unfairness column should crawl like log log n: nearly flat";
+  Exp_util.output table

@@ -1,0 +1,63 @@
+(* E12 — Section 7, relocations: allowing a bounded number of ball moves
+   per step accelerates recovery.  Recovery time of Id-ABKU[2]+reloc(k)
+   from the all-in-one state, as a function of k. *)
+
+module Sr = Core.Scheduling_rule
+
+let run (cfg : Config.t) =
+  Exp_util.heading ~id:"E12"
+    ~claim:"relocations speed up recovery (Section 7 extension)";
+  let n = if cfg.full then 1024 else 256 in
+  let reps = if cfg.full then 21 else 11 in
+  let ks = [ 0; 1; 2; 4 ] in
+  let d = 2 in
+  let profile = Fluid.Mean_field.fixed_point_a ~d ~m_over_n:1. ~levels:40 in
+  let target = Fluid.Mean_field.predicted_max_load ~n profile + 1 in
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "E12: Id-ABKU[2]+reloc(k), n = m = %d, recovery to max load <= %d"
+           n target)
+      ~columns:[ "k relocations"; "median steps [q10,q90]"; "speedup vs k=0" ]
+  in
+  let base = ref nan in
+  List.iter
+    (fun k ->
+      let reloc = Core.Relocation.make Core.Scenario.A (Sr.abku d) ~relocations:k ~n in
+      let rng = Config.rng_for cfg ~experiment:(12_000 + k) in
+      let limit = 500 * n * (1 + int_of_float (log (float_of_int n))) in
+      let times = ref [] in
+      let failures = ref 0 in
+      for _ = 1 to reps do
+        let g = Prng.Rng.split rng in
+        let loads = Array.make n 0 in
+        loads.(0) <- n;
+        let bins = Core.Bins.of_loads loads in
+        let steps = ref 0 in
+        while Core.Bins.max_load bins > target && !steps < limit do
+          Core.Relocation.step reloc g bins;
+          incr steps
+        done;
+        if !steps >= limit then incr failures
+        else times := float_of_int !steps :: !times
+      done;
+      let xs = Array.of_list !times in
+      let median = if Array.length xs = 0 then nan else Stats.Quantile.median xs in
+      if k = 0 then base := median;
+      Stats.Table.add_row table
+        [
+          string_of_int k;
+          (if Float.is_nan median then "(limit)"
+           else
+             Printf.sprintf "%.0f [%.0f, %.0f]" median
+               (Stats.Quantile.quantile xs 0.1)
+               (Stats.Quantile.quantile xs 0.9));
+          (if k = 0 || Float.is_nan median then "-"
+           else Printf.sprintf "%.2fx" (!base /. median));
+        ])
+    ks;
+  Stats.Table.add_note table
+    "speedup should grow with k and saturate: each step still inserts only \
+     one new ball";
+  Exp_util.output table

@@ -1,0 +1,46 @@
+(* E15 — Theorem 1's bound is in m, not n: at fixed n, the scenario-A
+   coalescence time must grow like m ln m as the system gets heavier.
+   Sweep m at n = 64 and fit the exponent in m. *)
+
+module Lv = Loadvec.Load_vector
+module Mv = Loadvec.Mutable_vector
+module Sr = Core.Scheduling_rule
+
+let run (cfg : Config.t) =
+  Exp_util.heading ~id:"E15"
+    ~claim:"Theorem 1 scales with the number of balls m, not bins n";
+  let n = 64 in
+  let ratios = if cfg.full then [ 1; 2; 4; 8; 16 ] else [ 1; 2; 4; 8 ] in
+  let reps = if cfg.full then 31 else 15 in
+  let table =
+    Stats.Table.create
+      ~title:(Printf.sprintf "E15: Id-ABKU[2] coalescence at fixed n = %d" n)
+      ~columns:[ "m"; "m/n"; "median coalescence [q10,q90]"; "Thm 1"; "ratio" ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun r ->
+      let m = r * n in
+      let process = Core.Dynamic_process.make Core.Scenario.A (Sr.abku 2) ~n in
+      let coupled = Core.Coupled.monotone process in
+      let bound = Theory.Bounds.theorem1 ~m ~eps:0.25 in
+      let rng = Config.rng_for cfg ~experiment:(15_000 + m) in
+      let meas =
+        Coupling.Coalescence.measure ~domains:cfg.domains ~reps ~limit:(40 * int_of_float bound) ~rng
+          coupled ~init:(fun _g ->
+            ( Mv.of_load_vector (Lv.all_in_one ~n ~m),
+              Mv.of_load_vector (Lv.uniform ~n ~m) ))
+      in
+      points := (float_of_int m, meas.median) :: !points;
+      Stats.Table.add_row table
+        [
+          string_of_int m;
+          string_of_int r;
+          Exp_util.cell_measurement meas;
+          Printf.sprintf "%.0f" bound;
+          Exp_util.ratio_cell meas.median bound;
+        ])
+    ratios;
+  Exp_util.note_exponent table ~points:(List.rev !points) ~log_exponent:1.
+    ~expected:"1 (m ln m at fixed n)" ~what:"median vs m (after / ln m)";
+  Exp_util.output table

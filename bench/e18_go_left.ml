@@ -1,0 +1,77 @@
+(* E18 — ablation of the d-choice rule family: Vöcking's Always-Go-Left
+   (asymmetric groups + left-biased ties) against the paper's symmetric
+   ABKU[d], statically and in the dynamic scenario A.  Go-Left should
+   shave the maximum load at equal d. *)
+
+module Sr = Core.Scheduling_rule
+
+let run (cfg : Config.t) =
+  Exp_util.heading ~id:"E18"
+    ~claim:"Always-Go-Left vs ABKU[d]: asymmetry helps at equal d";
+  let n = if cfg.full then 262144 else 65536 in
+  let reps = if cfg.full then 15 else 9 in
+  let table =
+    Stats.Table.create
+      ~title:(Printf.sprintf "E18: static max load, n = m = %d" n)
+      ~columns:[ "d"; "ABKU[d] median"; "GoLeft[d] median"; "fraction of runs GoLeft <= ABKU" ]
+  in
+  List.iter
+    (fun d ->
+      let rng = Config.rng_for cfg ~experiment:(18_000 + d) in
+      let abku = Array.make reps 0 and gol = Array.make reps 0 in
+      for k = 0 to reps - 1 do
+        let g = Prng.Rng.split rng in
+        abku.(k) <-
+          Core.Bins.max_load (Core.Static_process.run (Sr.abku d) g ~n ~m:n);
+        let rule = Core.Go_left.make ~d ~n in
+        gol.(k) <- Core.Bins.max_load (Core.Go_left.static_run rule g ~m:n)
+      done;
+      let wins = ref 0 in
+      for k = 0 to reps - 1 do
+        if gol.(k) <= abku.(k) then incr wins
+      done;
+      Stats.Table.add_row table
+        [
+          string_of_int d;
+          Printf.sprintf "%.1f" (Stats.Quantile.median (Stats.Quantile.of_ints abku));
+          Printf.sprintf "%.1f" (Stats.Quantile.median (Stats.Quantile.of_ints gol));
+          Printf.sprintf "%d/%d" !wins reps;
+        ])
+    [ 2; 4 ];
+  (* Dynamic stationary comparison at d = 2. *)
+  let rng = Config.rng_for cfg ~experiment:18_500 in
+  let nd = 4096 in
+  let stationary_mean insert_step =
+    let bins =
+      Core.Bins.of_loads
+        (Loadvec.Load_vector.to_array (Loadvec.Load_vector.uniform ~n:nd ~m:nd))
+    in
+    let g = Prng.Rng.split rng in
+    for _ = 1 to 50 * nd do
+      insert_step g bins
+    done;
+    let s = Stats.Summary.create () in
+    for _ = 1 to 200 do
+      for _ = 1 to nd do
+        insert_step g bins
+      done;
+      Stats.Summary.add_int s (Core.Bins.max_load bins)
+    done;
+    Stats.Summary.mean s
+  in
+  let abku_dyn =
+    stationary_mean (fun g bins ->
+        ignore (Core.Bins.remove_ball_uniform g bins);
+        ignore (Core.Bins.insert_with_rule (Sr.abku 2) g bins))
+  in
+  let rule = Core.Go_left.make ~d:2 ~n:nd in
+  let gol_dyn =
+    stationary_mean (fun g bins ->
+        Core.Go_left.dynamic_step rule Core.Scenario.A g bins)
+  in
+  Stats.Table.add_note table
+    (Printf.sprintf
+       "dynamic scenario A at n = %d: stationary mean max load %.2f (ABKU[2]) \
+        vs %.2f (GoLeft[2])"
+       nd abku_dyn gol_dyn);
+  Exp_util.output table

@@ -1,0 +1,51 @@
+(* Shared helpers for the experiment tables. *)
+
+let heading ~id ~claim =
+  Printf.printf "\n#### %s — %s\n%!" id claim
+
+(* Print the table; when BENCH_CSV names a directory, also dump the rows
+   as CSV (one file per table, named from the title). *)
+let output table =
+  Stats.Table.print table;
+  match Sys.getenv_opt "BENCH_CSV" with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let sanitized =
+        String.map
+          (fun c ->
+            match c with
+            | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+            | _ -> '_')
+          (Stats.Table.title table)
+      in
+      let path = Filename.concat dir (sanitized ^ ".csv") in
+      let oc = open_out path in
+      output_string oc (Stats.Table.to_csv table);
+      close_out oc
+
+(* Fit a power law to (size, median) points, optionally dividing out a
+   polylog factor first, and attach the result to the table as a note. *)
+let note_exponent table ~points ~log_exponent ~expected ~what =
+  match points with
+  | _ :: _ :: _ ->
+      let pts = Array.of_list points in
+      let fit =
+        if log_exponent = 0. then Stats.Regression.power_law pts
+        else Stats.Regression.log_corrected_power_law ~log_exponent pts
+      in
+      Stats.Table.add_note table
+        (Printf.sprintf
+           "fitted exponent of %s: %.2f (R^2 = %.3f); theorem predicts %s"
+           what fit.Stats.Regression.slope fit.Stats.Regression.r_squared
+           expected)
+  | _ -> Stats.Table.add_note table "too few sizes for an exponent fit"
+
+let cell_measurement (m : Coupling.Coalescence.measurement) =
+  if Float.is_nan m.median then "(all runs hit limit)"
+  else
+    Printf.sprintf "%.0f [%.0f, %.0f]" m.median m.q10 m.q90
+
+let ratio_cell measured predicted =
+  if Float.is_nan measured || predicted = 0. then "-"
+  else Printf.sprintf "%.3f" (measured /. predicted)

@@ -1,0 +1,58 @@
+(* Benchmark harness: regenerates every experiment table of DESIGN.md /
+   EXPERIMENTS.md.
+
+     dune exec bench/main.exe                 # all experiments, quick sizes
+     dune exec bench/main.exe -- e1 e8        # a subset
+     dune exec bench/main.exe -- micro        # Bechamel per-step costs
+     BENCH_FULL=1 dune exec bench/main.exe    # paper-scale sweeps *)
+
+let experiments : (string * string * (Config.t -> unit)) list =
+  [
+    ("e1", "Theorem 1: scenario-A mixing", E01_scenario_a_mixing.run);
+    ("e2", "scenario-A recovery (Sec. 1.1)", E02_recovery_a.run);
+    ("e3", "Claim 5.3: scenario-B mixing", E03_scenario_b_mixing.run);
+    ("e4", "scenario-B recovery (Sec. 1.1)", E04_recovery_b.run);
+    ("e5", "Azar et al. static max load", E05_static_maxload.run);
+    ("e6", "fluid limit vs simulation", E06_fluid_vs_sim.run);
+    ("e7", "exact mixing vs bounds", E07_exact_vs_bounds.run);
+    ("e8", "Cor 6.4 / Thm 2: edge mixing", E08_edge_mixing.run);
+    ("e9", "edge recovery + log log n", E09_edge_recovery.run);
+    ("e10", "ADAP probe/balance ablation", E10_adap_ablation.run);
+    ("e11", "open systems (Sec. 7)", E11_open_system.run);
+    ("e12", "relocations (Sec. 7)", E12_relocation.run);
+    ("e13", "empirical TV decay", E13_tv_decay.run);
+    ("e14", "exact relaxation times", E14_relaxation.run);
+    ("e15", "Theorem 1 m-scaling", E15_m_over_n.run);
+    ("e16", "weighted jobs", E16_weighted.run);
+    ("e17", "parallel allocation", E17_parallel.run);
+    ("e18", "Go-Left ablation", E18_go_left.run);
+    ("e19", "delayed path coupling", E19_delayed.run);
+    ("e20", "recovery from bad states", E20_bad_states.run);
+    ("e21", "coalescence tail", E21_coalescence_tail.run);
+    ("e22", "other removal rules (Sec. 7)", E22_removal_rules.run);
+  ]
+
+let () =
+  let cfg = Config.load () in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.map String.lowercase_ascii args in
+  let want_micro = List.mem "micro" args in
+  let selected =
+    List.filter (fun a -> a <> "micro") args |> function
+    | [] -> if want_micro then [] else List.map (fun (id, _, _) -> id) experiments
+    | ids -> ids
+  in
+  Printf.printf
+    "Recovery Time of Dynamic Allocation Processes - experiment harness\n";
+  Printf.printf "mode: %s, seed: %d\n%!"
+    (if cfg.full then "FULL" else "quick (set BENCH_FULL=1 for paper-scale)")
+    cfg.seed;
+  List.iter
+    (fun id ->
+      match List.find_opt (fun (i, _, _) -> i = id) experiments with
+      | Some (_, _, run) -> run cfg
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s micro\n%!" id
+            (String.concat " " (List.map (fun (i, _, _) -> i) experiments)))
+    selected;
+  if want_micro then Micro.run ()

@@ -1,0 +1,99 @@
+(* Bechamel micro-benchmarks: per-step cost of every process.  All
+   recovery times in the experiment tables are quoted in steps; these
+   numbers convert them to wall-clock. *)
+
+open Bechamel
+open Toolkit
+
+let make_tests () =
+  let n = 1024 in
+  let g = Prng.Rng.create ~seed:7 () in
+  let system scenario =
+    let bins =
+      Core.Bins.of_loads
+        (Loadvec.Load_vector.to_array (Loadvec.Load_vector.uniform ~n ~m:n))
+    in
+    Core.System.create scenario (Core.Scheduling_rule.abku 2) bins
+  in
+  let sys_a = system Core.Scenario.A in
+  let sys_b = system Core.Scenario.B in
+  let process = Core.Dynamic_process.make Core.Scenario.A (Core.Scheduling_rule.abku 2) ~n in
+  let mv =
+    Loadvec.Mutable_vector.of_load_vector (Loadvec.Load_vector.uniform ~n ~m:n)
+  in
+  let coupled = Core.Coupled.monotone process in
+  let cx =
+    Loadvec.Mutable_vector.of_load_vector (Loadvec.Load_vector.all_in_one ~n ~m:n)
+  in
+  let cy =
+    Loadvec.Mutable_vector.of_load_vector (Loadvec.Load_vector.uniform ~n ~m:n)
+  in
+  let orientation = Edgeorient.Orientation.create ~n in
+  let class_state = ref (Edgeorient.Class_chain.start ~n:128) in
+  [
+    Test.make ~name:"system step Id-ABKU[2] (n=1024)"
+      (Staged.stage (fun () -> Core.System.step g sys_a));
+    Test.make ~name:"system step Ib-ABKU[2] (n=1024)"
+      (Staged.stage (fun () -> Core.System.step g sys_b));
+    Test.make ~name:"normalized step Id-ABKU[2] (n=1024)"
+      (Staged.stage (fun () -> Core.Dynamic_process.step_in_place process g mv));
+    Test.make ~name:"coupled step Id-ABKU[2] (n=1024)"
+      (Staged.stage (fun () ->
+           ignore (coupled.Coupling.Coupled_chain.step g cx cy)));
+    Test.make ~name:"greedy edge step (n=1024)"
+      (Staged.stage (fun () -> Edgeorient.Orientation.greedy_step g orientation));
+    Test.make ~name:"class-chain step (n=128)"
+      (Staged.stage (fun () ->
+           class_state := Edgeorient.Class_chain.step g !class_state));
+    (let w =
+       Core.Weighted.static_run g ~n ~m:n ~d:2 ~dist:(Core.Weighted.Exponential 1.)
+     in
+     Test.make ~name:"weighted dynamic step (n=1024)"
+       (Staged.stage (fun () ->
+            Core.Weighted.dynamic_step w g ~d:2
+              ~dist:(Core.Weighted.Exponential 1.))));
+    (let rule = Core.Go_left.make ~d:2 ~n in
+     let bins =
+       Core.Bins.of_loads
+         (Loadvec.Load_vector.to_array (Loadvec.Load_vector.uniform ~n ~m:n))
+     in
+     Test.make ~name:"go-left dynamic step (n=1024)"
+       (Staged.stage (fun () ->
+            Core.Go_left.dynamic_step rule Core.Scenario.A g bins)));
+  ]
+
+let run () =
+  Printf.printf "\n#### Micro — per-step cost (Bechamel OLS estimate)\n%!";
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let instances = [ Instance.monotonic_clock ] in
+  let tests = make_tests () in
+  let table =
+    Stats.Table.create ~title:"per-step cost" ~columns:[ "operation"; "ns/step"; "R^2" ]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:true
+             ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          let estimate =
+            match Analyze.OLS.estimates ols with
+            | Some (x :: _) -> Printf.sprintf "%.1f" x
+            | _ -> "-"
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols with
+            | Some r -> Printf.sprintf "%.3f" r
+            | None -> "-"
+          in
+          Stats.Table.add_row table [ name; estimate; r2 ])
+        ols)
+    tests;
+  Stats.Table.print table

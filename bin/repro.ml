@@ -1,0 +1,473 @@
+(* Command-line interface to the library: simulate any of the paper's
+   processes, measure recovery and coalescence, run exact small-chain
+   analysis, and print fluid-limit predictions. *)
+
+open Cmdliner
+
+(* ---- shared argument parsing ---- *)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 0x5EED & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let n_arg =
+  let doc = "Number of bins / servers / vertices." in
+  Arg.(value & opt int 256 & info [ "n" ] ~docv:"N" ~doc)
+
+let m_arg =
+  let doc = "Number of balls (defaults to n)." in
+  Arg.(value & opt (some int) None & info [ "m" ] ~docv:"M" ~doc)
+
+let scenario_arg =
+  let conv_scenario =
+    let parse = function
+      | "A" | "a" -> Ok Core.Scenario.A
+      | "B" | "b" -> Ok Core.Scenario.B
+      | s -> Error (`Msg (Printf.sprintf "unknown scenario %S (use A or B)" s))
+    in
+    Arg.conv (parse, fun fmt s -> Format.fprintf fmt "%s" (Core.Scenario.name s))
+  in
+  let doc =
+    "Removal scenario: A removes a random ball, B removes from a random \
+     non-empty bin."
+  in
+  Arg.(value & opt conv_scenario Core.Scenario.A
+       & info [ "scenario" ] ~docv:"A|B" ~doc)
+
+let parse_rule s =
+  match String.split_on_char ':' s with
+  | [ "abku"; d ] | [ "ABKU"; d ] -> (
+      match int_of_string_opt d with
+      | Some d when d >= 1 -> Ok (Core.Scheduling_rule.abku d)
+      | _ -> Error (`Msg "abku:<d> needs d >= 1"))
+  | [ "adap"; thresholds ] | [ "ADAP"; thresholds ] -> (
+      try
+        let steps =
+          String.split_on_char ',' thresholds |> List.map int_of_string
+        in
+        Ok (Core.Scheduling_rule.adap (Core.Adaptive.of_list steps))
+      with _ -> Error (`Msg "adap:<t0,t1,...> needs non-decreasing ints >= 1"))
+  | _ -> Error (`Msg (Printf.sprintf "unknown rule %S (abku:<d> | adap:<list>)" s))
+
+let rule_arg =
+  let conv_rule =
+    Arg.conv
+      (parse_rule, fun fmt r -> Format.fprintf fmt "%s" (Core.Scheduling_rule.name r))
+  in
+  let doc = "Scheduling rule: abku:<d> or adap:<t0,t1,...>." in
+  Arg.(value & opt conv_rule (Core.Scheduling_rule.abku 2)
+       & info [ "rule" ] ~docv:"RULE" ~doc)
+
+let steps_arg ~default =
+  let doc = "Number of process steps." in
+  Arg.(value & opt int default & info [ "steps" ] ~docv:"STEPS" ~doc)
+
+let resolve_m n = function Some m -> m | None -> n
+
+(* ---- simulate ---- *)
+
+let simulate seed n m scenario rule steps adversarial =
+  let m = resolve_m n m in
+  let g = Prng.Rng.create ~seed () in
+  let loads =
+    if adversarial then begin
+      let a = Array.make n 0 in
+      a.(0) <- m;
+      a
+    end
+    else Loadvec.Load_vector.to_array (Loadvec.Load_vector.uniform ~n ~m)
+  in
+  let system = Core.System.create scenario rule (Core.Bins.of_loads loads) in
+  Printf.printf "process %s, n = %d, m = %d, %d steps\n"
+    (Printf.sprintf "%s-%s"
+       (match scenario with Core.Scenario.A -> "Id" | B -> "Ib")
+       (Core.Scheduling_rule.name rule))
+    n m steps;
+  let probes = Stats.Summary.create () in
+  let max_summary = Stats.Summary.create () in
+  for _ = 1 to steps do
+    Stats.Summary.add_int probes (Core.System.step_probes g system);
+    Stats.Summary.add_int max_summary (Core.System.max_load system)
+  done;
+  Printf.printf "final max load: %d\n" (Core.System.max_load system);
+  Printf.printf "mean max load over run: %.2f (worst %d)\n"
+    (Stats.Summary.mean max_summary)
+    (int_of_float (Stats.Summary.max max_summary));
+  Printf.printf "probes per insertion: %.3f\n" (Stats.Summary.mean probes);
+  let hist = Stats.Histogram.create () in
+  Array.iter (Stats.Histogram.add hist) (Core.Bins.loads (Core.System.bins system));
+  Printf.printf "final load histogram:\n%s"
+    (Format.asprintf "%a" Stats.Histogram.pp hist)
+
+let simulate_cmd =
+  let adversarial =
+    Arg.(value & flag
+         & info [ "adversarial" ] ~doc:"Start with all balls in one bin.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a dynamic allocation process")
+    Term.(const simulate $ seed_arg $ n_arg $ m_arg $ scenario_arg $ rule_arg
+          $ steps_arg ~default:100_000 $ adversarial)
+
+(* ---- recover ---- *)
+
+let recover seed n m scenario rule reps target =
+  let m = resolve_m n m in
+  let rng = Prng.Rng.create ~seed () in
+  let d = match rule with Core.Scheduling_rule.Abku d -> d | Adap _ -> 2 in
+  let fluid =
+    match scenario with
+    | Core.Scenario.A ->
+        Fluid.Mean_field.fixed_point_a ~d
+          ~m_over_n:(float_of_int m /. float_of_int n)
+          ~levels:60
+    | Core.Scenario.B ->
+        Fluid.Mean_field.fixed_point_b ~d
+          ~m_over_n:(float_of_int m /. float_of_int n)
+          ~levels:60
+  in
+  let target =
+    match target with
+    | Some t -> t
+    | None -> Fluid.Mean_field.predicted_max_load ~n fluid + 1
+  in
+  let spec = { Core.Recovery.scenario; rule; n; m } in
+  let limit =
+    match scenario with
+    | Core.Scenario.A -> 500 * int_of_float (Theory.Bounds.recovery_a_steps ~n)
+    | Core.Scenario.B -> 100 * int_of_float (Theory.Bounds.recovery_b_steps ~n)
+  in
+  let meas = Core.Recovery.measure ~rng ~reps spec ~target ~limit in
+  Printf.printf
+    "recovery of %s-%s from all-in-one to max load <= %d (n=%d, m=%d, %d runs)\n"
+    (match scenario with Core.Scenario.A -> "Id" | B -> "Ib")
+    (Core.Scheduling_rule.name rule)
+    target n m reps;
+  Printf.printf "median %.0f steps [q10 %.0f, q90 %.0f], %d runs hit the limit\n"
+    meas.median meas.q10 meas.q90 meas.failures;
+  let bound =
+    match scenario with
+    | Core.Scenario.A -> Theory.Bounds.recovery_a_steps ~n
+    | Core.Scenario.B -> Theory.Bounds.recovery_b_steps ~n
+  in
+  Printf.printf "paper growth scale: %.0f\n" bound
+
+let recover_cmd =
+  let reps =
+    Arg.(value & opt int 11 & info [ "reps" ] ~docv:"REPS" ~doc:"Repetitions.")
+  in
+  let target =
+    Arg.(value & opt (some int) None
+         & info [ "target" ] ~docv:"LOAD"
+             ~doc:"Recovery target (default: fluid prediction + 1).")
+  in
+  Cmd.v
+    (Cmd.info "recover" ~doc:"Measure recovery time from the worst state")
+    Term.(const recover $ seed_arg $ n_arg $ m_arg $ scenario_arg $ rule_arg
+          $ reps $ target)
+
+(* ---- couple ---- *)
+
+let couple seed n m scenario rule reps =
+  let m = resolve_m n m in
+  let rng = Prng.Rng.create ~seed () in
+  let process = Core.Dynamic_process.make scenario rule ~n in
+  let coupled = Core.Coupled.monotone process in
+  let limit =
+    match scenario with
+    | Core.Scenario.A -> 100 * int_of_float (Theory.Bounds.theorem1 ~m ~eps:0.25)
+    | Core.Scenario.B ->
+        200 * int_of_float (Theory.Bounds.scenario_b_improved ~m)
+  in
+  let meas =
+    Coupling.Coalescence.measure ~reps ~limit ~rng coupled ~init:(fun _g ->
+        ( Loadvec.Mutable_vector.of_load_vector
+            (Loadvec.Load_vector.all_in_one ~n ~m),
+          Loadvec.Mutable_vector.of_load_vector
+            (Loadvec.Load_vector.uniform ~n ~m) ))
+  in
+  Printf.printf "coalescence of the %s coupling (n=%d, m=%d, %d runs)\n"
+    (Core.Dynamic_process.name process) n m reps;
+  Printf.printf "median %.0f [q10 %.0f, q90 %.0f], failures %d\n" meas.median
+    meas.q10 meas.q90 meas.failures;
+  (match scenario with
+  | Core.Scenario.A ->
+      Printf.printf "Theorem 1 bound: %.0f\n"
+        (Theory.Bounds.theorem1 ~m ~eps:0.25)
+  | Core.Scenario.B ->
+      Printf.printf "Claim 5.3 bound: %.0f; improved m^2 ln m: %.0f\n"
+        (Theory.Bounds.claim53 ~n ~m ~eps:0.25)
+        (Theory.Bounds.scenario_b_improved ~m))
+
+let couple_cmd =
+  let reps =
+    Arg.(value & opt int 15 & info [ "reps" ] ~docv:"REPS" ~doc:"Repetitions.")
+  in
+  Cmd.v
+    (Cmd.info "couple" ~doc:"Measure coupling coalescence time")
+    Term.(const couple $ seed_arg $ n_arg $ m_arg $ scenario_arg $ rule_arg $ reps)
+
+(* ---- edge ---- *)
+
+let edge seed n steps adversarial =
+  let g = Prng.Rng.create ~seed () in
+  let t =
+    if adversarial then Edgeorient.Orientation.adversarial ~n
+    else Edgeorient.Orientation.create ~n
+  in
+  Printf.printf "greedy edge orientation on %d vertices, %d edges\n" n steps;
+  Printf.printf "%10s  %s\n" "edges" "unfairness";
+  let printed = ref 1 in
+  for k = 1 to steps do
+    Edgeorient.Orientation.greedy_step g t;
+    if k = !printed then begin
+      Printf.printf "%10d  %d\n" k (Edgeorient.Orientation.unfairness t);
+      printed := 2 * !printed
+    end
+  done;
+  Printf.printf "%10d  %d (final)\n" steps (Edgeorient.Orientation.unfairness t);
+  Printf.printf "Ajtai et al. stationary prediction ~ log2 log2 n = %.2f\n"
+    (Theory.Bounds.edge_stationary_unfairness ~n);
+  Printf.printf "Theorem 2 recovery scale: n^2 ln^2 n = %.0f\n"
+    (Theory.Bounds.theorem2 ~n)
+
+let edge_cmd =
+  let adversarial =
+    Arg.(value & flag
+         & info [ "adversarial" ] ~doc:"Start from the adversarial state.")
+  in
+  Cmd.v
+    (Cmd.info "edge" ~doc:"Run the greedy edge orientation protocol")
+    Term.(const edge $ seed_arg $ n_arg $ steps_arg ~default:100_000 $ adversarial)
+
+(* ---- exact ---- *)
+
+let exact n m scenario rule eps =
+  let m = resolve_m n m in
+  if Markov.Partition_space.count ~n ~m > 5000 then
+    prerr_endline "state space too large for exact analysis (> 5000 states)"
+  else begin
+    let process = Core.Dynamic_process.make scenario rule ~n in
+    let states = Markov.Partition_space.enumerate ~n ~m in
+    let chain =
+      Markov.Exact.build ~states
+        ~transitions:(Core.Dynamic_process.exact_transitions process)
+    in
+    Printf.printf "%s on Omega_%d with %d bins: %d states\n"
+      (Core.Dynamic_process.name process)
+      m n (Array.length states);
+    let tau = Markov.Exact.mixing_time ~eps ~max_t:10_000_000 chain in
+    Printf.printf "exact mixing time tau(%.3f) = %d\n" eps tau;
+    let pi = Markov.Exact.stationary chain in
+    Printf.printf "stationary distribution (top 5 states):\n";
+    let order = Array.init (Array.length pi) (fun i -> i) in
+    Array.sort (fun a b -> compare pi.(b) pi.(a)) order;
+    Array.iteri
+      (fun k i ->
+        if k < 5 then
+          Printf.printf "  %s : %.4f\n"
+            (Format.asprintf "%a" Loadvec.Load_vector.pp
+               (Markov.Exact.state chain i))
+            pi.(i))
+      order;
+    match scenario with
+    | Core.Scenario.A ->
+        Printf.printf "Theorem 1 bound: %.0f\n" (Theory.Bounds.theorem1 ~m ~eps)
+    | Core.Scenario.B ->
+        Printf.printf "Claim 5.3 bound: %.0f\n" (Theory.Bounds.claim53 ~n ~m ~eps)
+  end
+
+let exact_cmd =
+  let eps =
+    Arg.(value & opt float 0.25
+         & info [ "eps" ] ~docv:"EPS" ~doc:"Mixing threshold.")
+  in
+  Cmd.v
+    (Cmd.info "exact" ~doc:"Exact mixing time on a small state space")
+    Term.(const exact $ n_arg $ m_arg $ scenario_arg $ rule_arg $ eps)
+
+(* ---- fluid ---- *)
+
+let fluid n m scenario d levels =
+  let m = resolve_m n m in
+  let m_over_n = float_of_int m /. float_of_int n in
+  let s =
+    match scenario with
+    | Core.Scenario.A -> Fluid.Mean_field.fixed_point_a ~d ~m_over_n ~levels
+    | Core.Scenario.B -> Fluid.Mean_field.fixed_point_b ~d ~m_over_n ~levels
+  in
+  Printf.printf
+    "fluid fixed point, scenario %s, d = %d, m/n = %.2f (s_i = fraction of \
+     bins with load >= i)\n"
+    (Core.Scenario.name scenario) d m_over_n;
+  Array.iteri
+    (fun i si -> if si > 1e-12 then Printf.printf "  s_%d = %.6f\n" (i + 1) si)
+    s;
+  Printf.printf "predicted max load at n = %d: %d\n" n
+    (Fluid.Mean_field.predicted_max_load ~n s)
+
+let fluid_cmd =
+  let d =
+    Arg.(value & opt int 2 & info [ "d" ] ~docv:"D" ~doc:"Number of choices.")
+  in
+  let levels =
+    Arg.(value & opt int 30
+         & info [ "levels" ] ~docv:"L" ~doc:"Truncation level.")
+  in
+  Cmd.v
+    (Cmd.info "fluid" ~doc:"Print the fluid-limit stationary profile")
+    Term.(const fluid $ n_arg $ m_arg $ scenario_arg $ d $ levels)
+
+(* ---- tv: empirical mixing profile ---- *)
+
+let tv seed n m scenario rule reps =
+  let m = resolve_m n m in
+  let rng = Prng.Rng.create ~seed () in
+  let process = Core.Dynamic_process.make scenario rule ~n in
+  let chain =
+    Markov.Chain.make (fun g v ->
+        Core.Dynamic_process.step_in_place process g v;
+        v)
+  in
+  let scale =
+    match scenario with
+    | Core.Scenario.A -> Theory.Bounds.theorem1 ~m ~eps:0.25
+    | Core.Scenario.B -> Theory.Bounds.scenario_b_improved ~m
+  in
+  let limit = 2 * int_of_float scale in
+  let rec times t acc = if t > limit then List.rev acc else times (4 * t) (t :: acc) in
+  let profile =
+    Markov.Empirical.decay_profile chain ~rng
+      ~x0:(fun () ->
+        Loadvec.Mutable_vector.of_load_vector
+          (Loadvec.Load_vector.all_in_one ~n ~m))
+      ~y0:(fun () ->
+        Loadvec.Mutable_vector.of_load_vector
+          (Loadvec.Load_vector.uniform ~n ~m))
+      ~times:(times 1 []) ~reps ~observable:Loadvec.Mutable_vector.max_load
+  in
+  Printf.printf
+    "TV distance of the max-load law, adversarial vs balanced start\n";
+  Printf.printf "process %s, n = %d, m = %d, %d runs per point\n\n"
+    (Core.Dynamic_process.name process) n m reps;
+  Printf.printf "%10s  %s\n" "t" "TV estimate";
+  List.iter (fun (t, tv) -> Printf.printf "%10d  %.3f\n" t tv) profile;
+  Printf.printf "\npaper scale for this scenario: %.0f\n" scale
+
+let tv_cmd =
+  let reps =
+    Arg.(value & opt int 500 & info [ "reps" ] ~docv:"REPS" ~doc:"Runs per point.")
+  in
+  Cmd.v
+    (Cmd.info "tv" ~doc:"Empirical total-variation decay profile")
+    Term.(const tv $ seed_arg $ n_arg $ m_arg $ scenario_arg $ rule_arg $ reps)
+
+(* ---- weighted ---- *)
+
+let weighted seed n m d tail =
+  let m = resolve_m n m in
+  let g = Prng.Rng.create ~seed () in
+  let dist =
+    match tail with
+    | "const" -> Core.Weighted.Constant 1.
+    | "uniform" -> Core.Weighted.Uniform_unit
+    | "exp" -> Core.Weighted.Exponential 1.
+    | "pareto" -> Core.Weighted.Pareto { alpha = 1.5; xmin = 1. }
+    | other -> failwith (Printf.sprintf "unknown tail %S" other)
+  in
+  let t = Core.Weighted.static_run g ~n ~m ~d ~dist in
+  Printf.printf "weighted allocation: n = %d, m = %d, d = %d, weights %s\n" n m
+    d
+    (Core.Weighted.dist_name dist);
+  Printf.printf "max load %.3f, total weight %.1f, mean load %.3f\n"
+    (Core.Weighted.max_load t)
+    (Core.Weighted.total_weight t)
+    (Core.Weighted.total_weight t /. float_of_int n)
+
+let weighted_cmd =
+  let d = Arg.(value & opt int 2 & info [ "d" ] ~docv:"D" ~doc:"Choices.") in
+  let tail =
+    Arg.(value & opt string "exp"
+         & info [ "tail" ] ~docv:"const|uniform|exp|pareto"
+             ~doc:"Weight distribution.")
+  in
+  Cmd.v
+    (Cmd.info "weighted" ~doc:"Weighted-jobs allocation")
+    Term.(const weighted $ seed_arg $ n_arg $ m_arg $ d $ tail)
+
+(* ---- parallel ---- *)
+
+let parallel seed n m d rounds =
+  let m = resolve_m n m in
+  let g = Prng.Rng.create ~seed () in
+  let result = Core.Parallel_alloc.run g ~n ~m ~d ~rounds () in
+  Printf.printf
+    "collision protocol: n = %d, m = %d, d = %d, %d rounds\n" n m d rounds;
+  Printf.printf "max load %d, rounds used %d, fallback balls %d\n"
+    result.max_load result.rounds_used result.fallback_balls
+
+let parallel_cmd =
+  let d = Arg.(value & opt int 2 & info [ "d" ] ~docv:"D" ~doc:"Candidates.") in
+  let rounds =
+    Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"R" ~doc:"Parallel rounds.")
+  in
+  Cmd.v
+    (Cmd.info "parallel" ~doc:"Parallel collision-protocol allocation")
+    Term.(const parallel $ seed_arg $ n_arg $ m_arg $ d $ rounds)
+
+(* ---- removal: Section 7 generalized removal laws ---- *)
+
+let removal seed n m rule law =
+  let m = resolve_m n m in
+  let g = Prng.Rng.create ~seed () in
+  let removal_rule =
+    match law with
+    | "a" | "A" -> Core.Removal.scenario_a
+    | "b" | "B" -> Core.Removal.scenario_b
+    | "squared" -> Core.Removal.load_squared
+    | "heaviest" -> Core.Removal.heaviest
+    | other -> failwith (Printf.sprintf "unknown removal law %S" other)
+  in
+  let v =
+    Loadvec.Mutable_vector.of_load_vector (Loadvec.Load_vector.all_in_one ~n ~m)
+  in
+  Printf.printf
+    "generalized process: removal %S + %s, n = %d, m = %d, adversarial start\n"
+    (Core.Removal.name removal_rule)
+    (Core.Scheduling_rule.name rule)
+    n m;
+  let steps = ref 0 in
+  let next = ref 1 in
+  Printf.printf "%10s  %s\n" "step" "max load";
+  while Loadvec.Mutable_vector.max_load v > 1 + (m / n) && !steps < 100_000_000 do
+    if !steps = !next then begin
+      Printf.printf "%10d  %d\n" !steps (Loadvec.Mutable_vector.max_load v);
+      next := 2 * !next
+    end;
+    Core.Removal.step removal_rule rule g v;
+    incr steps
+  done;
+  Printf.printf "%10d  %d (final)\n" !steps (Loadvec.Mutable_vector.max_load v)
+
+let removal_cmd =
+  let law =
+    Arg.(value & opt string "a"
+         & info [ "law" ] ~docv:"a|b|squared|heaviest"
+             ~doc:"Removal distribution (Section 7 generalization).")
+  in
+  Cmd.v
+    (Cmd.info "removal" ~doc:"Recovery under a generalized removal law")
+    Term.(const removal $ seed_arg $ n_arg $ m_arg $ rule_arg $ law)
+
+(* ---- entry point ---- *)
+
+let () =
+  let doc = "recovery time of dynamic allocation processes (SPAA 1998)" in
+  let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            simulate_cmd; recover_cmd; couple_cmd; edge_cmd; exact_cmd;
+            fluid_cmd; tv_cmd; weighted_cmd; parallel_cmd; removal_cmd;
+          ]))

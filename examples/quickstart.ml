@@ -1,0 +1,44 @@
+(* Quickstart: crash a balanced system, watch it recover, and compare the
+   measured recovery time to Theorem 1's prediction.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  let n = 512 in
+  let g = Prng.Rng.create ~seed:1 ()
+  (* Scenario A (a random job terminates) with two-choice insertions:
+     the process the paper calls Id-ABKU[2]. *)
+  and scenario = Core.Scenario.A
+  and rule = Core.Scheduling_rule.abku 2 in
+
+  (* The "crash": all n balls piled into a single bin. *)
+  let loads = Array.make n 0 in
+  loads.(0) <- n;
+  let system = Core.System.create scenario rule (Core.Bins.of_loads loads) in
+
+  (* What "recovered" means: the stationary max load predicted by the
+     fluid limit, plus one. *)
+  let profile = Fluid.Mean_field.fixed_point_a ~d:2 ~m_over_n:1. ~levels:40 in
+  let target = Fluid.Mean_field.predicted_max_load ~n profile + 1 in
+  Printf.printf "n = m = %d, process %s, recovery target: max load <= %d\n" n
+    "Id-ABKU[2]" target;
+
+  Printf.printf "\n%8s  %s\n" "step" "max load";
+  let step = ref 0 in
+  let next_print = ref 1 in
+  while Core.System.max_load system > target do
+    if !step = !next_print || !step = 0 then begin
+      Printf.printf "%8d  %d\n" !step (Core.System.max_load system);
+      next_print := 2 * !next_print
+    end;
+    Core.System.step g system;
+    incr step
+  done;
+  Printf.printf "%8d  %d   <- recovered\n" !step (Core.System.max_load system);
+
+  let bound = Theory.Bounds.theorem1 ~m:n ~eps:0.25 in
+  Printf.printf
+    "\nrecovered in %d steps; Theorem 1 bounds the mixing time by %.0f\n"
+    !step bound;
+  Printf.printf "(the bound covers total-variation mixing from any state, so \
+                 recovery of the max load should land below it)\n"

@@ -1,0 +1,42 @@
+type t = { name : string; threshold : int -> int }
+
+let name x = x.name
+
+let threshold x l =
+  if l < 0 then invalid_arg "Adaptive.threshold: negative load";
+  x.threshold l
+
+let constant d =
+  if d < 1 then invalid_arg "Adaptive.constant: d must be >= 1";
+  { name = Printf.sprintf "const%d" d; threshold = (fun _ -> d) }
+
+let of_list ?name steps =
+  if steps = [] then invalid_arg "Adaptive.of_list: empty";
+  let rec validate prev = function
+    | [] -> ()
+    | x :: rest ->
+        if x < 1 then invalid_arg "Adaptive.of_list: threshold < 1";
+        if x < prev then invalid_arg "Adaptive.of_list: not non-decreasing";
+        validate x rest
+  in
+  validate 1 steps;
+  let arr = Array.of_list steps in
+  let last = arr.(Array.length arr - 1) in
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        Printf.sprintf "list[%s]"
+          (String.concat ";" (List.map string_of_int steps))
+  in
+  { name; threshold = (fun l -> if l < Array.length arr then arr.(l) else last) }
+
+let linear ?(slope = 1) ?(base = 1) () =
+  if slope < 0 || base < 1 then invalid_arg "Adaptive.linear";
+  { name = Printf.sprintf "linear(%d+%dl)" base slope;
+    threshold = (fun l -> base + (slope * l)) }
+
+let doubling () =
+  let cap = 1 lsl 20 in
+  { name = "doubling";
+    threshold = (fun l -> if l >= 20 then cap else 1 lsl l) }

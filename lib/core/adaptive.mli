@@ -1,0 +1,31 @@
+(** Threshold sequences for the ADAP(x) rule of Czumaj and Stemann.
+
+    A threshold sequence is a non-decreasing sequence [x₀ ≤ x₁ ≤ …] of
+    positive integers, indexed by bin {e load}: probing stops after [M]
+    probes as soon as the least-loaded bin seen so far has load [l] with
+    [x_l ≤ M].  ABKU[d] is the constant sequence [x_l = d]. *)
+
+type t
+
+val name : t -> string
+
+val threshold : t -> int -> int
+(** [threshold x l] is [x_l] for a load [l >= 0].
+    @raise Invalid_argument if [l < 0]. *)
+
+val constant : int -> t
+(** [constant d] is ABKU[d]'s sequence.
+    @raise Invalid_argument if [d < 1]. *)
+
+val of_list : ?name:string -> int list -> t
+(** [of_list steps] uses the listed values for loads [0, 1, …] and repeats
+    the last value beyond the list.
+    @raise Invalid_argument if the list is empty, non-monotone, or
+    contains a value < 1. *)
+
+val linear : ?slope:int -> ?base:int -> unit -> t
+(** [linear ~slope ~base ()] is [x_l = base + slope*l] (defaults 1 and 1):
+    probe harder when the candidate bin is fuller. *)
+
+val doubling : unit -> t
+(** [x_l = 2^l] capped at 2^20 — very aggressive probing on loaded bins. *)

@@ -1,0 +1,55 @@
+(** Identity-based balls-into-bins system.
+
+    While the Markov-chain analysis works on normalized load vectors, the
+    {e application} view (Section 1.1: jobs on servers) keeps bin
+    identities.  This module is the O(1)-per-operation concrete system
+    used by the recovery and max-load experiments: it tracks per-bin
+    loads, the ball registry (for scenario-A removal), the non-empty bin
+    set (for scenario-B removal) and the maximum load, all incrementally. *)
+
+type t
+
+val create : n:int -> t
+(** [n] empty bins. @raise Invalid_argument if [n <= 0]. *)
+
+val of_loads : int array -> t
+(** Start from explicit per-bin loads.
+    @raise Invalid_argument on an empty array or negative load. *)
+
+val copy : t -> t
+val n : t -> int
+val num_balls : t -> int
+val load : t -> int -> int
+(** @raise Invalid_argument on a bad bin id. *)
+
+val max_load : t -> int
+(** O(1). 0 when empty. *)
+
+val num_nonempty : t -> int
+
+val add_ball : t -> int -> unit
+(** @raise Invalid_argument on a bad bin id. *)
+
+val remove_ball_uniform : Prng.Rng.t -> t -> int
+(** Scenario-A removal: delete a ball chosen i.u.r. among all balls;
+    returns the bin it came from.
+    @raise Invalid_argument when there are no balls. *)
+
+val remove_from_random_nonempty : Prng.Rng.t -> t -> int
+(** Scenario-B removal: delete one ball from a non-empty bin chosen
+    i.u.r.; returns the bin.
+    @raise Invalid_argument when there are no balls. *)
+
+val move_ball : t -> src:int -> dst:int -> unit
+(** Relocate one ball from [src] to [dst].
+    @raise Invalid_argument on bad ids or an empty [src]. *)
+
+val insert_with_rule : Scheduling_rule.t -> Prng.Rng.t -> t -> int * int
+(** [insert_with_rule rule g bins] places one new ball by probing bins
+    i.u.r. per the rule (least-loaded-so-far wins, ADAP keeps probing
+    while its threshold demands).  Returns [(bin, probes_used)]. *)
+
+val loads : t -> int array
+(** Snapshot of per-bin loads. *)
+
+val to_load_vector : t -> Loadvec.Load_vector.t

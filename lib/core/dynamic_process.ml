@@ -1,0 +1,84 @@
+module Mv = Loadvec.Mutable_vector
+module Lv = Loadvec.Load_vector
+
+type t = { scenario : Scenario.t; rule : Scheduling_rule.t; n : int }
+
+let make scenario rule ~n =
+  if n <= 0 then invalid_arg "Dynamic_process.make: n must be positive";
+  { scenario; rule; n }
+
+let scenario t = t.scenario
+let rule t = t.rule
+let n t = t.n
+
+let name t =
+  let prefix = match t.scenario with Scenario.A -> "Id" | Scenario.B -> "Ib" in
+  Printf.sprintf "%s-%s" prefix (Scheduling_rule.name t.rule)
+
+(* Insertion without probe memoization: draw ranks directly.  Equivalent
+   in law to evaluating D(v, b) on a fresh probe sequence. *)
+let choose_rank_direct rule g ~loads =
+  let n = Array.length loads in
+  match rule with
+  | Scheduling_rule.Abku d ->
+      let best = ref (Prng.Rng.int g n) in
+      for _ = 2 to d do
+        let b = Prng.Rng.int g n in
+        if b > !best then best := b
+      done;
+      (!best, d)
+  | Scheduling_rule.Adap x ->
+      let rec go t best =
+        if t > Scheduling_rule.probe_cap then
+          failwith "Dynamic_process: probe cap exceeded";
+        if Adaptive.threshold x loads.(best) <= t then (best, t)
+        else go (t + 1) (Stdlib.max best (Prng.Rng.int g n))
+      in
+      go 1 (Prng.Rng.int g n)
+
+let step_probes t g v =
+  if Mv.dim v <> t.n then invalid_arg "Dynamic_process.step: dimension mismatch";
+  let u = Prng.Rng.float g in
+  let rank = Scenario.remove_rank t.scenario v ~u in
+  ignore (Mv.decr_at v rank);
+  let target, probes = choose_rank_direct t.rule g ~loads:(Mv.unsafe_loads v) in
+  ignore (Mv.incr_at v target);
+  probes
+
+let step_in_place t g v = ignore (step_probes t g v)
+
+let chain t =
+  Markov.Chain.make (fun g lv ->
+      let v = Mv.of_load_vector lv in
+      step_in_place t g v;
+      Mv.to_load_vector v)
+
+let exact_transitions t lv =
+  let loads = Lv.to_array lv in
+  let removal = Scenario.removal_distribution t.scenario ~loads in
+  (* Group removal ranks by load value: within a value class every rank
+     yields the same normalized successor (Fact 3.2). *)
+  let out = ref [] in
+  let nranks = Array.length loads in
+  let i = ref 0 in
+  while !i < nranks do
+    let v_i = loads.(!i) in
+    let j = ref !i in
+    let p_class = ref 0. in
+    while !j < nranks && loads.(!j) = v_i do
+      p_class := !p_class +. removal.(!j);
+      incr j
+    done;
+    if !p_class > 0. then begin
+      let after_removal = Lv.ominus lv !i in
+      let loads' = Lv.to_array after_removal in
+      let insertion = Scheduling_rule.rank_distribution t.rule ~loads:loads' in
+      Array.iteri
+        (fun r p_ins ->
+          if p_ins > 0. then
+            out := (Lv.oplus after_removal r, !p_class *. p_ins) :: !out)
+        insertion
+    end;
+    i := !j
+  done;
+  !out

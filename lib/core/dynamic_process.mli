@@ -1,0 +1,42 @@
+(** The paper's dynamic allocation processes (Section 3.3).
+
+    A process is a removal scenario plus a scheduling rule; one step
+    removes a ball and re-inserts one.  The instances are:
+
+    - [Id-ABKU[d]]  = scenario A + ABKU[d]   (protocol 1_A)
+    - [Id-ADAP(x)]  = scenario A + ADAP(x)
+    - [Ib-ABKU[d]]  = scenario B + ABKU[d]   (protocol 1_B)
+    - [Ib-ADAP(x)]  = scenario B + ADAP(x)
+
+    The module exposes a fast in-place step on mutable normalized vectors,
+    a functional {!Markov.Chain.t} view, and the exact transition law used
+    for small-state-space ground truth. *)
+
+type t
+
+val make : Scenario.t -> Scheduling_rule.t -> n:int -> t
+(** @raise Invalid_argument if [n <= 0]. *)
+
+val scenario : t -> Scenario.t
+val rule : t -> Scheduling_rule.t
+val n : t -> int
+
+val name : t -> string
+(** E.g. ["Id-ABKU[2]"] (scenario A) or ["Ib-ADAP(linear)"]. *)
+
+val step_in_place : t -> Prng.Rng.t -> Loadvec.Mutable_vector.t -> unit
+(** One step (remove, then insert), mutating the state.
+    @raise Invalid_argument if the state has no balls or wrong
+    dimension. *)
+
+val step_probes : t -> Prng.Rng.t -> Loadvec.Mutable_vector.t -> int
+(** Like {!step_in_place} but returns the number of probes the insertion
+    used (of interest for the ADAP ablation). *)
+
+val chain : t -> Loadvec.Load_vector.t Markov.Chain.t
+(** Functional view for the generic chain drivers. *)
+
+val exact_transitions :
+  t -> Loadvec.Load_vector.t -> (Loadvec.Load_vector.t * float) list
+(** Exact one-step law from a state, enumerating (removal rank class ×
+    insertion rank) outcomes.  Probabilities sum to 1. *)

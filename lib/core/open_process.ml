@@ -1,0 +1,70 @@
+module Mv = Loadvec.Mutable_vector
+
+type t = {
+  insert_probability : float;
+  rule : Scheduling_rule.t;
+  n : int;
+  capacity : int option;
+}
+
+let make ?(insert_probability = 0.5) ?capacity rule ~n =
+  if n <= 0 then invalid_arg "Open_process.make: n must be positive";
+  if not (insert_probability > 0. && insert_probability < 1.) then
+    invalid_arg "Open_process.make: probability must be in (0,1)";
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Open_process.make: capacity must be >= 1"
+  | _ -> ());
+  { insert_probability; rule; n; capacity }
+
+let n t = t.n
+let capacity t = t.capacity
+
+let name t =
+  Printf.sprintf "Open(p=%.2f, %s%s)" t.insert_probability
+    (Scheduling_rule.name t.rule)
+    (match t.capacity with
+    | None -> ""
+    | Some c -> Printf.sprintf ", cap=%d" c)
+
+let below_capacity t current =
+  match t.capacity with None -> true | Some c -> current < c
+
+let step t g bins =
+  if Prng.Rng.float g < t.insert_probability then begin
+    if below_capacity t (Bins.num_balls bins) then
+      ignore (Bins.insert_with_rule t.rule g bins)
+  end
+  else if Bins.num_balls bins > 0 then ignore (Bins.remove_ball_uniform g bins)
+
+(* One normalized step driven by explicit variates so the coupling can
+   share them: [coin] decides insert/remove, [u] drives the removal
+   inverse CDF, [probe] drives the insertion. *)
+let step_with t v ~coin ~u ~probe =
+  if coin < t.insert_probability then begin
+    if below_capacity t (Mv.total v) then begin
+      let rank, _ =
+        Scheduling_rule.choose_rank t.rule ~loads:(Mv.unsafe_loads v) ~probe
+      in
+      ignore (Mv.incr_at v rank)
+    end
+  end
+  else if Mv.total v > 0 then
+    ignore (Mv.decr_at v (Scenario.remove_rank Scenario.A v ~u))
+
+let step_normalized t g v =
+  let coin = Prng.Rng.float g in
+  let u = Prng.Rng.float g in
+  let probe = Probe.create g ~n:t.n in
+  step_with t v ~coin ~u ~probe
+
+let coupled t =
+  let step g x y =
+    let coin = Prng.Rng.float g in
+    let u = Prng.Rng.float g in
+    let probe = Probe.create g ~n:t.n in
+    step_with t x ~coin ~u ~probe;
+    step_with t y ~coin ~u ~probe;
+    (x, y)
+  in
+  Coupling.Coupled_chain.make ~step ~equal:Mv.equal ~distance:(fun a b ->
+      (Mv.l1_distance a b + 1) / 2)

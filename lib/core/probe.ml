@@ -1,0 +1,33 @@
+type t = {
+  rng : Prng.Rng.t;
+  n : int;
+  buf : Int_vec.t;
+  maxes : Int_vec.t;  (* maxes.(i) = max of buf.(0..i) *)
+}
+
+let create rng ~n =
+  if n <= 0 then invalid_arg "Probe.create: n must be positive";
+  { rng; n; buf = Int_vec.create (); maxes = Int_vec.create () }
+
+let extend_to p i =
+  while Int_vec.length p.buf <= i do
+    let b = Prng.Rng.int p.rng p.n in
+    Int_vec.push p.buf b;
+    let len = Int_vec.length p.buf in
+    let running =
+      if len = 1 then b else Stdlib.max b (Int_vec.get p.maxes (len - 2))
+    in
+    Int_vec.push p.maxes running
+  done
+
+let get p i =
+  if i < 0 then invalid_arg "Probe.get: negative index";
+  extend_to p i;
+  Int_vec.get p.buf i
+
+let consumed p = Int_vec.length p.buf
+
+let prefix_max p i =
+  if i < 0 then invalid_arg "Probe.prefix_max: negative index";
+  extend_to p i;
+  Int_vec.get p.maxes i

@@ -1,0 +1,26 @@
+(** Probe sequences — the random source RS of Section 3.2.
+
+    One insertion's randomness is the i.u.r. sequence [b₁, b₂, …] of bin
+    ranks (the paper's [b ∈ RS]).  A [Probe.t] materialises such a
+    sequence lazily and memoizes it, so two coupled copies of a chain can
+    read the {e same} sequence even when they consume different prefixes —
+    exactly the identity permutation [Φ_D] of Lemma 3.4. *)
+
+type t
+
+val create : Prng.Rng.t -> n:int -> t
+(** [create g ~n] starts an empty memoized sequence of uniform draws from
+    [0, n).
+    @raise Invalid_argument if [n <= 0]. *)
+
+val get : t -> int -> int
+(** [get p i] is the [i]-th probe (0-based), drawing and memoizing any
+    missing prefix. *)
+
+val consumed : t -> int
+(** Number of probes materialised so far. *)
+
+val prefix_max : t -> int -> int
+(** [prefix_max p i] is [max(b₀, …, bᵢ)] — the paper's [p(b)ᵢ₊₁], i.e.
+    the rank of the least-loaded bin probed so far when ranks index a
+    normalized (non-increasing) load vector.  Memoized in O(1) amortized. *)

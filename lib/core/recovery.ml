@@ -1,0 +1,81 @@
+type spec = {
+  scenario : Scenario.t;
+  rule : Scheduling_rule.t;
+  n : int;
+  m : int;
+}
+
+let adversarial_bins spec =
+  let loads = Array.make spec.n 0 in
+  loads.(0) <- spec.m;
+  Bins.of_loads loads
+
+let balanced_bins spec =
+  Bins.of_loads
+    (Loadvec.Load_vector.to_array
+       (Loadvec.Load_vector.uniform ~n:spec.n ~m:spec.m))
+
+let time_to_max_load ~rng spec ~target ~limit =
+  let system = System.create spec.scenario spec.rule (adversarial_bins spec) in
+  System.run_until rng system ~pred:(fun s -> System.max_load s <= target) ~limit
+
+let measure ?(domains = 1) ~rng ~reps spec ~target ~limit =
+  if reps <= 0 then invalid_arg "Recovery.measure: reps must be positive";
+  let gens = Array.init reps (fun _ -> Prng.Rng.split rng) in
+  let outcomes =
+    Parallel.map_array ~domains
+      (fun g -> time_to_max_load ~rng:g spec ~target ~limit)
+      gens
+  in
+  let times = ref [] in
+  let failures = ref 0 in
+  Array.iter
+    (function
+      | Some t -> times := t :: !times
+      | None -> incr failures)
+    outcomes;
+  let times = Array.of_list (List.rev !times) in
+  if Array.length times = 0 then
+    {
+      Coupling.Coalescence.times;
+      failures = !failures;
+      median = nan;
+      mean = nan;
+      q10 = nan;
+      q90 = nan;
+    }
+  else begin
+    let xs = Stats.Quantile.of_ints times in
+    let s = Stats.Summary.create () in
+    Array.iter (Stats.Summary.add s) xs;
+    {
+      Coupling.Coalescence.times;
+      failures = !failures;
+      median = Stats.Quantile.median xs;
+      mean = Stats.Summary.mean s;
+      q10 = Stats.Quantile.quantile xs 0.1;
+      q90 = Stats.Quantile.quantile xs 0.9;
+    }
+  end
+
+let trajectory ~rng spec ~every ~points =
+  if every <= 0 || points < 0 then invalid_arg "Recovery.trajectory";
+  let system = System.create spec.scenario spec.rule (adversarial_bins spec) in
+  Array.init points (fun k ->
+      if k > 0 then System.run rng system ~steps:every;
+      (k * every, System.max_load system))
+
+let stationary_max_load ~rng spec ~burn_in ~every ~samples =
+  if burn_in < 0 || every <= 0 || samples <= 0 then
+    invalid_arg "Recovery.stationary_max_load";
+  let system = System.create spec.scenario spec.rule (balanced_bins spec) in
+  System.run rng system ~steps:burn_in;
+  let summary = Stats.Summary.create () in
+  let worst = ref 0 in
+  for _ = 1 to samples do
+    System.run rng system ~steps:every;
+    let ml = System.max_load system in
+    Stats.Summary.add_int summary ml;
+    if ml > !worst then worst := ml
+  done;
+  (Stats.Summary.mean summary, !worst)

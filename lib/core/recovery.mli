@@ -1,0 +1,41 @@
+(** Recovery-time measurement.
+
+    The paper's motivating question (Section 1): starting from an
+    arbitrarily bad state, how many steps until the system again looks
+    typical?  We operationalise "typical" as the maximum load dropping to
+    a target value (e.g. the fluid-limit prediction plus a constant) and
+    measure the first hitting time, repeated over seeds. *)
+
+type spec = {
+  scenario : Scenario.t;
+  rule : Scheduling_rule.t;
+  n : int;
+  m : int;
+}
+
+val adversarial_bins : spec -> Bins.t
+(** All [m] balls in bin 0 — the worst state for the max-load measure. *)
+
+val time_to_max_load :
+  rng:Prng.Rng.t -> spec -> target:int -> limit:int -> int option
+(** Steps from the adversarial state until [max_load <= target]. *)
+
+val measure :
+  ?domains:int ->
+  rng:Prng.Rng.t -> reps:int -> spec -> target:int -> limit:int ->
+  Coupling.Coalescence.measurement
+(** Repeated {!time_to_max_load} (failures = runs hitting [limit]).
+    [domains] (default 1) fans repetitions over OCaml domains with
+    bit-identical results (generators split before the fan-out).
+    @raise Invalid_argument if [reps <= 0]. *)
+
+val trajectory :
+  rng:Prng.Rng.t -> spec -> every:int -> points:int -> (int * int) array
+(** [(step, max_load)] samples along one run from the adversarial
+    state. *)
+
+val stationary_max_load :
+  rng:Prng.Rng.t -> spec -> burn_in:int -> every:int -> samples:int ->
+  float * int
+(** Mean and maximum of the max-load observable in (approximate)
+    stationarity, starting from the balanced state. *)

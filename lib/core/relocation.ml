@@ -1,0 +1,52 @@
+type t = {
+  scenario : Scenario.t;
+  rule : Scheduling_rule.t;
+  relocations : int;
+  n : int;
+}
+
+let make scenario rule ~relocations ~n =
+  if relocations < 0 then invalid_arg "Relocation.make: negative relocations";
+  if n <= 0 then invalid_arg "Relocation.make: n must be positive";
+  { scenario; rule; relocations; n }
+
+let name t =
+  let prefix = match t.scenario with Scenario.A -> "Id" | Scenario.B -> "Ib" in
+  Printf.sprintf "%s-%s+reloc%d" prefix (Scheduling_rule.name t.rule)
+    t.relocations
+
+let relocation_attempts t = t.relocations
+
+(* Find some bin with the current maximum load: scan is O(n) but the
+   relocation count is small and experiments use moderate n. *)
+let fullest_bin bins =
+  let target = Bins.max_load bins in
+  let rec scan b =
+    if Bins.load bins b = target then b else scan (b + 1)
+  in
+  scan 0
+
+let relocate_once t g bins =
+  if Bins.max_load bins > 0 then begin
+    let from_bin = fullest_bin bins in
+    (* Probe for a destination per the rule without committing. *)
+    let d = match t.rule with Scheduling_rule.Abku d -> d | Adap _ -> 2 in
+    let best = ref (Prng.Rng.int g t.n) in
+    for _ = 2 to d do
+      let b = Prng.Rng.int g t.n in
+      if Bins.load bins b < Bins.load bins !best then best := b
+    done;
+    (* Commit only strictly improving moves, so relocation never makes
+       the state worse. *)
+    if Bins.load bins !best + 1 < Bins.load bins from_bin then
+      Bins.move_ball bins ~src:from_bin ~dst:!best
+  end
+
+let step t g bins =
+  (match t.scenario with
+  | Scenario.A -> ignore (Bins.remove_ball_uniform g bins)
+  | Scenario.B -> ignore (Bins.remove_from_random_nonempty g bins));
+  ignore (Bins.insert_with_rule t.rule g bins);
+  for _ = 1 to t.relocations do
+    relocate_once t g bins
+  done

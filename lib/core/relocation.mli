@@ -1,0 +1,23 @@
+(** Dynamic processes with limited relocation (paper, Section 7).
+
+    The paper defers relocation to its full version; our instantiation is
+    the natural one: after the usual remove-and-insert step, up to [k]
+    {e relocations} are performed, each taking one ball out of a
+    currently fullest bin and re-inserting it with the scheduling rule
+    (the move is kept only if the destination is strictly less loaded,
+    so relocation never hurts).  [k = 0] recovers the base process.
+    Experiment E12 measures the recovery speed-up as a function of [k]. *)
+
+type t
+
+val make :
+  Scenario.t -> Scheduling_rule.t -> relocations:int -> n:int -> t
+(** @raise Invalid_argument if [relocations < 0] or [n <= 0]. *)
+
+val name : t -> string
+
+val step : t -> Prng.Rng.t -> Bins.t -> unit
+(** One remove-insert step followed by at most [relocations] relocation
+    attempts. *)
+
+val relocation_attempts : t -> int

@@ -1,0 +1,66 @@
+module Mv = Loadvec.Mutable_vector
+
+type t = { name : string; weights : int array -> float array }
+
+let name t = t.name
+
+let make ~name weights = { name; weights }
+
+let scenario_a =
+  make ~name:"ball i.u.r. (A)" (fun loads ->
+      Array.map float_of_int loads)
+
+let scenario_b =
+  make ~name:"non-empty bin i.u.r. (B)" (fun loads ->
+      Array.map (fun l -> if l > 0 then 1. else 0.) loads)
+
+let load_squared =
+  make ~name:"load-squared" (fun loads ->
+      Array.map (fun l -> float_of_int (l * l)) loads)
+
+let heaviest =
+  make ~name:"fullest bin" (fun loads ->
+      let top = Array.fold_left Stdlib.max 0 loads in
+      Array.map (fun l -> if l = top && l > 0 then 1. else 0.) loads)
+
+let remove_rank t v ~u =
+  if Mv.total v <= 0 then invalid_arg "Removal.remove_rank: no balls";
+  let loads = Mv.unsafe_loads v in
+  let w = t.weights loads in
+  if Array.length w <> Array.length loads then
+    invalid_arg "Removal.remove_rank: weight arity mismatch";
+  let total = ref 0. in
+  Array.iteri
+    (fun i x ->
+      if x < 0. then invalid_arg "Removal.remove_rank: negative weight";
+      if x > 0. && loads.(i) = 0 then
+        invalid_arg "Removal.remove_rank: weight on empty bin";
+      total := !total +. x)
+    w;
+  if !total <= 0. then invalid_arg "Removal.remove_rank: all-zero weights";
+  Prng.Dist.inverse_cdf w u
+
+let insert_shared rule probe v =
+  let rank, _ =
+    Scheduling_rule.choose_rank rule ~loads:(Mv.unsafe_loads v) ~probe
+  in
+  ignore (Mv.incr_at v rank)
+
+let step t rule g v =
+  let u = Prng.Rng.float g in
+  ignore (Mv.decr_at v (remove_rank t v ~u));
+  let probe = Probe.create g ~n:(Mv.dim v) in
+  insert_shared rule probe v
+
+let coupled t rule =
+  let step g x y =
+    let u = Prng.Rng.float g in
+    ignore (Mv.decr_at x (remove_rank t x ~u));
+    ignore (Mv.decr_at y (remove_rank t y ~u));
+    let probe = Probe.create g ~n:(Mv.dim x) in
+    insert_shared rule probe x;
+    insert_shared rule probe y;
+    (x, y)
+  in
+  Coupling.Coupled_chain.make ~step ~equal:Mv.equal ~distance:(fun a b ->
+      Mv.l1_distance a b / 2)

@@ -1,0 +1,51 @@
+(** Generalized removal rules (paper, Section 7: "our techniques can be
+    also applied to processes in which we remove a ball according to
+    other probability distributions").
+
+    A removal rule assigns every rank of the normalized load vector a
+    non-negative weight; the rank to decrement is drawn proportionally.
+    Scenarios A and B are the special cases [weight = load] and
+    [weight = 1 on the non-empty prefix]; the extra built-ins cover the
+    natural spectrum from adversary-friendly to repair-friendly. *)
+
+type t
+
+val name : t -> string
+
+val make : name:string -> (int array -> float array) -> t
+(** [make ~name weights] builds a rule from a weight function on the
+    loads of a normalized vector.  The weight function must return
+    non-negative weights, zero on empty bins, not all zero when balls
+    remain. *)
+
+val scenario_a : t
+(** Weight = load: a ball chosen i.u.r. (the paper's scenario A). *)
+
+val scenario_b : t
+(** Weight = 1 on non-empty bins (the paper's scenario B). *)
+
+val load_squared : t
+(** Weight = load²: failures prefer busy servers — faster than A. *)
+
+val heaviest : t
+(** All weight on the fullest bins: deterministic drain, the
+    repair-friendliest rule. *)
+
+val remove_rank : t -> Loadvec.Mutable_vector.t -> u:float -> int
+(** Inverse-CDF removal from the uniform variate [u].
+    @raise Invalid_argument when no balls remain or the weight function
+    misbehaves (negative or all-zero weights). *)
+
+val step :
+  t -> Scheduling_rule.t -> Prng.Rng.t -> Loadvec.Mutable_vector.t -> unit
+(** One remove-and-reinsert step of the generalized dynamic process. *)
+
+val coupled :
+  t ->
+  Scheduling_rule.t ->
+  Loadvec.Mutable_vector.t Coupling.Coupled_chain.t
+(** The monotone coupling for the generalized process: shared removal
+    variate (inverse CDF of this rule's law on each copy) and shared
+    probe sequence — the Section 3–4 construction with the removal law
+    swapped out, which is exactly how Section 7 proposes extending the
+    framework. *)

@@ -1,0 +1,41 @@
+module Lv = Loadvec.Load_vector
+
+let holds_pointwise rule ~v ~u ~probe =
+  if Lv.dim v <> Lv.dim u then
+    invalid_arg "Right_oriented.holds_pointwise: dimension mismatch";
+  let av = Lv.to_array v and au = Lv.to_array u in
+  let rv, _ = Scheduling_rule.choose_rank rule ~loads:av ~probe in
+  let ru, _ = Scheduling_rule.choose_rank rule ~loads:au ~probe in
+  if rv < ru then au.(rv) > av.(rv)
+  else if ru < rv then av.(ru) > au.(ru)
+  else true
+
+let contraction_holds rule ~v ~u ~probe =
+  if Lv.dim v <> Lv.dim u then
+    invalid_arg "Right_oriented.contraction_holds: dimension mismatch";
+  let rv, _ = Scheduling_rule.choose_rank rule ~loads:(Lv.to_array v) ~probe in
+  let ru, _ = Scheduling_rule.choose_rank rule ~loads:(Lv.to_array u) ~probe in
+  Lv.l1_distance (Lv.oplus v rv) (Lv.oplus u ru) <= Lv.l1_distance v u
+
+let random_state g ~n ~m =
+  let a = Array.make n 0 in
+  for _ = 1 to m do
+    let i = Prng.Rng.int g n in
+    a.(i) <- a.(i) + 1
+  done;
+  Lv.of_array a
+
+let spot_check rule g ~n ~m ~trials =
+  if n < 1 || m < 0 || trials < 1 then
+    invalid_arg "Right_oriented.spot_check: bad parameters";
+  let ok = ref true in
+  let t = ref 0 in
+  while !ok && !t < trials do
+    let v = random_state g ~n ~m and u = random_state g ~n ~m in
+    let probe = Probe.create g ~n in
+    if not (holds_pointwise rule ~v ~u ~probe)
+       || not (contraction_holds rule ~v ~u ~probe)
+    then ok := false;
+    incr t
+  done;
+  !ok

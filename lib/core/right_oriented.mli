@@ -1,0 +1,45 @@
+(** Right-oriented random functions (Definition 3.4) as a checkable
+    property.
+
+    A random function [D] from states to ranks is {e right-oriented}
+    (with [Φ] the identity, which Lemma 3.4 establishes for ABKU and
+    ADAP) when for every probe sequence [b] and states [v, u] of equal
+    total:
+
+    - if [D(v,b) = i < D(u,b)] then [u_i > v_i], and
+    - if [D(u,b) = i < D(v,b)] then [v_i > u_i].
+
+    Right-orientation is exactly what makes the shared-probe insertion
+    coupling contract (Lemma 3.3).  This module offers pointwise and
+    randomized checks, used by the test suite and available to users
+    implementing custom rules. *)
+
+val holds_pointwise :
+  Scheduling_rule.t ->
+  v:Loadvec.Load_vector.t ->
+  u:Loadvec.Load_vector.t ->
+  probe:Probe.t ->
+  bool
+(** Check Definition 3.4 for one probe sequence (the probe is read, and
+    thereby fixed, for both states).
+    @raise Invalid_argument on dimension mismatch. *)
+
+val spot_check :
+  Scheduling_rule.t ->
+  Prng.Rng.t ->
+  n:int ->
+  m:int ->
+  trials:int ->
+  bool
+(** Randomized search for a counterexample over random state pairs and
+    probe sequences; [true] when none is found.
+    @raise Invalid_argument if [n < 1], [m < 0] or [trials < 1]. *)
+
+val contraction_holds :
+  Scheduling_rule.t ->
+  v:Loadvec.Load_vector.t ->
+  u:Loadvec.Load_vector.t ->
+  probe:Probe.t ->
+  bool
+(** The Lemma 3.3 consequence for one probe sequence:
+    [‖v° − u°‖₁ ≤ ‖v − u‖₁] after the shared-probe insertions. *)

@@ -1,0 +1,36 @@
+type t = A | B
+
+let name = function A -> "A" | B -> "B"
+
+let remove_rank sc v ~u =
+  let module Mv = Loadvec.Mutable_vector in
+  let m = Mv.total v in
+  if m <= 0 then invalid_arg "Scenario.remove_rank: no balls";
+  match sc with
+  | A ->
+      (* Inverse CDF of A(v): rank i with probability v_i / m. *)
+      let loads = Mv.unsafe_loads v in
+      let target = u *. float_of_int m in
+      let n = Array.length loads in
+      let rec scan i acc =
+        if i = n - 1 then i
+        else
+          let acc = acc +. float_of_int loads.(i) in
+          if target < acc then i else scan (i + 1) acc
+      in
+      scan 0 0.
+  | B ->
+      let s = Mv.support v in
+      Stdlib.min (int_of_float (u *. float_of_int s)) (s - 1)
+
+let removal_distribution sc ~loads =
+  let n = Array.length loads in
+  let m = Array.fold_left ( + ) 0 loads in
+  if m <= 0 then invalid_arg "Scenario.removal_distribution: no balls";
+  match sc with
+  | A -> Array.map (fun l -> float_of_int l /. float_of_int m) loads
+  | B ->
+      let s = ref 0 in
+      Array.iter (fun l -> if l > 0 then incr s) loads;
+      let p = 1. /. float_of_int !s in
+      Array.init n (fun i -> if loads.(i) > 0 then p else 0.)

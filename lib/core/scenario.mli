@@ -1,0 +1,22 @@
+(** Removal scenarios (paper, Section 2).
+
+    Scenario {b A} removes a ball chosen i.u.r. among the [m] balls — on a
+    normalized vector this decrements rank [i] with probability [v_i/m]
+    (the distribution [A(v)] of Definition 3.2).  Scenario {b B} removes
+    one ball from a non-empty bin chosen i.u.r. — rank [i] uniform over
+    the non-empty prefix (the distribution [B(v)] of Definition 3.3). *)
+
+type t = A | B
+
+val name : t -> string
+
+val remove_rank : t -> Loadvec.Mutable_vector.t -> u:float -> int
+(** [remove_rank sc v ~u] maps the uniform variate [u ∈ [0,1)] to the
+    rank to decrement, by inverse CDF.  Feeding two coupled copies the
+    same [u] yields the monotone removal coupling.
+    @raise Invalid_argument if the vector is empty of balls. *)
+
+val removal_distribution : t -> loads:int array -> float array
+(** Exact law over ranks for a normalized [loads] vector; used to build
+    exact transition matrices.
+    @raise Invalid_argument if there are no balls. *)

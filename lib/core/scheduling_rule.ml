@@ -1,0 +1,78 @@
+type t = Abku of int | Adap of Adaptive.t
+
+let abku d =
+  if d < 1 then invalid_arg "Scheduling_rule.abku: d must be >= 1";
+  Abku d
+
+let adap x = Adap x
+
+let name = function
+  | Abku d -> Printf.sprintf "ABKU[%d]" d
+  | Adap x -> Printf.sprintf "ADAP(%s)" (Adaptive.name x)
+
+let probe_cap = 1_000_000
+
+let choose_rank rule ~loads ~probe =
+  match rule with
+  | Abku d -> (Probe.prefix_max probe (d - 1), d)
+  | Adap x ->
+      let rec go t =
+        if t > probe_cap then failwith "Scheduling_rule: probe cap exceeded";
+        let best = Probe.prefix_max probe (t - 1) in
+        if Adaptive.threshold x loads.(best) <= t then (best, t) else go (t + 1)
+      in
+      go 1
+
+(* Dynamic program over (probe count, best rank so far): alive.(r) is the
+   probability mass that has taken t probes, has best rank r, and has not
+   yet stopped.  A state stops at time t iff x_{load r} <= t. *)
+let adap_dp x ~loads ~emit =
+  let n = Array.length loads in
+  let fn = float_of_int n in
+  let alive = Array.make n (1. /. fn) in
+  let t = ref 1 in
+  let remaining = ref 1. in
+  while !remaining > 1e-15 do
+    if !t > probe_cap then failwith "Scheduling_rule: probe cap exceeded";
+    (* Emit the mass that stops at time t. *)
+    for r = 0 to n - 1 do
+      if alive.(r) > 0. && Adaptive.threshold x loads.(r) <= !t then begin
+        emit r !t alive.(r);
+        remaining := !remaining -. alive.(r);
+        alive.(r) <- 0.
+      end
+    done;
+    (* Advance the survivors by one probe: new best = max(best, uniform). *)
+    if !remaining > 1e-15 then begin
+      let next = Array.make n 0. in
+      let below = ref 0. in
+      for r = 0 to n - 1 do
+        next.(r) <- (alive.(r) *. float_of_int (r + 1) /. fn) +. (!below /. fn);
+        below := !below +. alive.(r)
+      done;
+      Array.blit next 0 alive 0 n
+    end;
+    incr t
+  done
+
+let rank_distribution rule ~loads =
+  let n = Array.length loads in
+  if n = 0 then invalid_arg "Scheduling_rule.rank_distribution: empty vector";
+  match rule with
+  | Abku d ->
+      let fn = float_of_int n in
+      Array.init n (fun j ->
+          ((float_of_int (j + 1) /. fn) ** float_of_int d)
+          -. ((float_of_int j /. fn) ** float_of_int d))
+  | Adap x ->
+      let dist = Array.make n 0. in
+      adap_dp x ~loads ~emit:(fun r _t p -> dist.(r) <- dist.(r) +. p);
+      dist
+
+let expected_probes rule ~loads =
+  match rule with
+  | Abku d -> float_of_int d
+  | Adap x ->
+      let acc = ref 0. in
+      adap_dp x ~loads ~emit:(fun _r t p -> acc := !acc +. (float_of_int t *. p));
+      !acc

@@ -1,0 +1,40 @@
+(** Static scheduling rules: ABKU[d] and ADAP(x) (paper, Section 2).
+
+    A rule decides where a new ball goes.  On a {e normalized} load
+    vector, both rules are instances of the right-oriented random function
+    [D] of formula (1): given the probe sequence [b], they pick the rank
+    [p(b)_j] with [j = min{t : x_{load(p(b)_t)} ≤ t}].  Lemma 3.4 proves
+    this [D] right-oriented with [Φ] the identity, which is what makes
+    sharing the probe sequence between coupled copies contractive
+    (Lemma 3.3). *)
+
+type t =
+  | Abku of int  (** ABKU[d]: probe [d] bins i.u.r., use the least full. *)
+  | Adap of Adaptive.t
+      (** ADAP(x): keep probing while the best bin so far looks too full. *)
+
+val abku : int -> t
+(** @raise Invalid_argument if [d < 1]. *)
+
+val adap : Adaptive.t -> t
+val name : t -> string
+
+val probe_cap : int
+(** Safety bound on probes per insertion (an [Failure] is raised if a
+    threshold sequence forces more — it would indicate a sequence that is
+    not positive non-decreasing). *)
+
+val choose_rank : t -> loads:int array -> probe:Probe.t -> int * int
+(** [choose_rank rule ~loads ~probe] evaluates [D(v, b)] on the normalized
+    vector [loads] (sorted non-increasingly) reading ranks from [probe].
+    Returns [(rank, probes_used)]. *)
+
+val rank_distribution : t -> loads:int array -> float array
+(** The exact law of [choose_rank]'s rank on the given normalized vector:
+    entry [j] is the probability the new ball lands at rank [j].  Closed
+    form for ABKU; dynamic program over probe counts for ADAP.  Used to
+    build exact transition matrices. *)
+
+val expected_probes : t -> loads:int array -> float
+(** Expected number of probes per insertion on the given vector (exact,
+    same dynamic program). *)

@@ -1,0 +1,18 @@
+let run_stats rule g ~n ~m =
+  if n <= 0 || m < 0 then invalid_arg "Static_process.run";
+  let bins = Bins.create ~n in
+  let probes = ref 0 in
+  for _ = 1 to m do
+    let _, p = Bins.insert_with_rule rule g bins in
+    probes := !probes + p
+  done;
+  let avg = if m = 0 then 0. else float_of_int !probes /. float_of_int m in
+  (bins, avg)
+
+let run rule g ~n ~m = fst (run_stats rule g ~n ~m)
+
+let max_load_samples rule g ~n ~m ~reps =
+  if reps < 0 then invalid_arg "Static_process.max_load_samples";
+  Array.init reps (fun _ ->
+      let g' = Prng.Rng.split g in
+      Bins.max_load (run rule g' ~n ~m))

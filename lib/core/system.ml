@@ -1,0 +1,38 @@
+type t = { scenario : Scenario.t; rule : Scheduling_rule.t; bins : Bins.t }
+
+let create scenario rule bins =
+  if Bins.num_balls bins = 0 then invalid_arg "System.create: no balls";
+  { scenario; rule; bins }
+
+let scenario t = t.scenario
+let rule t = t.rule
+let bins t = t.bins
+
+let step_probes g t =
+  (match t.scenario with
+  | Scenario.A -> ignore (Bins.remove_ball_uniform g t.bins)
+  | Scenario.B -> ignore (Bins.remove_from_random_nonempty g t.bins));
+  let _, probes = Bins.insert_with_rule t.rule g t.bins in
+  probes
+
+let step g t = ignore (step_probes g t)
+
+let run g t ~steps =
+  if steps < 0 then invalid_arg "System.run: negative steps";
+  for _ = 1 to steps do
+    step g t
+  done
+
+let max_load t = Bins.max_load t.bins
+
+let run_until g t ~pred ~limit =
+  if limit < 0 then invalid_arg "System.run_until: negative limit";
+  let rec go k =
+    if pred t then Some k
+    else if k >= limit then None
+    else begin
+      step g t;
+      go (k + 1)
+    end
+  in
+  go 0

@@ -1,0 +1,29 @@
+(** The closed dynamic system on concrete bins.
+
+    One step = remove a ball per the scenario, then insert a new one per
+    the rule.  This is the application-level view (jobs on servers) used
+    by the recovery experiments; it is distributionally identical to
+    {!Dynamic_process.chain} on the normalized state. *)
+
+type t
+
+val create : Scenario.t -> Scheduling_rule.t -> Bins.t -> t
+(** Adopts (and will mutate) the given bins.
+    @raise Invalid_argument if the bins hold no balls. *)
+
+val scenario : t -> Scenario.t
+val rule : t -> Scheduling_rule.t
+val bins : t -> Bins.t
+
+val step : Prng.Rng.t -> t -> unit
+val step_probes : Prng.Rng.t -> t -> int
+(** As {!step}, returning the probes used by the insertion. *)
+
+val run : Prng.Rng.t -> t -> steps:int -> unit
+
+val max_load : t -> int
+
+val run_until :
+  Prng.Rng.t -> t -> pred:(t -> bool) -> limit:int -> int option
+(** First step count [<= limit] at which [pred] holds (checked before the
+    first step and after every step), or [None]. *)

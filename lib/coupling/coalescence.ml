@@ -1,0 +1,68 @@
+let time c g x y ~limit =
+  if limit < 0 then invalid_arg "Coalescence.time: negative limit";
+  let rec go t x y =
+    if c.Coupled_chain.equal x y then Some t
+    else if t >= limit then None
+    else
+      let x', y' = c.Coupled_chain.step g x y in
+      go (t + 1) x' y'
+  in
+  go 0 x y
+
+type measurement = {
+  times : int array;
+  failures : int;
+  median : float;
+  mean : float;
+  q10 : float;
+  q90 : float;
+}
+
+let measure ?(domains = 1) ~reps ~limit ~rng c ~init =
+  if reps <= 0 then invalid_arg "Coalescence.measure: reps must be positive";
+  (* Split all generators up front so the outcome does not depend on the
+     domain count. *)
+  let gens = Array.init reps (fun _ -> Prng.Rng.split rng) in
+  let outcomes =
+    Parallel.map_array ~domains
+      (fun g ->
+        let x, y = init g in
+        time c g x y ~limit)
+      gens
+  in
+  let times = ref [] in
+  let failures = ref 0 in
+  Array.iter
+    (function
+      | Some t -> times := t :: !times
+      | None -> incr failures)
+    outcomes;
+  let times = Array.of_list (List.rev !times) in
+  if Array.length times = 0 then
+    { times; failures = !failures; median = nan; mean = nan; q10 = nan; q90 = nan }
+  else begin
+    let xs = Stats.Quantile.of_ints times in
+    let s = Stats.Summary.create () in
+    Array.iter (Stats.Summary.add s) xs;
+    {
+      times;
+      failures = !failures;
+      median = Stats.Quantile.median xs;
+      mean = Stats.Summary.mean s;
+      q10 = Stats.Quantile.quantile xs 0.1;
+      q90 = Stats.Quantile.quantile xs 0.9;
+    }
+  end
+
+let trace_distance c g x y ~every ~limit =
+  if every <= 0 || limit < 0 then invalid_arg "Coalescence.trace_distance";
+  let rec go t x y acc =
+    let acc =
+      if t mod every = 0 then (t, c.Coupled_chain.distance x y) :: acc else acc
+    in
+    if c.Coupled_chain.equal x y || t >= limit then List.rev acc
+    else
+      let x', y' = c.Coupled_chain.step g x y in
+      go (t + 1) x' y' acc
+  in
+  go 0 x y []

@@ -1,0 +1,55 @@
+(** Coalescence-time measurement.
+
+    For the couplings of Sections 4–6 the coalescence time from a pair of
+    extremal states upper-bounds (and empirically tracks) the mixing time,
+    hence the recovery time of the underlying allocation process.  This
+    module runs a coupling until the copies meet and aggregates repeated
+    measurements. *)
+
+val time :
+  'state Coupled_chain.t ->
+  Prng.Rng.t ->
+  'state ->
+  'state ->
+  limit:int ->
+  int option
+(** [time c g x y ~limit] is [Some t] for the first [t <= limit] with the
+    copies equal, [None] if they have not met after [limit] steps.
+    @raise Invalid_argument if [limit < 0]. *)
+
+type measurement = {
+  times : int array;       (** Coalescence times of successful runs. *)
+  failures : int;          (** Runs that hit the limit without meeting. *)
+  median : float;
+  mean : float;
+  q10 : float;
+  q90 : float;
+}
+
+val measure :
+  ?domains:int ->
+  reps:int ->
+  limit:int ->
+  rng:Prng.Rng.t ->
+  'state Coupled_chain.t ->
+  init:(Prng.Rng.t -> 'state * 'state) ->
+  measurement
+(** [measure ~reps ~limit ~rng c ~init] repeats [reps] independent
+    coalescence runs from (possibly randomized) initial pairs.  Quantile
+    fields are [nan] when every run failed.
+
+    [domains] (default 1) fans the repetitions out over OCaml domains;
+    each repetition's generator is split from [rng] before the fan-out,
+    so the result is bit-identical for any domain count.
+    @raise Invalid_argument if [reps <= 0]. *)
+
+val trace_distance :
+  'state Coupled_chain.t ->
+  Prng.Rng.t ->
+  'state ->
+  'state ->
+  every:int ->
+  limit:int ->
+  (int * int) list
+(** [(step, Δ)] samples of the coupling distance along one run, for
+    contraction plots.  Stops early on coalescence. *)

@@ -1,0 +1,21 @@
+type 'state t = {
+  step : Prng.Rng.t -> 'state -> 'state -> 'state * 'state;
+  equal : 'state -> 'state -> bool;
+  distance : 'state -> 'state -> int;
+}
+
+let make ~step ~equal ~distance = { step; equal; distance }
+
+(* Each joint step derives one fresh substream and replays it into both
+   copies.  Splitting (rather than copying the main generator) keeps the
+   two marginal chains exact even when the copies consume different
+   numbers of random draws (e.g. ADAP probing further in one copy). *)
+let of_identity ~chain_step ~equal ~distance =
+  let step g x y =
+    let shared = Prng.Rng.split g in
+    let replay = Prng.Rng.copy shared in
+    let x' = chain_step shared x in
+    let y' = chain_step replay y in
+    (x', y')
+  in
+  { step; equal; distance }

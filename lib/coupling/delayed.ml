@@ -1,0 +1,41 @@
+let bound ~block ~beta ~diameter ~eps =
+  if block < 1 then invalid_arg "Delayed.bound: block must be >= 1";
+  if not (beta >= 0. && beta < 1.) then
+    invalid_arg "Delayed.bound: beta must be in [0,1)";
+  if diameter < 1 then invalid_arg "Delayed.bound: diameter must be >= 1";
+  if not (eps > 0. && eps < 1.) then
+    invalid_arg "Delayed.bound: eps must be in (0,1)";
+  let blocks =
+    if beta = 0. then 1.
+    else ceil (log (float_of_int diameter /. eps) /. -.log beta)
+  in
+  float_of_int block *. Float.max 1. blocks
+
+let block_coupling ~block c =
+  if block < 1 then invalid_arg "Delayed.block_coupling: block must be >= 1";
+  let step g x y =
+    let x = ref x and y = ref y in
+    for _ = 1 to block do
+      let x', y' = c.Coupled_chain.step g !x !y in
+      x := x';
+      y := y'
+    done;
+    (!x, !y)
+  in
+  { c with Coupled_chain.step }
+
+let block_beta_estimate ~reps ~block ~rng c ~pair =
+  if reps <= 0 then invalid_arg "Delayed.block_beta_estimate: reps";
+  let blocked = block_coupling ~block c in
+  let acc = ref 0. in
+  for _ = 1 to reps do
+    let g = Prng.Rng.split rng in
+    let x, y = pair g in
+    let before = c.Coupled_chain.distance x y in
+    if before = 0 then
+      invalid_arg "Delayed.block_beta_estimate: pair at distance 0";
+    let x', y' = blocked.Coupled_chain.step g x y in
+    let after = c.Coupled_chain.distance x' y' in
+    acc := !acc +. (float_of_int after /. float_of_int before)
+  done;
+  !acc /. float_of_int reps

@@ -1,0 +1,37 @@
+(** Delayed path coupling (Czumaj, Kanarek, Kutyłowski & Loryś — the
+    companion technique the paper cites as [10]).
+
+    Ordinary path coupling requires the one-step expected contraction
+    [E Δ(X', Y') ≤ β Δ(X, Y)] with [β < 1].  Some chains only contract
+    over a {e block} of [t₀] consecutive steps; delayed path coupling
+    applies the same lemma to the [t₀]-step chain:
+
+    {v if E Δ(X_{t+t₀}, Y_{t+t₀}) ≤ β Δ(X_t, Y_t) with β < 1
+       then τ(ε) ≤ t₀ · ⌈ln(d_max ε⁻¹) / ln β⁻¹⌉ v}
+
+    This module provides the bound calculator, a block-step combinator
+    turning a coupling into its [t₀]-step version, and an empirical
+    estimator of the block contraction factor. *)
+
+val bound : block:int -> beta:float -> diameter:int -> eps:float -> float
+(** The delayed bound above.
+    @raise Invalid_argument unless [block >= 1], [0 <= beta < 1],
+    [diameter >= 1] and [0 < eps < 1]. *)
+
+val block_coupling : block:int -> 'state Coupled_chain.t -> 'state Coupled_chain.t
+(** [block_coupling ~block c] is the coupling whose single step performs
+    [block] steps of [c].
+    @raise Invalid_argument if [block < 1]. *)
+
+val block_beta_estimate :
+  reps:int ->
+  block:int ->
+  rng:Prng.Rng.t ->
+  'state Coupled_chain.t ->
+  pair:(Prng.Rng.t -> 'state * 'state) ->
+  float
+(** Mean of [Δ after block steps / Δ before] over random pairs from
+    [pair] (pairs need not be adjacent — delayed path coupling is
+    typically applied to well-separated pairs).
+    @raise Invalid_argument if [reps <= 0] or [block < 1], or if [pair]
+    produces a pair at distance 0. *)

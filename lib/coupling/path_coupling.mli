@@ -1,0 +1,34 @@
+(** The Path Coupling Lemma of Bubley and Dyer (paper, Lemma 3.1) as
+    bound calculators.
+
+    Given an integer metric Δ with diameter [d_max] on the state space, a
+    set Γ of adjacent pairs along which any pair decomposes geodesically,
+    and a coupling defined on Γ:
+
+    {ul
+    {- case (1): if [E Δ(X', Y') ≤ β·Δ(X,Y)] with [β < 1] then
+       [τ(ε) ≤ ln(d_max·ε⁻¹) / (1 − β)];}
+    {- case (2): if [β ≤ 1] and [Pr(Δ changes) ≥ α > 0] on Γ then
+       [τ(ε) ≤ ⌈e·d_max²/α⌉·⌈ln ε⁻¹⌉].}} *)
+
+val bound_contractive : beta:float -> diameter:int -> eps:float -> float
+(** Case (1).
+    @raise Invalid_argument unless [0 <= beta < 1], [diameter >= 1] and
+    [0 < eps < 1]. *)
+
+val bound_non_contractive : alpha:float -> diameter:int -> eps:float -> float
+(** Case (2).
+    @raise Invalid_argument unless [0 < alpha <= 1], [diameter >= 1] and
+    [0 < eps < 1]. *)
+
+val beta_estimate :
+  reps:int ->
+  rng:Prng.Rng.t ->
+  'state Coupled_chain.t ->
+  pair:(Prng.Rng.t -> 'state * 'state) ->
+  float * float
+(** [beta_estimate ~reps ~rng c ~pair] empirically estimates, over random
+    adjacent pairs from [pair] (which must return pairs at Δ = 1), the
+    contraction factor: returns [(mean Δ after one step, fraction of steps
+    with Δ ≠ 1)] — estimates of β and α for the two lemma cases.
+    @raise Invalid_argument if [reps <= 0]. *)

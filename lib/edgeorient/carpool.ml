@@ -1,0 +1,20 @@
+(* Thin relabelling of the greedy edge-orientation protocol: a trip is an
+   arriving edge oriented from driver to passenger; the driving balance is
+   the vertex discrepancy. *)
+type t = Orientation.t
+
+let create ~n = Orientation.create ~n
+
+let of_balances = Orientation.of_discrepancies
+
+let n = Orientation.n
+let balance = Orientation.discrepancy
+let trips = Orientation.edges_seen
+
+let max_unfairness t = float_of_int (Orientation.unfairness t) /. 2.
+
+(* The greedy driver is the endpoint with the smaller balance — which is
+   exactly the greedy orientation rule. *)
+let day = Orientation.greedy_step
+
+let run g t ~days = Orientation.run g t ~steps:days

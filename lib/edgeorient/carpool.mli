@@ -1,0 +1,38 @@
+(** The carpool problem of Fagin and Williams, via the reduction of Ajtai
+    et al. (paper, Section 1.1).
+
+    [n] people; each day a pair of them (chosen i.u.r. in our model)
+    shares a car and one of the two must drive.  A scheduling protocol
+    should keep driving duties fair.  Ajtai et al. reduce fairness of
+    scheduling to the edge orientation problem at the price of doubling
+    the expected fairness: a day's trip is an arriving edge, the driver
+    its source.  The greedy protocol lets whoever has the lower driving
+    balance drive.
+
+    The {e fairness} of a person is half the absolute balance (each trip
+    moves one unit of balance from passenger to driver, i.e. two half
+    units of "fair share"). *)
+
+type t
+
+val create : n:int -> t
+(** Fresh pool, everyone at balance 0.
+    @raise Invalid_argument if [n < 2]. *)
+
+val of_balances : int array -> t
+(** @raise Invalid_argument if balances do not sum to zero or [n < 2]. *)
+
+val n : t -> int
+val balance : t -> int -> int
+(** Driving balance of a person: +1 per drive, −1 per passenger trip. *)
+
+val trips : t -> int
+
+val max_unfairness : t -> float
+(** Half the maximum absolute balance. *)
+
+val day : Prng.Rng.t -> t -> unit
+(** One day: a uniform random pair travels; the greedy rule picks the
+    driver (coin on ties). *)
+
+val run : Prng.Rng.t -> t -> days:int -> unit

@@ -1,0 +1,218 @@
+type t = { n : int; x : int array }  (* x.(i) = #vertices at discrepancy n - i *)
+
+let width n = (2 * n) + 1
+
+let of_discrepancies values =
+  let n = Array.length values in
+  if n < 2 then invalid_arg "Class_chain.of_discrepancies: need n >= 2";
+  if Array.fold_left ( + ) 0 values <> 0 then
+    invalid_arg "Class_chain.of_discrepancies: values must sum to 0";
+  let x = Array.make (width n) 0 in
+  Array.iter
+    (fun d ->
+      if abs d > n then
+        invalid_arg "Class_chain.of_discrepancies: outside +-n window";
+      x.(n - d) <- x.(n - d) + 1)
+    values;
+  { n; x }
+
+let start ~n = of_discrepancies (Array.make n 0)
+
+let adversarial ~n =
+  if n < 2 then invalid_arg "Class_chain.adversarial: need n >= 2";
+  let extreme = (n + 1) / 2 in
+  let values = Array.make n 0 in
+  for k = 0 to (n / 2) - 1 do
+    values.(2 * k) <- extreme;
+    values.((2 * k) + 1) <- -extreme
+  done;
+  of_discrepancies values
+
+let n t = t.n
+let counts t = Array.copy t.x
+let discrepancy_of_class t i = t.n - i
+
+let unfairness t =
+  let k = width t.n in
+  let first = ref (-1) and last = ref (-1) in
+  for i = 0 to k - 1 do
+    if t.x.(i) > 0 then begin
+      if !first = -1 then first := i;
+      last := i
+    end
+  done;
+  Stdlib.max (abs (t.n - !first)) (abs (t.n - !last))
+
+let equal a b = a.n = b.n && a.x = b.x
+
+let emd a b =
+  if a.n <> b.n then invalid_arg "Class_chain.emd: size mismatch";
+  let acc = ref 0 in
+  let ca = ref 0 and cb = ref 0 in
+  for i = 0 to width a.n - 1 do
+    ca := !ca + a.x.(i);
+    cb := !cb + b.x.(i);
+    acc := !acc + abs (!ca - !cb)
+  done;
+  !acc
+
+(* Class of the vertex at sorted position [p] (0-based, discrepancies
+   non-increasing): the class where the cumulative count first exceeds
+   p. *)
+let class_of_position t p =
+  let rec scan i acc =
+    let acc = acc + t.x.(i) in
+    if p < acc then i else scan (i + 1) acc
+  in
+  scan 0 0
+
+let apply t ~i ~j =
+  if i + 1 >= width t.n || j < 1 then
+    invalid_arg "Class_chain: discrepancy window overflow";
+  let x = Array.copy t.x in
+  x.(i) <- x.(i) - 1;
+  x.(i + 1) <- x.(i + 1) + 1;
+  x.(j) <- x.(j) - 1;
+  x.(j - 1) <- x.(j - 1) + 1;
+  { t with x }
+
+let step_with t ~phi ~psi ~b =
+  if not b then t
+  else begin
+    let i = class_of_position t phi in
+    let j = class_of_position t psi in
+    apply t ~i ~j
+  end
+
+let step g t =
+  let phi, psi = Prng.Rng.pair_distinct g t.n in
+  let b = Prng.Rng.bool g in
+  step_with t ~phi ~psi ~b
+
+let exact_transitions t =
+  let n = t.n in
+  let pairs = n * (n - 1) / 2 in
+  let p_pair = 1. /. float_of_int pairs in
+  let out = ref [ (t, 0.5) ] in
+  (* b = 0 keeps the state *)
+  for phi = 0 to n - 2 do
+    for psi = phi + 1 to n - 1 do
+      let i = class_of_position t phi in
+      let j = class_of_position t psi in
+      out := (apply t ~i ~j, 0.5 *. p_pair) :: !out
+    done
+  done;
+  !out
+
+let reachable ~from =
+  let seen = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  Hashtbl.replace seen from ();
+  Queue.add from queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun (s', p) ->
+        if p > 0. && not (Hashtbl.mem seen s') then begin
+          Hashtbl.replace seen s' ();
+          Queue.add s' queue
+        end)
+      (exact_transitions s)
+  done;
+  let states = Hashtbl.fold (fun s () acc -> s :: acc) seen [] in
+  Array.of_list states
+
+let g_tilde_lambda x y =
+  if x.n <> y.n then None
+  else begin
+    let k = width x.n in
+    (* Expect differences +1, -2, +1 at consecutive indices. *)
+    let lambda = ref (-1) and ok = ref true in
+    let i = ref 0 in
+    while !i < k && !ok do
+      let d = x.x.(!i) - y.x.(!i) in
+      if d <> 0 then begin
+        if d = 1 && !lambda = -1 && !i + 2 < k
+           && x.x.(!i + 1) - y.x.(!i + 1) = -2
+           && x.x.(!i + 2) - y.x.(!i + 2) = 1
+        then begin
+          lambda := !i;
+          i := !i + 2
+        end
+        else ok := false
+      end;
+      incr i
+    done;
+    if !ok && !lambda >= 0 then Some !lambda else None
+  end
+
+let j_tilde x y =
+  if x.n <> y.n then None
+  else begin
+    let k = width x.n in
+    let nonzero = ref [] in
+    for i = k - 1 downto 0 do
+      let d = x.x.(i) - y.x.(i) in
+      if d <> 0 then nonzero := (i, d) :: !nonzero
+    done;
+    let gap_empty lo hi =
+      let ok = ref true in
+      for i = lo to hi do
+        if x.x.(i) <> 0 then ok := false
+      done;
+      !ok
+    in
+    match !nonzero with
+    | [ (a, 1); (b, -2); (c, 1) ] when b = a + 1 && c = a + 2 ->
+        (* k = 1 coincides with G-tilde (no emptiness condition). *)
+        Some (a, 1)
+    | [ (a, 1); (b, -1); (c, -1); (d, 1) ]
+      when b = a + 1 && d = c + 1 && c > b && gap_empty (a + 1) c ->
+        Some (a, c - a)
+    | _ -> None
+  end
+
+(* One joint transition of the coupling given the shared randomness
+   (phi, psi, b), with the Lemma 6.2 case (7) bit flip applied in
+   whichever orientation the pair is G-tilde adjacent. *)
+let coupled_outcome x y ~phi ~psi ~b =
+  let i = class_of_position x phi and j = class_of_position x psi in
+  let i' = class_of_position y phi and j' = class_of_position y psi in
+  let b_y =
+    match g_tilde_lambda x y with
+    | Some lambda when i = lambda && j = lambda + 2 && i' = lambda + 1
+                       && j' = lambda + 1 -> not b
+    | _ -> b
+  in
+  let b_x =
+    match g_tilde_lambda y x with
+    | Some lambda when i' = lambda && j' = lambda + 2 && i = lambda + 1
+                       && j = lambda + 1 -> not b
+    | _ -> b
+  in
+  let x' = if b_x then apply x ~i ~j else x in
+  let y' = if b_y then apply y ~i:i' ~j:j' else y in
+  (x', y')
+
+let coupled () =
+  let step g x y =
+    let phi, psi = Prng.Rng.pair_distinct g x.n in
+    let b = Prng.Rng.bool g in
+    coupled_outcome x y ~phi ~psi ~b
+  in
+  Coupling.Coupled_chain.make ~step ~equal ~distance:emd
+
+let coupled_exact_transitions x y =
+  if x.n <> y.n then
+    invalid_arg "Class_chain.coupled_exact_transitions: size mismatch";
+  let n = x.n in
+  let p = 0.5 /. float_of_int (n * (n - 1) / 2) in
+  let out = ref [] in
+  for phi = 0 to n - 2 do
+    for psi = phi + 1 to n - 1 do
+      List.iter
+        (fun b -> out := (coupled_outcome x y ~phi ~psi ~b, p) :: !out)
+        [ false; true ]
+    done
+  done;
+  !out

@@ -1,0 +1,73 @@
+(** The Markov chain of Section 6 for the edge orientation problem.
+
+    States are count vectors [x] over discrepancy classes: class [i]
+    holds the number of vertices with discrepancy [offset − i], so
+    classes are ordered by decreasing discrepancy and [Σ xᵢ = n].  One
+    transition picks positions [φ < ψ] i.u.r. from [n] (positions index
+    vertices sorted by discrepancy), maps them to classes [i ≤ j] through
+    the cumulative counts, draws the ergodicity bit [b], and when [b = 1]
+    applies [x ← x − e_i + e_{i+1} − e_j + e_{j−1}] — the greedy
+    orientation slowed down by the factor ~2 of Remark 1.
+
+    The coupling feeds both copies the same [(φ, ψ, b)] and applies the
+    paper's [b* = 1 − b] flip in the special case of Lemma 6.2 (7). *)
+
+type t
+(** A chain state.  Immutable. *)
+
+val of_discrepancies : int array -> t
+(** @raise Invalid_argument as {!Orientation.of_discrepancies}. *)
+
+val start : n:int -> t
+(** The paper's initial state [x̂]: all vertices at discrepancy 0. *)
+
+val adversarial : n:int -> t
+(** Count-vector image of {!Orientation.adversarial}. *)
+
+val n : t -> int
+val counts : t -> int array
+(** The count vector (a copy), length [2n + 1]; class [i] is discrepancy
+    [n − i]. *)
+
+val discrepancy_of_class : t -> int -> int
+val unfairness : t -> int
+val equal : t -> t -> bool
+
+val emd : t -> t -> int
+(** Earth-mover (transportation) distance between the discrepancy
+    multisets: [Σ_i |cum_x(i) − cum_y(i)|].  A convenient computable
+    stand-in for the paper's path metric Δ (Definition 6.3); both vanish
+    exactly on equal states.
+    @raise Invalid_argument on different [n]. *)
+
+val step : Prng.Rng.t -> t -> t
+(** One transition of the chain. *)
+
+val exact_transitions : t -> (t * float) list
+(** The exact one-step law: (n choose 2) position pairs × the ergodicity
+    bit.  Probabilities sum to 1 (the [b = 0] branch contributes a
+    self-loop of mass ½). *)
+
+val reachable : from:t -> t array
+(** Breadth-first closure of {!exact_transitions} — the paper's state
+    space Ψ when [from] is {!start}.  Only practical for small [n]. *)
+
+val coupled : unit -> t Coupling.Coupled_chain.t
+(** The shared-[(φ,ψ,b)] coupling with the Lemma 6.2 (7) bit flip. *)
+
+val g_tilde_lambda : t -> t -> int option
+(** [g_tilde_lambda x y] is [Some lambda] when
+    [x = y + e_λ − 2e_{λ+1} + e_{λ+2}] (the set G̃ of Definition 6.1),
+    [None] otherwise. *)
+
+val j_tilde : t -> t -> (int * int) option
+(** [j_tilde x y] is [Some (lambda, k)] when
+    [x = y + e_λ − e_{λ+1} − e_{λ+k} + e_{λ+k+1}] with
+    [x_{λ+1} = … = x_{λ+k} = 0] (the set J̃_k of Definition 6.2; [k = 1]
+    coincides with G̃). *)
+
+val coupled_exact_transitions : t -> t -> ((t * t) * float) list
+(** The exact joint law of one step of {!coupled} from the pair [(x, y)]:
+    enumeration of the (n choose 2) position pairs × the ergodicity bit,
+    with the Lemma 6.2(7) flip applied.  Probabilities sum to 1.
+    @raise Invalid_argument on different [n]. *)

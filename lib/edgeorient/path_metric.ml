@@ -1,0 +1,79 @@
+type t = {
+  states : Class_chain.t array;
+  lookup : (Class_chain.t, int) Hashtbl.t;
+  dist : int array array;  (* max_int = unreachable *)
+}
+
+let infinity_ = max_int
+
+let build ~states =
+  let s = Array.length states in
+  if s = 0 then invalid_arg "Path_metric.build: empty state set";
+  let n0 = Class_chain.n states.(0) in
+  Array.iter
+    (fun x ->
+      if Class_chain.n x <> n0 then
+        invalid_arg "Path_metric.build: mixed sizes")
+    states;
+  let lookup = Hashtbl.create s in
+  Array.iteri (fun i x -> Hashtbl.replace lookup x i) states;
+  let dist = Array.init s (fun i -> Array.init s (fun j -> if i = j then 0 else infinity_)) in
+  (* Gamma adjacency in both orientations. *)
+  for i = 0 to s - 1 do
+    for j = 0 to s - 1 do
+      if i <> j then
+        match Class_chain.j_tilde states.(i) states.(j) with
+        | Some (_, k) ->
+            if k < dist.(i).(j) then begin
+              dist.(i).(j) <- k;
+              dist.(j).(i) <- Stdlib.min dist.(j).(i) k
+            end
+        | None -> ()
+    done
+  done;
+  (* Floyd-Warshall. *)
+  for k = 0 to s - 1 do
+    for i = 0 to s - 1 do
+      if dist.(i).(k) < infinity_ then
+        for j = 0 to s - 1 do
+          if dist.(k).(j) < infinity_ then begin
+            let through = dist.(i).(k) + dist.(k).(j) in
+            if through < dist.(i).(j) then dist.(i).(j) <- through
+          end
+        done
+    done
+  done;
+  { states; lookup; dist }
+
+let size t = Array.length t.states
+
+let index t x =
+  match Hashtbl.find_opt t.lookup x with
+  | Some i -> i
+  | None -> raise Not_found
+
+let distance t x y =
+  let d = t.dist.(index t x).(index t y) in
+  if d = infinity_ then failwith "Path_metric.distance: states not connected";
+  d
+
+let gamma_pairs t =
+  let out = ref [] in
+  let s = Array.length t.states in
+  for i = 0 to s - 1 do
+    for j = 0 to s - 1 do
+      if i <> j then
+        match Class_chain.j_tilde t.states.(i) t.states.(j) with
+        | Some (_, k) -> out := (t.states.(i), t.states.(j), k) :: !out
+        | None -> ()
+    done
+  done;
+  !out
+
+let diameter t =
+  let best = ref 0 in
+  Array.iter
+    (fun row ->
+      Array.iter (fun d -> if d < infinity_ && d > !best then best := d) row)
+    t.dist;
+  !best

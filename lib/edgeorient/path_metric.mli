@@ -1,0 +1,30 @@
+(** The paper's metric Δ on the edge-orientation state space
+    (Definition 6.3), computed exactly on small enumerable spaces.
+
+    Pairs related through G̃ are at distance 1; pairs related through
+    J̃_k are at distance (at most) k; general distances are shortest
+    paths through such moves inside the state space.  On the enumerated
+    Ψ this is all-pairs shortest paths over the Γ adjacency, which lets
+    the contraction statements of Lemmas 6.2 and 6.3 be verified as
+    exact inequalities rather than surrogates. *)
+
+type t
+
+val build : states:Class_chain.t array -> t
+(** All-pairs distances over the given state set (Floyd–Warshall;
+    practical for a few hundred states).
+    @raise Invalid_argument on an empty set or mixed sizes. *)
+
+val size : t -> int
+
+val distance : t -> Class_chain.t -> Class_chain.t -> int
+(** Δ(x, y).  @raise Not_found if a state is outside the set;
+    @raise Failure if the two states are not connected through Γ inside
+    the set. *)
+
+val gamma_pairs : t -> (Class_chain.t * Class_chain.t * int) list
+(** All ordered pairs [(x, y, k)] with [y] obtained from [x] by one
+    Γ move of weight [k] (i.e. [Class_chain.j_tilde x y = Some (_, k)]). *)
+
+val diameter : t -> int
+(** Largest finite pairwise distance. *)

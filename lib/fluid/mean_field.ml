@@ -1,0 +1,144 @@
+let pow_int x d =
+  let rec go acc x d =
+    if d = 0 then acc
+    else if d land 1 = 1 then go (acc *. x) (x *. x) (d asr 1)
+    else go acc (x *. x) (d asr 1)
+  in
+  go 1. x d
+
+let insertion_tail ~d s =
+  if d < 1 then invalid_arg "Mean_field.insertion_tail: d must be >= 1";
+  Array.map (fun si -> pow_int si d) s
+
+(* Entry i holds s_{i+1}; s_0 = 1 and s beyond the last level is 0. *)
+let s_at s i = if i = 0 then 1. else if i > Array.length s then 0. else s.(i - 1)
+
+let uniform_profile ~m_over_n ~levels =
+  if m_over_n < 0. || levels <= 0 then invalid_arg "Mean_field.uniform_profile";
+  let whole = int_of_float (floor m_over_n) in
+  let frac = m_over_n -. floor m_over_n in
+  Array.init levels (fun idx ->
+      let i = idx + 1 in
+      if i <= whole then 1. else if i = whole + 1 then frac else 0.)
+
+let insertion_flux ~d s i =
+  (* Probability the new ball raises a bin from load i-1 to i. *)
+  pow_int (s_at s (i - 1)) d -. pow_int (s_at s i) d
+
+let static_derivative ~d s =
+  Array.init (Array.length s) (fun idx -> insertion_flux ~d s (idx + 1))
+
+let static ~d ~c ~levels =
+  if c < 0. || d < 1 || levels <= 0 then invalid_arg "Mean_field.static";
+  if c = 0. then Array.make levels 0.
+  else
+    Ode.integrate ~f:(static_derivative ~d) ~y0:(Array.make levels 0.) ~t:c
+      ~steps:(Stdlib.max 100 (int_of_float (c *. 200.)))
+
+let derivative_a ~d ~m_over_n s =
+  if m_over_n <= 0. then invalid_arg "Mean_field.derivative_a";
+  Array.init (Array.length s) (fun idx ->
+      let i = idx + 1 in
+      insertion_flux ~d s i
+      -. (float_of_int i *. (s_at s i -. s_at s (i + 1)) /. m_over_n))
+
+let derivative_b ~d s =
+  let s1 = s_at s 1 in
+  Array.init (Array.length s) (fun idx ->
+      let i = idx + 1 in
+      let removal =
+        if s1 <= 0. then 0. else (s_at s i -. s_at s (i + 1)) /. s1
+      in
+      insertion_flux ~d s i -. removal)
+
+let fixed_point ~f ~m_over_n ~levels =
+  if levels <= 0 then invalid_arg "Mean_field.fixed_point";
+  let y0 = uniform_profile ~m_over_n ~levels in
+  Ode.to_fixed_point ~dt:0.05 ~tol:1e-9 ~max_steps:500_000 ~f ~y0 ()
+
+let fixed_point_a ~d ~m_over_n ~levels =
+  if d < 1 then invalid_arg "Mean_field.fixed_point_a";
+  fixed_point ~f:(derivative_a ~d ~m_over_n) ~m_over_n ~levels
+
+let fixed_point_b ~d ~m_over_n ~levels =
+  if d < 1 then invalid_arg "Mean_field.fixed_point_b";
+  fixed_point ~f:(derivative_b ~d) ~m_over_n ~levels
+
+(* Probe dynamic program for ADAP(x) in the mean field.  alive.(l) is the
+   probability that the probing is still running with current best load
+   exactly l; at probe count M the mass with x_l <= M stops (the ball
+   lands on a bin of load l). *)
+let adap_dp ~threshold ~emit s =
+  let levels = Array.length s in
+  let p l = s_at s l -. s_at s (l + 1) in
+  let alive = Array.init (levels + 1) p in
+  let remaining = ref (Array.fold_left ( +. ) 0. alive) in
+  let m = ref 1 in
+  while !remaining > 1e-13 do
+    if !m > 10_000 then failwith "Mean_field.adap_dp: probe cap exceeded";
+    for l = 0 to levels do
+      if alive.(l) > 0. then begin
+        let x_l = threshold l in
+        if x_l < 1 then invalid_arg "Mean_field.adap_dp: threshold < 1";
+        if x_l <= !m then begin
+          emit l !m alive.(l);
+          remaining := !remaining -. alive.(l);
+          alive.(l) <- 0.
+        end
+      end
+    done;
+    if !remaining > 1e-13 then begin
+      (* One more probe: new best = min(best, fresh sample). *)
+      let above = Array.make (levels + 2) 0. in
+      for l = levels downto 0 do
+        above.(l) <- above.(l + 1) +. alive.(l)
+      done;
+      for l = 0 to levels do
+        alive.(l) <- (alive.(l) *. s_at s l) +. (p l *. above.(l + 1))
+      done
+    end;
+    incr m
+  done
+
+let adap_landing ~threshold s =
+  let landing = Array.make (Array.length s + 1) 0. in
+  adap_dp ~threshold s ~emit:(fun l _m mass -> landing.(l) <- landing.(l) +. mass);
+  landing
+
+let expected_probes_fluid ~threshold s =
+  let acc = ref 0. in
+  adap_dp ~threshold s ~emit:(fun _l m mass -> acc := !acc +. (float_of_int m *. mass));
+  !acc
+
+let derivative_a_adap ~threshold ~m_over_n s =
+  if m_over_n <= 0. then invalid_arg "Mean_field.derivative_a_adap";
+  let landing = adap_landing ~threshold s in
+  Array.init (Array.length s) (fun idx ->
+      let i = idx + 1 in
+      landing.(i - 1)
+      -. (float_of_int i *. (s_at s i -. s_at s (i + 1)) /. m_over_n))
+
+let derivative_b_adap ~threshold s =
+  let landing = adap_landing ~threshold s in
+  let s1 = s_at s 1 in
+  Array.init (Array.length s) (fun idx ->
+      let i = idx + 1 in
+      let removal =
+        if s1 <= 0. then 0. else (s_at s i -. s_at s (i + 1)) /. s1
+      in
+      landing.(i - 1) -. removal)
+
+let fixed_point_a_adap ~threshold ~m_over_n ~levels =
+  fixed_point ~f:(derivative_a_adap ~threshold ~m_over_n) ~m_over_n ~levels
+
+let fixed_point_b_adap ~threshold ~m_over_n ~levels =
+  fixed_point ~f:(derivative_b_adap ~threshold) ~m_over_n ~levels
+
+let predicted_max_load ~n s =
+  if n <= 0 then invalid_arg "Mean_field.predicted_max_load";
+  let threshold = 1. /. float_of_int n in
+  let best = ref 0 in
+  Array.iteri (fun idx si -> if si >= threshold then best := idx + 1) s;
+  !best
+
+let mean_load s = Array.fold_left ( +. ) 0. s

@@ -1,0 +1,69 @@
+(** Mean-field (fluid-limit) equations for d-choice allocation systems.
+
+    Mitzenmacher's method: describe the system by the fractions
+    [s_i = (number of bins with load ≥ i) / n], [i ≥ 1] ([s_0 ≡ 1]),
+    whose large-[n] dynamics follow an ODE.  A new ball lands on a bin of
+    load ≥ i with probability [q_i = s_i^d] (d-choice), so
+
+    - static:      [s_i' = s_{i-1}^d − s_i^d]
+    - scenario A:  [s_i' = (s_{i-1}^d − s_i^d) − i (s_i − s_{i+1}) n/m]
+    - scenario B:  [s_i' = (s_{i-1}^d − s_i^d) − (s_i − s_{i+1}) / s_1]
+
+    (time scaled so one unit = n process steps).  The fixed points predict
+    the stationary load profile; the paper proposes using precisely such
+    predictions together with its recovery-time bounds (Section 1).
+
+    Vectors are indexed from 0: entry [i] holds [s_{i+1}]; levels are
+    truncated at a finite [L]. *)
+
+val insertion_tail : d:int -> float array -> float array
+(** [insertion_tail ~d s] maps [s] (entries [s_1..s_L]) to
+    [q_1..q_L = s_i^d].
+    @raise Invalid_argument if [d < 1]. *)
+
+val uniform_profile : m_over_n:float -> levels:int -> float array
+(** The balanced profile with mean load [m_over_n]: [s_i = 1] for
+    [i <= ⌊m/n⌋], the fractional remainder at the next level, then 0. *)
+
+val static : d:int -> c:float -> levels:int -> float array
+(** Load profile after throwing [c·n] balls into [n] empty bins,
+    integrated to time [c].
+    @raise Invalid_argument if [c < 0], [d < 1], or [levels <= 0]. *)
+
+val derivative_a : d:int -> m_over_n:float -> float array -> float array
+val derivative_b : d:int -> float array -> float array
+(** The right-hand sides above (exposed for tests). *)
+
+val fixed_point_a : d:int -> m_over_n:float -> levels:int -> float array
+(** Stationary profile of Id-ABKU[d] (scenario A). *)
+
+val fixed_point_b : d:int -> m_over_n:float -> levels:int -> float array
+(** Stationary profile of Ib-ABKU[d] (scenario B). *)
+
+val adap_landing : threshold:(int -> int) -> float array -> float array
+(** [adap_landing ~threshold s] is the mean-field law of the load of the
+    bin an ADAP(x) insertion picks, probing against the profile [s]:
+    entry [l] (for [l = 0..L]) is the probability the chosen bin has load
+    exactly [l].  Computed by the probe dynamic program over
+    [min]-of-samples distributions; for the constant threshold [d] the
+    tail of this law is exactly [s_i^d].
+    @raise Invalid_argument if a threshold is < 1; @raise Failure if the
+    thresholds force more than 10^4 probes. *)
+
+val expected_probes_fluid : threshold:(int -> int) -> float array -> float
+(** Mean-field expected probes per ADAP insertion against profile [s]. *)
+
+val fixed_point_a_adap :
+  threshold:(int -> int) -> m_over_n:float -> levels:int -> float array
+(** Stationary profile of Id-ADAP(x) (scenario A). *)
+
+val fixed_point_b_adap :
+  threshold:(int -> int) -> m_over_n:float -> levels:int -> float array
+(** Stationary profile of Ib-ADAP(x) (scenario B). *)
+
+val predicted_max_load : n:int -> float array -> int
+(** Largest [i] with [s_i ≥ 1/n] — the level down to which at least one
+    bin is expected. *)
+
+val mean_load : float array -> float
+(** [Σ_i s_i], the balls-per-bin the profile carries. *)

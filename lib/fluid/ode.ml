@@ -1,0 +1,44 @@
+let axpy out a x y =
+  Array.iteri (fun i xi -> out.(i) <- y.(i) +. (a *. xi)) x
+
+let rk4_step ~f ~dt y =
+  if dt <= 0. then invalid_arg "Ode.rk4_step: dt must be positive";
+  let n = Array.length y in
+  let tmp = Array.make n 0. in
+  let k1 = f y in
+  axpy tmp (dt /. 2.) k1 y;
+  let k2 = f tmp in
+  axpy tmp (dt /. 2.) k2 y;
+  let k3 = f tmp in
+  axpy tmp dt k3 y;
+  let k4 = f tmp in
+  Array.init n (fun i ->
+      y.(i) +. (dt /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i))))
+
+let integrate ~f ~y0 ~t ~steps =
+  if t < 0. then invalid_arg "Ode.integrate: negative time";
+  if steps <= 0 then invalid_arg "Ode.integrate: steps must be positive";
+  if t = 0. then Array.copy y0
+  else begin
+    let dt = t /. float_of_int steps in
+    let y = ref (Array.copy y0) in
+    for _ = 1 to steps do
+      y := rk4_step ~f ~dt !y
+    done;
+    !y
+  end
+
+let sup_norm v = Array.fold_left (fun a x -> Float.max a (Float.abs x)) 0. v
+
+let to_fixed_point ?(dt = 0.1) ?(tol = 1e-10) ?(max_steps = 10_000_000)
+    ~f ~y0 () =
+  let y = ref (Array.copy y0) in
+  let rec go k =
+    if sup_norm (f !y) <= tol then !y
+    else if k >= max_steps then failwith "Ode.to_fixed_point: no convergence"
+    else begin
+      y := rk4_step ~f ~dt !y;
+      go (k + 1)
+    end
+  in
+  go 0

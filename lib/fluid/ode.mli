@@ -1,0 +1,31 @@
+(** Runge-Kutta integration of autonomous ODE systems.
+
+    The paper pairs its recovery-time bounds with Mitzenmacher's
+    differential-equation method for predicting stationary behaviour;
+    this is the integrator behind those fluid-limit predictions. *)
+
+val rk4_step :
+  f:(float array -> float array) -> dt:float -> float array -> float array
+(** One classical RK4 step for the autonomous system [y' = f y].
+    @raise Invalid_argument if [dt <= 0]. *)
+
+val integrate :
+  f:(float array -> float array) ->
+  y0:float array ->
+  t:float ->
+  steps:int ->
+  float array
+(** Integrate from 0 to [t] in [steps] RK4 steps.
+    @raise Invalid_argument if [t < 0] or [steps <= 0]. *)
+
+val to_fixed_point :
+  ?dt:float ->
+  ?tol:float ->
+  ?max_steps:int ->
+  f:(float array -> float array) ->
+  y0:float array ->
+  unit ->
+  float array
+(** Integrate until the sup-norm of [f y] falls below [tol] (defaults
+    [dt = 0.1], [tol = 1e-10], [max_steps = 10_000_000]).
+    @raise Failure if no fixed point is reached. *)

@@ -1,0 +1,43 @@
+(** Mutable normalized load vectors.
+
+    An in-place variant of {!Load_vector} for the inner loops of coupled
+    simulations (Scenario-B coalescence runs take Θ(m²) steps, so per-step
+    allocation matters).  All operations preserve the sortedness invariant
+    via Fact 3.2 and cost O(log n). *)
+
+type t
+
+val of_load_vector : Load_vector.t -> t
+val to_load_vector : t -> Load_vector.t
+(** Snapshot as an immutable vector. *)
+
+val copy : t -> t
+val dim : t -> int
+val total : t -> int
+(** Ball count, maintained incrementally. *)
+
+val get : t -> int -> int
+val max_load : t -> int
+val min_load : t -> int
+
+val support : t -> int
+(** Number of non-empty bins, maintained incrementally (O(1)). *)
+
+val first_equal : t -> int -> int
+val last_equal : t -> int -> int
+
+val incr_at : t -> int -> int
+(** [incr_at v i] performs [v ⊕ e_i] in place and returns the rank that
+    was actually incremented (Fact 3.2's [j]). *)
+
+val decr_at : t -> int -> int
+(** [decr_at v i] performs [v ⊖ e_i] in place and returns the rank that
+    was actually decremented (Fact 3.2's [s]).
+    @raise Invalid_argument if the load at rank [i] is zero. *)
+
+val equal : t -> t -> bool
+(** Structural equality of the load vectors. *)
+
+val l1_distance : t -> t -> int
+val unsafe_loads : t -> int array
+(** The underlying array; callers must not mutate it. *)

@@ -1,0 +1,38 @@
+(** Simulable discrete-time Markov chains.
+
+    A chain is just a randomized transition function; the allocation
+    processes of the paper (Section 3.3) and the edge-orientation chain
+    (Section 6) are instances.  This module holds the generic driving
+    loops used by experiments. *)
+
+type 'state t = {
+  step : Prng.Rng.t -> 'state -> 'state;
+      (** One transition, drawing randomness from the generator. *)
+}
+
+val make : (Prng.Rng.t -> 'state -> 'state) -> 'state t
+
+val iterate : 'state t -> Prng.Rng.t -> 'state -> int -> 'state
+(** [iterate c g s t] runs [t] steps from [s].
+    @raise Invalid_argument if [t < 0]. *)
+
+val fold : 'state t -> Prng.Rng.t -> 'state -> int ->
+  init:'acc -> f:('acc -> int -> 'state -> 'acc) -> 'acc
+(** [fold c g s t ~init ~f] runs [t] steps, folding [f acc step_index
+    state] over the state {e after} each step. *)
+
+val trajectory : 'state t -> Prng.Rng.t -> 'state -> int -> 'state array
+(** States after steps 1..t (length [t]). *)
+
+val first_hit : 'state t -> Prng.Rng.t -> 'state ->
+  pred:('state -> bool) -> limit:int -> int option
+(** [first_hit c g s ~pred ~limit] is [Some t] for the smallest
+    [0 <= t <= limit] such that the state after [t] steps satisfies
+    [pred] ([t = 0] checks the initial state), or [None] if the predicate
+    never holds within [limit] steps. *)
+
+val sample_every : 'state t -> Prng.Rng.t -> 'state ->
+  burn_in:int -> every:int -> samples:int -> ('state -> 'a) -> 'a list
+(** [sample_every c g s ~burn_in ~every ~samples obs] runs [burn_in]
+    steps, then records [obs state] every [every] steps until [samples]
+    observations are collected.  Used to estimate stationary quantities. *)

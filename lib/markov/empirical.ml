@@ -1,0 +1,40 @@
+let counts_of sample =
+  if Array.length sample = 0 then
+    invalid_arg "Empirical.tv_between_samples: empty sample";
+  let max_v =
+    Array.fold_left
+      (fun acc v ->
+        if v < 0 then invalid_arg "Empirical.tv_between_samples: negative value";
+        Stdlib.max acc v)
+      0 sample
+  in
+  let counts = Array.make (max_v + 1) 0 in
+  Array.iter (fun v -> counts.(v) <- counts.(v) + 1) sample;
+  counts
+
+let tv_between_samples a b =
+  let ca = counts_of a and cb = counts_of b in
+  let na = float_of_int (Array.length a) and nb = float_of_int (Array.length b) in
+  let levels = Stdlib.max (Array.length ca) (Array.length cb) in
+  let acc = ref 0. in
+  for v = 0 to levels - 1 do
+    let pa = if v < Array.length ca then float_of_int ca.(v) /. na else 0. in
+    let pb = if v < Array.length cb then float_of_int cb.(v) /. nb else 0. in
+    acc := !acc +. Float.abs (pa -. pb)
+  done;
+  !acc /. 2.
+
+let observable_tv chain ~rng ~x0 ~y0 ~t ~reps ~observable =
+  if reps <= 0 then invalid_arg "Empirical.observable_tv: reps must be positive";
+  if t < 0 then invalid_arg "Empirical.observable_tv: negative t";
+  let sample start =
+    Array.init reps (fun _ ->
+        let g = Prng.Rng.split rng in
+        observable (Chain.iterate chain g (start ()) t))
+  in
+  tv_between_samples (sample x0) (sample y0)
+
+let decay_profile chain ~rng ~x0 ~y0 ~times ~reps ~observable =
+  List.map
+    (fun t -> (t, observable_tv chain ~rng ~x0 ~y0 ~t ~reps ~observable))
+    times

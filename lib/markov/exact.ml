@@ -1,0 +1,143 @@
+type 'state t = {
+  states : 'state array;
+  lookup : ('state, int) Hashtbl.t;
+  matrix : Matrix.t;
+}
+
+let build ~states ~transitions =
+  let n = Array.length states in
+  if n = 0 then invalid_arg "Exact.build: empty state space";
+  let lookup = Hashtbl.create n in
+  Array.iteri (fun i s -> Hashtbl.replace lookup s i) states;
+  let matrix = Matrix.create ~rows:n ~cols:n in
+  Array.iteri
+    (fun i s ->
+      let row = transitions s in
+      let total = ref 0. in
+      List.iter
+        (fun (s', p) ->
+          if p < 0. then invalid_arg "Exact.build: negative probability";
+          match Hashtbl.find_opt lookup s' with
+          | None -> invalid_arg "Exact.build: successor outside state space"
+          | Some j ->
+              Matrix.add_to matrix i j p;
+              total := !total +. p)
+        row;
+      if Float.abs (!total -. 1.) > 1e-9 then
+        invalid_arg "Exact.build: row does not sum to 1")
+    states;
+  { states; lookup; matrix }
+
+let size c = Array.length c.states
+let matrix c = c.matrix
+
+let index c s =
+  match Hashtbl.find_opt c.lookup s with
+  | Some i -> i
+  | None -> raise Not_found
+
+let state c i = c.states.(i)
+
+let tv_distance p q =
+  if Array.length p <> Array.length q then
+    invalid_arg "Exact.tv_distance: length mismatch";
+  let acc = ref 0. in
+  Array.iteri (fun i x -> acc := !acc +. Float.abs (x -. q.(i))) p;
+  !acc /. 2.
+
+let stationary ?(tol = 1e-12) ?(max_iter = 1_000_000) c =
+  let n = size c in
+  let dist = ref (Array.make n (1. /. float_of_int n)) in
+  let rec go iter =
+    if iter > max_iter then failwith "Exact.stationary: did not converge";
+    let next = Matrix.vec_mul !dist c.matrix in
+    let d = tv_distance !dist next in
+    dist := next;
+    if d > tol then go (iter + 1)
+  in
+  go 0;
+  !dist
+
+let distribution_after c ~start t =
+  if t < 0 then invalid_arg "Exact.distribution_after: negative t";
+  let n = size c in
+  if start < 0 || start >= n then invalid_arg "Exact.distribution_after: start";
+  let dist = ref (Array.init n (fun i -> if i = start then 1. else 0.)) in
+  for _ = 1 to t do
+    dist := Matrix.vec_mul !dist c.matrix
+  done;
+  !dist
+
+let worst_tv_after c ~pi t =
+  let n = size c in
+  let worst = ref 0. in
+  for start = 0 to n - 1 do
+    let d = tv_distance (distribution_after c ~start t) pi in
+    if d > !worst then worst := d
+  done;
+  !worst
+
+let stationary_expectation c ?pi ~f () =
+  let pi = match pi with Some p -> p | None -> stationary c in
+  let acc = ref 0. in
+  Array.iteri (fun i s -> acc := !acc +. (pi.(i) *. f s)) c.states;
+  !acc
+
+let worst_tv_profile c ~max_t =
+  if max_t < 0 then invalid_arg "Exact.worst_tv_profile: negative max_t";
+  let pi = stationary c in
+  let n = size c in
+  let current = ref (Matrix.identity n) in
+  Array.init (max_t + 1) (fun t ->
+      if t > 0 then current := Matrix.mul !current c.matrix;
+      let worst = ref 0. in
+      for start = 0 to n - 1 do
+        let d = tv_distance (Matrix.row !current start) pi in
+        if d > !worst then worst := d
+      done;
+      !worst)
+
+let relaxation_estimate c ?(max_t = 200) () =
+  let profile = worst_tv_profile c ~max_t in
+  (* Fit only the clean exponential regime: below the initial transient,
+     above the floating-point noise floor. *)
+  let pts = ref [] in
+  Array.iteri
+    (fun t d -> if d <= 0.1 && d >= 1e-8 then
+        pts := (float_of_int t, log d) :: !pts)
+    profile;
+  (match !pts with
+  | _ :: _ :: _ -> ()
+  | _ -> failwith "Exact.relaxation_estimate: profile decayed too fast to fit");
+  (* OLS slope of log TV vs t; tau_rel = -1/slope. *)
+  let pts = Array.of_list !pts in
+  let n = float_of_int (Array.length pts) in
+  let sx = Array.fold_left (fun a (x, _) -> a +. x) 0. pts /. n in
+  let sy = Array.fold_left (fun a (_, y) -> a +. y) 0. pts /. n in
+  let sxx = Array.fold_left (fun a (x, _) -> a +. ((x -. sx) ** 2.)) 0. pts in
+  let sxy =
+    Array.fold_left (fun a (x, y) -> a +. ((x -. sx) *. (y -. sy))) 0. pts
+  in
+  if sxx = 0. || sxy >= 0. then
+    failwith "Exact.relaxation_estimate: no exponential decay detected";
+  -.sxx /. sxy
+
+let mixing_time ?(eps = 0.25) ?(max_t = 100_000) c =
+  let pi = stationary c in
+  let n = size c in
+  (* Evolve all n start distributions together: rows of P^t. *)
+  let current = ref (Matrix.identity n) in
+  let rec go t =
+    if t > max_t then failwith "Exact.mixing_time: not mixed within max_t";
+    let worst = ref 0. in
+    for start = 0 to n - 1 do
+      let d = tv_distance (Matrix.row !current start) pi in
+      if d > !worst then worst := d
+    done;
+    if !worst <= eps then t
+    else begin
+      current := Matrix.mul !current c.matrix;
+      go (t + 1)
+    end
+  in
+  go 0

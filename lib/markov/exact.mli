@@ -1,0 +1,71 @@
+(** Exact analysis of finite Markov chains.
+
+    Builds the full transition matrix from a state enumeration and a
+    transition-distribution function, then computes the stationary
+    distribution, total-variation distances and the {e exact} mixing time
+
+    {v τ(ε) = min { T : ∀t ≥ T, max_x ‖L(M_t | M_0 = x) − π‖ ≤ ε } v}
+
+    of the paper's Section 3.  Only practical for small state spaces. *)
+
+type 'state t
+
+val build :
+  states:'state array ->
+  transitions:('state -> ('state * float) list) ->
+  'state t
+(** [build ~states ~transitions] constructs the chain.  [transitions s]
+    must list successor states (all members of [states], compared
+    structurally) with probabilities summing to 1; duplicates are merged.
+    @raise Invalid_argument if a successor is unknown or a row's total
+    deviates from 1 by more than 1e-9. *)
+
+val size : _ t -> int
+val matrix : _ t -> Matrix.t
+val index : 'state t -> 'state -> int
+(** @raise Not_found for a state outside the enumeration. *)
+
+val state : 'state t -> int -> 'state
+
+val tv_distance : float array -> float array -> float
+(** Total variation distance [½ Σ |p_i − q_i|] between two distributions
+    given as dense vectors.
+    @raise Invalid_argument on length mismatch. *)
+
+val stationary : ?tol:float -> ?max_iter:int -> 'state t -> float array
+(** Stationary distribution by power iteration from the uniform
+    distribution (default [tol = 1e-12], [max_iter = 1_000_000]).
+    @raise Failure if the iteration does not converge — e.g. for a
+    periodic chain. *)
+
+val distribution_after : 'state t -> start:int -> int -> float array
+(** [distribution_after c ~start t] is the law of the chain after [t]
+    steps from state index [start]. *)
+
+val worst_tv_after : 'state t -> pi:float array -> int -> float
+(** [worst_tv_after c ~pi t] is [max_x ‖P^t(x,·) − pi‖], the distance
+    appearing in the mixing-time definition. *)
+
+val stationary_expectation :
+  'state t -> ?pi:float array -> f:('state -> float) -> unit -> float
+(** [stationary_expectation c ~f ()] is [Σ_x π(x) f(x)], computing π
+    unless one is supplied. *)
+
+val worst_tv_profile : 'state t -> max_t:int -> float array
+(** [worst_tv_profile c ~max_t] is the sequence
+    [t ↦ max_x ‖P^t(x,·) − π‖] for [t = 0..max_t] — the exact decay curve
+    whose ε-crossing point is τ(ε). *)
+
+val relaxation_estimate : 'state t -> ?max_t:int -> unit -> float
+(** Fit [worst TV ≈ C·exp(−t/τ_rel)] to the tail of the decay curve and
+    return the estimated relaxation time τ_rel (OLS on the log of the
+    second half of the profile, truncated where the TV hits numerical
+    noise).  Complements {!mixing_time}: for a sound chain
+    [τ(ε) ≲ τ_rel · ln(1/(ε·π_min))].
+    @raise Failure if the profile never decays enough to fit. *)
+
+val mixing_time : ?eps:float -> ?max_t:int -> 'state t -> int
+(** Exact [τ(ε)] (default [eps = 0.25], [max_t = 100_000]).  Computes the
+    stationary distribution internally.  Because worst-case TV distance is
+    non-increasing in [t], the first [t] with distance ≤ ε is τ(ε).
+    @raise Failure if not mixed within [max_t]. *)

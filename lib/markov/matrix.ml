@@ -1,0 +1,81 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.create: non-positive size";
+  { rows; cols; data = Array.make (rows * cols) 0. }
+
+let identity n =
+  let m = create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    m.data.((i * n) + i) <- 1.
+  done;
+  m
+
+let rows m = m.rows
+let cols m = m.cols
+
+let check m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Matrix: index out of bounds"
+
+let get m i j = check m i j; m.data.((i * m.cols) + j)
+let set m i j x = check m i j; m.data.((i * m.cols) + j) <- x
+let add_to m i j x = check m i j;
+  m.data.((i * m.cols) + j) <- m.data.((i * m.cols) + j) +. x
+
+let copy m = { m with data = Array.copy m.data }
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+  let c = create ~rows:a.rows ~cols:b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0. then
+        for j = 0 to b.cols - 1 do
+          c.data.((i * c.cols) + j) <-
+            c.data.((i * c.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
+        done
+    done
+  done;
+  c
+
+let vec_mul v m =
+  if Array.length v <> m.rows then invalid_arg "Matrix.vec_mul: dimension mismatch";
+  let out = Array.make m.cols 0. in
+  for i = 0 to m.rows - 1 do
+    let vi = v.(i) in
+    if vi <> 0. then
+      for j = 0 to m.cols - 1 do
+        out.(j) <- out.(j) +. (vi *. m.data.((i * m.cols) + j))
+      done
+  done;
+  out
+
+let row m i =
+  if i < 0 || i >= m.rows then invalid_arg "Matrix.row";
+  Array.sub m.data (i * m.cols) m.cols
+
+let is_stochastic ?(tol = 1e-9) m =
+  let ok = ref true in
+  for i = 0 to m.rows - 1 do
+    let s = ref 0. in
+    for j = 0 to m.cols - 1 do
+      let x = m.data.((i * m.cols) + j) in
+      if x < -.tol then ok := false;
+      s := !s +. x
+    done;
+    if Float.abs (!s -. 1.) > tol then ok := false
+  done;
+  !ok
+
+let max_abs_diff a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Matrix.max_abs_diff: dimension mismatch";
+  let best = ref 0. in
+  Array.iteri
+    (fun k x ->
+      let d = Float.abs (x -. b.data.(k)) in
+      if d > !best then best := d)
+    a.data;
+  !best

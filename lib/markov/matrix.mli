@@ -1,0 +1,34 @@
+(** Dense row-major float matrices.
+
+    Just enough linear algebra for exact Markov-chain analysis of small
+    state spaces: products, vector products and stochasticity checks. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Zero matrix.
+    @raise Invalid_argument on non-positive dimensions. *)
+
+val identity : int -> t
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val add_to : t -> int -> int -> float -> unit
+(** [add_to m i j x] adds [x] to entry [(i,j)]. *)
+
+val copy : t -> t
+val mul : t -> t -> t
+(** Matrix product. @raise Invalid_argument on dimension mismatch. *)
+
+val vec_mul : float array -> t -> float array
+(** [vec_mul v m] is the row vector [v m] — one step of distribution
+    evolution when [m] is a transition matrix. *)
+
+val row : t -> int -> float array
+
+val is_stochastic : ?tol:float -> t -> bool
+(** Rows non-negative and summing to 1 within [tol] (default 1e-9). *)
+
+val max_abs_diff : t -> t -> float

@@ -1,0 +1,60 @@
+let enumerate ~n ~m =
+  if n <= 0 || m < 0 then invalid_arg "Partition_space.enumerate";
+  let out = ref [] in
+  (* Build parts left to right: remaining balls, remaining slots, cap on
+     the next part (non-increasing order). *)
+  let rec go acc remaining slots cap =
+    if remaining = 0 then out := List.rev acc :: !out
+    else if slots = 0 then ()
+    else
+      (* A part of size [p], p from min(cap, remaining) down to at least
+         ceil(remaining / slots) so the rest fits under the cap p. *)
+      for p = Stdlib.min cap remaining downto 1 do
+        if p * slots >= remaining then go (p :: acc) (remaining - p) (slots - 1) p
+      done
+  in
+  go [] m n m;
+  let to_vector parts =
+    let v = Array.make n 0 in
+    List.iteri (fun i p -> v.(i) <- p) parts;
+    Loadvec.Load_vector.of_array v
+  in
+  let states = List.rev_map to_vector !out in
+  let arr = Array.of_list states in
+  Array.sort (fun a b -> Loadvec.Load_vector.compare b a) arr;
+  arr
+
+let count ~n ~m =
+  if n <= 0 || m < 0 then invalid_arg "Partition_space.count";
+  (* p(m, k): partitions of m into at most k parts.
+     p(m, k) = p(m, k-1) + p(m-k, k). *)
+  let k_max = Stdlib.min n m in
+  let table = Array.make_matrix (m + 1) (k_max + 1) 0 in
+  for k = 0 to k_max do
+    table.(0).(k) <- 1
+  done;
+  for mm = 1 to m do
+    for k = 1 to k_max do
+      table.(mm).(k) <-
+        table.(mm).(k - 1) + (if mm >= k then table.(mm - k).(k) else 0)
+    done
+  done;
+  table.(m).(k_max)
+
+type index = {
+  states : Loadvec.Load_vector.t array;
+  lookup : (Loadvec.Load_vector.t, int) Hashtbl.t;
+}
+
+let index_of_space states =
+  let lookup = Hashtbl.create (Array.length states) in
+  Array.iteri (fun i s -> Hashtbl.replace lookup s i) states;
+  { states; lookup }
+
+let find idx v =
+  match Hashtbl.find_opt idx.lookup v with
+  | Some i -> i
+  | None -> raise Not_found
+
+let state idx i = idx.states.(i)
+let size idx = Array.length idx.states

@@ -1,0 +1,62 @@
+let check_weights w =
+  if Array.length w = 0 then invalid_arg "Dist: empty weight vector";
+  let total = Array.fold_left (fun acc x ->
+      if x < 0. then invalid_arg "Dist: negative weight" else acc +. x) 0. w
+  in
+  if total <= 0. then invalid_arg "Dist: zero total weight";
+  total
+
+let inverse_cdf w u =
+  let total = check_weights w in
+  let target = u *. total in
+  let n = Array.length w in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.
+
+let weighted g w = inverse_cdf w (Rng.float g)
+
+let weighted_int g w =
+  if Array.length w = 0 then invalid_arg "Dist: empty weight vector";
+  let total = Array.fold_left (fun acc x ->
+      if x < 0 then invalid_arg "Dist: negative weight" else acc + x) 0 w
+  in
+  if total <= 0 then invalid_arg "Dist: zero total weight";
+  let target = Rng.int g total in
+  let n = Array.length w in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc + w.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0
+
+type alias = { prob : float array; alias : int array }
+
+(* Walker/Vose alias method: O(n) construction, O(1) sampling. *)
+let alias_of_weights w =
+  let total = check_weights w in
+  let n = Array.length w in
+  let scaled = Array.map (fun x -> x *. float_of_int n /. total) w in
+  let prob = Array.make n 1. in
+  let alias = Array.init n (fun i -> i) in
+  let small = Queue.create () and large = Queue.create () in
+  Array.iteri (fun i p -> Queue.add i (if p < 1. then small else large)) scaled;
+  while not (Queue.is_empty small) && not (Queue.is_empty large) do
+    let s = Queue.pop small and l = Queue.pop large in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.;
+    Queue.add l (if scaled.(l) < 1. then small else large)
+  done;
+  { prob; alias }
+
+let alias_sample g { prob; alias } =
+  let n = Array.length prob in
+  let i = Rng.int g n in
+  if Rng.float g < prob.(i) then i else alias.(i)

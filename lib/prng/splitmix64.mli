@@ -1,0 +1,18 @@
+(** SplitMix64 pseudo-random number generator.
+
+    A small, fast, splittable generator used here only to seed and split
+    {!Xoshiro} states.  Reference: Steele, Lea & Flood, "Fast splittable
+    pseudorandom number generators", OOPSLA 2014. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator.  Any seed is acceptable. *)
+
+val next : t -> int64
+(** [next g] advances [g] and returns the next 64 pseudo-random bits. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new statistically independent
+    generator. *)

@@ -1,0 +1,26 @@
+(** Xoshiro256++ pseudo-random number generator.
+
+    The workhorse generator of the library: fast, high quality, with a
+    period of 2^256 - 1.  Reference: Blackman & Vigna, "Scrambled linear
+    pseudorandom number generators", ACM TOMS 2021. *)
+
+type t
+(** Mutable generator state (256 bits). *)
+
+val of_seed : int64 -> t
+(** [of_seed seed] initialises the state from [seed] via SplitMix64, as
+    recommended by the authors. *)
+
+val of_splitmix : Splitmix64.t -> t
+(** [of_splitmix sm] draws the four state words from [sm], advancing it. *)
+
+val copy : t -> t
+(** [copy g] is an independent duplicate of the current state of [g]; both
+    copies subsequently produce the same stream.  Used to implement shared
+    randomness in couplings. *)
+
+val next : t -> int64
+(** [next g] advances [g] and returns the next 64 pseudo-random bits. *)
+
+val jump : t -> unit
+(** [jump g] advances [g] by 2^128 steps, for independent substreams. *)

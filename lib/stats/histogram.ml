@@ -1,0 +1,57 @@
+type t = { mutable counts : int array; mutable total : int; mutable max_value : int }
+
+let create () = { counts = Array.make 8 0; total = 0; max_value = -1 }
+
+let ensure h v =
+  let n = Array.length h.counts in
+  if v >= n then begin
+    let n' = Stdlib.max (v + 1) (2 * n) in
+    let counts = Array.make n' 0 in
+    Array.blit h.counts 0 counts 0 n;
+    h.counts <- counts
+  end
+
+let add h v =
+  if v < 0 then invalid_arg "Histogram.add: negative value";
+  ensure h v;
+  h.counts.(v) <- h.counts.(v) + 1;
+  h.total <- h.total + 1;
+  if v > h.max_value then h.max_value <- v
+
+let count h v = if v < 0 || v > h.max_value then 0 else h.counts.(v)
+
+let total h = h.total
+let max_value h = h.max_value
+
+let mean h =
+  if h.total = 0 then nan
+  else begin
+    let acc = ref 0 in
+    for v = 0 to h.max_value do
+      acc := !acc + (v * h.counts.(v))
+    done;
+    float_of_int !acc /. float_of_int h.total
+  end
+
+let to_array h = Array.sub h.counts 0 (Stdlib.max 0 (h.max_value + 1))
+
+let fraction_at_least h v =
+  if h.total = 0 then nan
+  else begin
+    let acc = ref 0 in
+    for i = Stdlib.max 0 v to h.max_value do
+      acc := !acc + h.counts.(i)
+    done;
+    float_of_int !acc /. float_of_int h.total
+  end
+
+let pp fmt h =
+  if h.total = 0 then Format.fprintf fmt "(empty histogram)"
+  else begin
+    let peak = Array.fold_left Stdlib.max 1 h.counts in
+    for v = 0 to h.max_value do
+      let c = h.counts.(v) in
+      let bar = String.make (c * 40 / peak) '#' in
+      Format.fprintf fmt "%4d: %8d %s@." v c bar
+    done
+  end

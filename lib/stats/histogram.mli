@@ -1,0 +1,30 @@
+(** Integer histograms.
+
+    Counts of small non-negative integers (loads, unfairness values).
+    Grows on demand. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** [add h v] counts one occurrence of [v].
+    @raise Invalid_argument if [v < 0]. *)
+
+val count : t -> int -> int
+(** Occurrences of a value (0 if never seen). *)
+
+val total : t -> int
+val max_value : t -> int
+(** Largest value observed; -1 when empty. *)
+
+val mean : t -> float
+val to_array : t -> int array
+(** Counts indexed by value, length [max_value + 1]. *)
+
+val fraction_at_least : t -> int -> float
+(** [fraction_at_least h v] is the empirical probability of an observation
+    [>= v]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render as [value: count] lines with a proportional bar. *)

@@ -1,0 +1,45 @@
+type fit = { slope : float; intercept : float; r_squared : float }
+
+let ols pts =
+  let n = Array.length pts in
+  if n < 2 then invalid_arg "Regression.ols: need at least two points";
+  let fn = float_of_int n in
+  let sx = Array.fold_left (fun a (x, _) -> a +. x) 0. pts in
+  let sy = Array.fold_left (fun a (_, y) -> a +. y) 0. pts in
+  let mx = sx /. fn and my = sy /. fn in
+  let sxx = Array.fold_left (fun a (x, _) -> a +. ((x -. mx) ** 2.)) 0. pts in
+  let sxy =
+    Array.fold_left (fun a (x, y) -> a +. ((x -. mx) *. (y -. my))) 0. pts
+  in
+  if sxx = 0. then invalid_arg "Regression.ols: zero variance in x";
+  let slope = sxy /. sxx in
+  let intercept = my -. (slope *. mx) in
+  let ss_res =
+    Array.fold_left
+      (fun a (x, y) -> a +. ((y -. (intercept +. (slope *. x))) ** 2.))
+      0. pts
+  in
+  let ss_tot = Array.fold_left (fun a (_, y) -> a +. ((y -. my) ** 2.)) 0. pts in
+  let r_squared = if ss_tot = 0. then 1. else 1. -. (ss_res /. ss_tot) in
+  { slope; intercept; r_squared }
+
+let to_logs pts =
+  Array.map
+    (fun (x, y) ->
+      if x <= 0. || y <= 0. then
+        invalid_arg "Regression.power_law: coordinates must be positive";
+      (log x, log y))
+    pts
+
+let power_law pts = ols (to_logs pts)
+
+let log_corrected_power_law ~log_exponent pts =
+  let corrected =
+    Array.map
+      (fun (x, y) ->
+        if x <= 1. then
+          invalid_arg "Regression.log_corrected_power_law: need x > 1";
+        (x, y /. (log x ** log_exponent)))
+      pts
+  in
+  power_law corrected

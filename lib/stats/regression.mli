@@ -1,0 +1,30 @@
+(** Least-squares fits.
+
+    The paper's theorems are growth rates (for example Theorem 1 says the
+    scenario-A recovery time grows as [m ln m]).  The experiments validate
+    them by fitting the exponent of a power law to measured data; this
+    module provides ordinary least squares and the log-log exponent fit. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r_squared : float;  (** Coefficient of determination. *)
+}
+
+val ols : (float * float) array -> fit
+(** Ordinary least squares of [y] on [x].
+    @raise Invalid_argument with fewer than two points or zero variance
+    in [x]. *)
+
+val power_law : (float * float) array -> fit
+(** [power_law pts] fits [y = c * x^slope] by OLS in log-log space.
+    All coordinates must be strictly positive.
+    @raise Invalid_argument otherwise. *)
+
+val log_corrected_power_law :
+  log_exponent:float -> (float * float) array -> fit
+(** [log_corrected_power_law ~log_exponent pts] fits
+    [y = c * x^slope * (ln x)^log_exponent]: it divides each [y] by
+    [(ln x)^log_exponent] before the log-log fit.  Used when a theorem
+    predicts e.g. [m ln m] (exponent 1 with one log factor) so the fitted
+    slope should be compared to the polynomial part alone. *)

@@ -1,0 +1,33 @@
+(** Plain-text tables.
+
+    Every experiment in the benchmark harness prints its result as one of
+    these, mirroring how the paper's claims would appear as tables. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** [create ~title ~columns] starts an empty table. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.
+    @raise Invalid_argument if the arity differs from [columns]. *)
+
+val add_note : t -> string -> unit
+(** Append a free-form footnote rendered under the table. *)
+
+val pp : Format.formatter -> t -> unit
+val print : t -> unit
+(** [pp]/[print] render with a title line, aligned columns and rules. *)
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV: header row then data rows (notes are not
+    included).  Cells containing commas or quotes are quoted. *)
+
+val title : t -> string
+
+(** Cell formatting helpers. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_ci : float * float -> string
+(** Renders an interval as ["[lo, hi]"]. *)

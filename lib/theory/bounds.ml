@@ -1,0 +1,70 @@
+let check_eps eps name =
+  if not (eps > 0. && eps < 1.) then invalid_arg (name ^ ": eps not in (0,1)")
+
+let theorem1 ~m ~eps =
+  if m < 1 then invalid_arg "Bounds.theorem1: m < 1";
+  check_eps eps "Bounds.theorem1";
+  ceil (float_of_int m *. log (float_of_int m /. eps))
+
+let path_coupling_case1 ~beta ~diameter ~eps =
+  if diameter < 1 then invalid_arg "Bounds.path_coupling_case1: diameter";
+  check_eps eps "Bounds.path_coupling_case1";
+  if not (beta >= 0. && beta < 1.) then
+    invalid_arg "Bounds.path_coupling_case1: beta";
+  log (float_of_int diameter /. eps) /. (1. -. beta)
+
+let path_coupling_case2 ~alpha ~diameter ~eps =
+  if diameter < 1 then invalid_arg "Bounds.path_coupling_case2: diameter";
+  check_eps eps "Bounds.path_coupling_case2";
+  if not (alpha > 0. && alpha <= 1.) then
+    invalid_arg "Bounds.path_coupling_case2: alpha";
+  let d = float_of_int diameter in
+  ceil (exp 1. *. d *. d /. alpha) *. ceil (log (1. /. eps))
+
+let claim53 ~n ~m ~eps =
+  if n < 1 || m < 1 then invalid_arg "Bounds.claim53";
+  path_coupling_case2 ~alpha:(1. /. float_of_int n) ~diameter:m ~eps
+
+let scenario_b_improved ~m =
+  if m < 2 then invalid_arg "Bounds.scenario_b_improved: m < 2";
+  let fm = float_of_int m in
+  fm *. fm *. log fm
+
+let scenario_b_lower ~m =
+  if m < 1 then invalid_arg "Bounds.scenario_b_lower: m < 1";
+  float_of_int m *. float_of_int m
+
+let corollary64 ~n ~eps =
+  if n < 2 then invalid_arg "Bounds.corollary64: n < 2";
+  check_eps eps "Bounds.corollary64";
+  let fn = float_of_int n in
+  fn *. fn *. (fn -. 1.) /. 4. *. log (fn /. eps)
+
+let theorem2 ~n =
+  if n < 2 then invalid_arg "Bounds.theorem2: n < 2";
+  let fn = float_of_int n in
+  fn *. fn *. log fn *. log fn
+
+let edge_lower ~n =
+  if n < 1 then invalid_arg "Bounds.edge_lower: n < 1";
+  float_of_int n *. float_of_int n
+
+let azar_static_max_load ~n ~m ~d =
+  if n < 2 || m < 0 || d < 1 then invalid_arg "Bounds.azar_static_max_load";
+  let fn = float_of_int n in
+  if d = 1 then log fn /. log (log fn)
+  else (log (log fn) /. log (float_of_int d)) +. (float_of_int m /. fn)
+
+let edge_stationary_unfairness ~n =
+  if n < 4 then invalid_arg "Bounds.edge_stationary_unfairness: n < 4";
+  let log2 x = log x /. log 2. in
+  log2 (log2 (float_of_int n))
+
+let recovery_a_steps ~n =
+  if n < 2 then invalid_arg "Bounds.recovery_a_steps: n < 2";
+  float_of_int n *. log (float_of_int n)
+
+let recovery_b_steps ~n =
+  if n < 2 then invalid_arg "Bounds.recovery_b_steps: n < 2";
+  let fn = float_of_int n in
+  fn *. fn *. log fn

@@ -1,0 +1,303 @@
+(* Exact verification of the Section 4 coupling analysis by enumerating
+   every atom of its randomness: the removal index i (law A(v)), the
+   redirect coin (probability 1/v_lambda) and the d-probe sequence b in
+   [n]^d shared by both insertions.  This turns Lemma 4.1 and
+   Corollary 4.2 into machine-precision identities on small instances,
+   complementing the statistical tests in Test_core_process.
+
+   Also: Go-Left rule unit tests. *)
+
+module Lv = Loadvec.Load_vector
+module Sr = Core.Scheduling_rule
+
+(* D(v, b) for ABKU[d] on a normalized vector = max probe (0-based). *)
+let insert_rank_abku b = Array.fold_left Stdlib.max 0 b
+
+(* Enumerate all probe sequences in [n]^d with a callback carrying the
+   uniform probability. *)
+let iter_probe_sequences ~n ~d f =
+  let b = Array.make d 0 in
+  let p = 1. /. (float_of_int n ** float_of_int d) in
+  let rec go i = if i = d then f b p else
+      for v = 0 to n - 1 do
+        b.(i) <- v;
+        go (i + 1)
+      done
+  in
+  go 0
+
+(* Exact E[Delta(v', u')] and Pr[coalesced] for one step of the paper's
+   scenario-A coupling from the adjacent pair (v, u),
+   v = u + e_lambda - e_delta. *)
+let exact_expected_delta_a ~d v u =
+  let lambda, delta =
+    match Core.Coupled.find_adjacent_offsets v u with
+    | Some (l, dd) -> (l, dd)
+    | None -> invalid_arg "not adjacent"
+  in
+  let n = Lv.dim v and m = Lv.total v in
+  let vload = Lv.to_array v in
+  let expected = ref 0. and p_one = ref 0. in
+  for i = 0 to n - 1 do
+    if vload.(i) > 0 then begin
+      let p_i = float_of_int vload.(i) /. float_of_int m in
+      (* redirect options: j = i (probability 1 - redirect) and, when
+         i = lambda, j = delta with probability 1/v_lambda. *)
+      let branches =
+        if i = lambda then begin
+          let r = 1. /. float_of_int vload.(lambda) in
+          if r >= 1. then [ (delta, 1.) ] else [ (delta, r); (i, 1. -. r) ]
+        end
+        else [ (i, 1.) ]
+      in
+      List.iter
+        (fun (j, p_branch) ->
+          let v_star = Lv.ominus v i and u_star = Lv.ominus u j in
+          iter_probe_sequences ~n ~d (fun b p_probe ->
+              let rv = insert_rank_abku b and ru = insert_rank_abku b in
+              let v' = Lv.oplus v_star rv and u' = Lv.oplus u_star ru in
+              let dd = float_of_int (Lv.delta v' u') in
+              let w = p_i *. p_branch *. p_probe in
+              expected := !expected +. (w *. dd);
+              if dd <> 1. then p_one := !p_one +. w))
+        branches
+    end
+  done;
+  (!expected, !p_one)
+
+let check_pair_a ~d v u =
+  let m = Lv.total v in
+  let expected, _ = exact_expected_delta_a ~d v u in
+  let bound = 1. -. (1. /. float_of_int m) in
+  if expected > bound +. 1e-12 then
+    Alcotest.failf "E[Delta'] = %.6f > 1 - 1/m = %.6f for %s/%s" expected bound
+      (Format.asprintf "%a" Lv.pp v)
+      (Format.asprintf "%a" Lv.pp u)
+
+let test_corollary_4_2_exact_small () =
+  (* All adjacent pairs over a small state space, d = 2. *)
+  let n = 3 and m = 4 in
+  let states = Markov.Partition_space.enumerate ~n ~m in
+  let count = ref 0 in
+  Array.iter
+    (fun v ->
+      Array.iter
+        (fun u ->
+          match Core.Coupled.find_adjacent_offsets v u with
+          | Some _ ->
+              incr count;
+              check_pair_a ~d:2 v u
+          | None -> ())
+        states)
+    states;
+  Alcotest.(check bool) "some pairs checked" true (!count >= 4)
+
+let test_corollary_4_2_exact_d_sweep () =
+  let u = Lv.of_array [| 2; 2; 1; 1 |] in
+  let v = Lv.oplus (Lv.ominus u 3) 0 in
+  (* v = [3;2;1;0]-ish adjacent pair *)
+  match Core.Coupled.find_adjacent_offsets v u with
+  | None -> Alcotest.fail "constructed pair not adjacent"
+  | Some _ ->
+      List.iter (fun d -> check_pair_a ~d v u) [ 1; 2; 3 ]
+
+let test_lemma_4_1_exact_support () =
+  (* Enumerated outcomes never exceed distance 1 (Lemma 4.1). *)
+  let u = Lv.of_array [| 3; 1; 1; 0 |] in
+  let v = Lv.oplus (Lv.ominus u 1) 0 in
+  match Core.Coupled.find_adjacent_offsets v u with
+  | None -> Alcotest.fail "not adjacent"
+  | Some (lambda, _) ->
+      let n = Lv.dim v and m = Lv.total v in
+      let vload = Lv.to_array v in
+      for i = 0 to n - 1 do
+        if vload.(i) > 0 then begin
+          let branches =
+            if i = lambda then
+              [ (match Core.Coupled.find_adjacent_offsets v u with
+                 | Some (_, d) -> d
+                 | None -> assert false); i ]
+            else [ i ]
+          in
+          List.iter
+            (fun j ->
+              if Lv.get u j > 0 then begin
+                let v_star = Lv.ominus v i and u_star = Lv.ominus u j in
+                iter_probe_sequences ~n ~d:2 (fun b _ ->
+                    let r = insert_rank_abku b in
+                    let v' = Lv.oplus v_star r and u' = Lv.oplus u_star r in
+                    if Lv.delta v' u' > 1 then
+                      Alcotest.failf "outcome at distance %d" (Lv.delta v' u'))
+              end)
+            branches
+        end
+      done;
+      ignore m
+
+(* Exact enumeration of the Section 5 (scenario B) coupling from an
+   adjacent pair: removal branches per the s1 = s2 / s1 <> s2 case split,
+   then the shared d-probe insertion.  Verifies E[Delta'] <= 1 and
+   Pr[Delta' <> 1] >= 1/(2 s2) exactly (Claims 5.1-5.3 ingredients). *)
+let exact_expected_delta_b ~d v u =
+  let lambda, delta =
+    match Core.Coupled.find_adjacent_offsets v u with
+    | Some (l, dd) -> (l, dd)
+    | None -> invalid_arg "not adjacent"
+  in
+  let n = Lv.dim v in
+  let s1 = Lv.support v and s2 = Lv.support u in
+  (* Removal branches: (i, i', probability). *)
+  let branches =
+    if s1 = s2 then
+      List.init s1 (fun i ->
+          let i' = if i = lambda then delta else if i = delta then lambda else i in
+          (i, i', 1. /. float_of_int s1))
+    else
+      List.concat_map
+        (fun i' ->
+          let p = 1. /. float_of_int s2 in
+          if i' = delta then [ (lambda, i', p) ]
+          else if i' = lambda then
+            List.init s1 (fun i -> (i, i', p /. float_of_int s1))
+          else [ (i', i', p) ])
+        (List.init s2 (fun k -> k))
+  in
+  let expected = ref 0. and p_changed = ref 0. in
+  List.iter
+    (fun (i, i', p_rem) ->
+      let v_star = Lv.ominus v i and u_star = Lv.ominus u i' in
+      iter_probe_sequences ~n ~d (fun b p_probe ->
+          let r = insert_rank_abku b in
+          let v' = Lv.oplus v_star r and u' = Lv.oplus u_star r in
+          let dd = float_of_int (Lv.delta v' u') in
+          let w = p_rem *. p_probe in
+          expected := !expected +. (w *. dd);
+          if dd <> 1. then p_changed := !p_changed +. w))
+    branches;
+  (!expected, !p_changed, s2)
+
+let test_claims_5_1_5_2_exact () =
+  let n = 4 and m = 5 in
+  let states = Markov.Partition_space.enumerate ~n ~m in
+  let checked = ref 0 in
+  Array.iter
+    (fun v ->
+      Array.iter
+        (fun u ->
+          match Core.Coupled.find_adjacent_offsets v u with
+          | Some _ ->
+              incr checked;
+              let expected, p_changed, s2 = exact_expected_delta_b ~d:2 v u in
+              if expected > 1. +. 1e-12 then
+                Alcotest.failf "E[Delta'] = %.6f > 1 for %s/%s" expected
+                  (Format.asprintf "%a" Lv.pp v)
+                  (Format.asprintf "%a" Lv.pp u);
+              if p_changed < 1. /. (2. *. float_of_int s2) -. 1e-12 then
+                Alcotest.failf "Pr[Delta' <> 1] = %.6f < 1/(2 s) for %s/%s"
+                  p_changed
+                  (Format.asprintf "%a" Lv.pp v)
+                  (Format.asprintf "%a" Lv.pp u)
+          | None -> ())
+        states)
+    states;
+  Alcotest.(check bool) "pairs checked" true (!checked >= 8)
+
+let test_scenario_b_exact_support_distance_two () =
+  (* Claim 5.1's case analysis allows Delta' = 2; enumerate one pair and
+     check the exact outcome support is {0, 1, 2}. *)
+  let u = Lv.of_array [| 2; 2; 1; 0 |] in
+  let v = Lv.oplus (Lv.ominus u 2) 0 in
+  match Core.Coupled.find_adjacent_offsets v u with
+  | None -> Alcotest.fail "not adjacent"
+  | Some _ ->
+      let expected, p_changed, _ = exact_expected_delta_b ~d:2 v u in
+      Alcotest.(check bool) "expectation <= 1" true (expected <= 1. +. 1e-12);
+      Alcotest.(check bool) "some change probability" true (p_changed > 0.)
+
+(* ---- Go-Left ---- *)
+
+let rng ?(seed = 42) () = Prng.Rng.create ~seed ()
+
+let test_go_left_make_invalid () =
+  Alcotest.check_raises "d = 0" (Invalid_argument "Go_left.make: d must be >= 1")
+    (fun () -> ignore (Core.Go_left.make ~d:0 ~n:4));
+  Alcotest.check_raises "indivisible"
+    (Invalid_argument "Go_left.make: d must divide n") (fun () ->
+      ignore (Core.Go_left.make ~d:3 ~n:8))
+
+let test_go_left_probes_groups () =
+  let g = rng () in
+  let rule = Core.Go_left.make ~d:4 ~n:16 in
+  (* Force all loads except group 2's bins very high: the chosen bin must
+     come from group 2 (bins 8..11). *)
+  let loads = Array.make 16 5 in
+  for b = 8 to 11 do
+    loads.(b) <- 0
+  done;
+  let bins = Core.Bins.of_loads loads in
+  (* Few enough insertions that group 2 stays strictly below the rest. *)
+  for _ = 1 to 10 do
+    let b = Core.Go_left.insert rule g bins in
+    if b < 8 || b > 11 then Alcotest.failf "picked bin %d outside group" b
+  done
+
+let test_go_left_tie_breaks_left () =
+  let g = rng () in
+  let rule = Core.Go_left.make ~d:2 ~n:4 in
+  (* All loads equal: the probe from group 0 (bins 0-1) must win. *)
+  for _ = 1 to 50 do
+    let bins = Core.Bins.of_loads [| 1; 1; 1; 1 |] in
+    let b = Core.Go_left.insert rule g bins in
+    if b > 1 then Alcotest.failf "tie broken rightward to %d" b
+  done
+
+let test_go_left_static_counts () =
+  let g = rng () in
+  let rule = Core.Go_left.make ~d:2 ~n:64 in
+  let bins = Core.Go_left.static_run rule g ~m:200 in
+  Alcotest.(check int) "all placed" 200 (Core.Bins.num_balls bins)
+
+let test_go_left_dynamic_conserves () =
+  let g = rng () in
+  let rule = Core.Go_left.make ~d:2 ~n:8 in
+  let bins = Core.Bins.of_loads [| 8; 0; 0; 0; 0; 0; 0; 0 |] in
+  for _ = 1 to 500 do
+    Core.Go_left.dynamic_step rule Core.Scenario.A g bins
+  done;
+  Alcotest.(check int) "conserved" 8 (Core.Bins.num_balls bins);
+  Alcotest.(check bool) "recovered" true (Core.Bins.max_load bins <= 4)
+
+let test_go_left_beats_abku_statistically () =
+  let g = rng ~seed:3 () in
+  let n = 16384 in
+  let rule = Core.Go_left.make ~d:2 ~n in
+  let med_gol =
+    Stats.Quantile.median
+      (Array.init 7 (fun _ ->
+           let g' = Prng.Rng.split g in
+           float_of_int (Core.Bins.max_load (Core.Go_left.static_run rule g' ~m:n))))
+  in
+  let med_abku =
+    Stats.Quantile.median
+      (Stats.Quantile.of_ints
+         (Core.Static_process.max_load_samples (Sr.abku 2) g ~n ~m:n ~reps:7))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "GoLeft %.1f <= ABKU %.1f" med_gol med_abku)
+    true (med_gol <= med_abku)
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("Corollary 4.2 exact (all small pairs)", test_corollary_4_2_exact_small);
+      ("Corollary 4.2 exact (d sweep)", test_corollary_4_2_exact_d_sweep);
+      ("Lemma 4.1 exact support", test_lemma_4_1_exact_support);
+      ("Claims 5.1-5.2 exact (all small pairs)", test_claims_5_1_5_2_exact);
+      ("scenario B exact support", test_scenario_b_exact_support_distance_two);
+      ("go-left make invalid", test_go_left_make_invalid);
+      ("go-left probes all groups", test_go_left_probes_groups);
+      ("go-left tie-breaks left", test_go_left_tie_breaks_left);
+      ("go-left static counts", test_go_left_static_counts);
+      ("go-left dynamic conserves", test_go_left_dynamic_conserves);
+      ("go-left beats ABKU", test_go_left_beats_abku_statistically);
+    ]

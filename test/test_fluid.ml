@@ -1,0 +1,157 @@
+(* Tests for the ODE integrator and the mean-field equations. *)
+
+module Mf = Fluid.Mean_field
+
+let feq ?(tol = 1e-6) a b = Float.abs (a -. b) <= tol
+
+let test_rk4_exponential_decay () =
+  (* y' = -y from 1: y(t) = e^-t. *)
+  let f y = [| -.y.(0) |] in
+  let y = Fluid.Ode.integrate ~f ~y0:[| 1. |] ~t:1. ~steps:100 in
+  Alcotest.(check bool) "e^-1" true (feq ~tol:1e-8 y.(0) (exp (-1.)))
+
+let test_rk4_linear_system () =
+  (* y0' = y1, y1' = -y0 from (0,1): solution (sin t, cos t). *)
+  let f y = [| y.(1); -.y.(0) |] in
+  let y = Fluid.Ode.integrate ~f ~y0:[| 0.; 1. |] ~t:(Float.pi /. 2.) ~steps:200 in
+  Alcotest.(check bool) "sin(pi/2)" true (feq ~tol:1e-7 y.(0) 1.);
+  Alcotest.(check bool) "cos(pi/2)" true (feq ~tol:1e-7 y.(1) 0.)
+
+let test_rk4_zero_time () =
+  let f y = [| -.y.(0) |] in
+  let y = Fluid.Ode.integrate ~f ~y0:[| 3. |] ~t:0. ~steps:10 in
+  Alcotest.(check (float 1e-12)) "unchanged" 3. y.(0)
+
+let test_rk4_invalid () =
+  let f y = [| -.y.(0) |] in
+  Alcotest.check_raises "negative time" (Invalid_argument "Ode.integrate: negative time")
+    (fun () -> ignore (Fluid.Ode.integrate ~f ~y0:[| 1. |] ~t:(-1.) ~steps:10));
+  Alcotest.check_raises "dt" (Invalid_argument "Ode.rk4_step: dt must be positive")
+    (fun () -> ignore (Fluid.Ode.rk4_step ~f ~dt:0. [| 1. |]))
+
+let test_fixed_point_logistic () =
+  (* y' = y (1 - y) converges to 1. *)
+  let f y = [| y.(0) *. (1. -. y.(0)) |] in
+  let y = Fluid.Ode.to_fixed_point ~f ~y0:[| 0.2 |] () in
+  Alcotest.(check bool) "reaches 1" true (feq ~tol:1e-6 y.(0) 1.)
+
+let poisson_tail lambda i =
+  (* P(Poisson(lambda) >= i) *)
+  let rec pmf k acc = if k = 0 then acc else pmf (k - 1) (acc *. lambda /. float_of_int k) in
+  let term k = pmf k (exp (-.lambda)) in
+  let rec sum k acc = if k >= i then acc else sum (k + 1) (acc +. term k) in
+  1. -. sum 0 0.
+
+let test_static_d1_is_poisson () =
+  (* With d = 1 the static fluid limit is s_i(t) = P(Poisson(t) >= i). *)
+  let s = Mf.static ~d:1 ~c:1. ~levels:12 in
+  for i = 1 to 8 do
+    let expected = poisson_tail 1. i in
+    if not (feq ~tol:1e-4 s.(i - 1) expected) then
+      Alcotest.failf "s_%d = %g vs Poisson tail %g" i s.(i - 1) expected
+  done
+
+let test_static_mass_conservation () =
+  (* Throwing c*n balls leaves mean load c. *)
+  List.iter
+    (fun d ->
+      let s = Mf.static ~d ~c:2. ~levels:40 in
+      Alcotest.(check bool)
+        (Printf.sprintf "mass d=%d" d)
+        true
+        (feq ~tol:1e-6 (Mf.mean_load s) 2.))
+    [ 1; 2; 3 ]
+
+let test_static_two_choices_thinner_tail () =
+  let s1 = Mf.static ~d:1 ~c:1. ~levels:20 in
+  let s2 = Mf.static ~d:2 ~c:1. ~levels:20 in
+  Alcotest.(check bool) "tail at 4 thinner" true (s2.(3) < s1.(3));
+  Alcotest.(check bool) "tail at 6 much thinner" true (s2.(5) < s1.(5) /. 10.)
+
+let test_uniform_profile () =
+  let s = Mf.uniform_profile ~m_over_n:2.5 ~levels:5 in
+  Alcotest.(check bool) "levels" true
+    (feq s.(0) 1. && feq s.(1) 1. && feq s.(2) 0.5 && feq s.(3) 0.);
+  Alcotest.(check bool) "mass" true (feq (Mf.mean_load s) 2.5)
+
+let test_fixed_points_conserve_mass () =
+  List.iter
+    (fun d ->
+      let sa = Mf.fixed_point_a ~d ~m_over_n:1. ~levels:30 in
+      Alcotest.(check bool)
+        (Printf.sprintf "A mass d=%d" d)
+        true
+        (feq ~tol:1e-5 (Mf.mean_load sa) 1.);
+      let sb = Mf.fixed_point_b ~d ~m_over_n:1. ~levels:30 in
+      Alcotest.(check bool)
+        (Printf.sprintf "B mass d=%d" d)
+        true
+        (feq ~tol:1e-5 (Mf.mean_load sb) 1.))
+    [ 1; 2 ]
+
+let test_fixed_point_is_stationary () =
+  let d = 2 and m_over_n = 1. in
+  let sa = Mf.fixed_point_a ~d ~m_over_n ~levels:30 in
+  let da = Mf.derivative_a ~d ~m_over_n sa in
+  Array.iter (fun x -> if Float.abs x > 1e-8 then Alcotest.failf "A deriv %g" x) da;
+  let sb = Mf.fixed_point_b ~d ~m_over_n ~levels:30 in
+  let db = Mf.derivative_b ~d sb in
+  Array.iter (fun x -> if Float.abs x > 1e-8 then Alcotest.failf "B deriv %g" x) db
+
+let test_fixed_point_monotone_profile () =
+  let s = Mf.fixed_point_a ~d:2 ~m_over_n:1. ~levels:30 in
+  for i = 1 to Array.length s - 1 do
+    if s.(i) > s.(i - 1) +. 1e-12 then Alcotest.fail "profile not non-increasing"
+  done;
+  Array.iter
+    (fun x -> if x < -1e-12 || x > 1. +. 1e-12 then Alcotest.fail "outside [0,1]")
+    s
+
+let test_predicted_max_load () =
+  Alcotest.(check int) "threshold location" 2
+    (Mf.predicted_max_load ~n:100 [| 1.; 0.5; 0.001 |]);
+  Alcotest.(check int) "all below" 0 (Mf.predicted_max_load ~n:10 [| 0.01 |])
+
+let test_predicted_max_load_grows_with_n () =
+  let s = Mf.fixed_point_a ~d:2 ~m_over_n:1. ~levels:30 in
+  let p1 = Mf.predicted_max_load ~n:100 s in
+  let p2 = Mf.predicted_max_load ~n:100_000 s in
+  Alcotest.(check bool) "monotone in n" true (p2 >= p1);
+  Alcotest.(check bool) "in sane range" true (p1 >= 2 && p2 <= 12)
+
+let test_insertion_tail () =
+  let q = Mf.insertion_tail ~d:3 [| 0.5; 0.1 |] in
+  Alcotest.(check bool) "cubes" true (feq q.(0) 0.125 && feq q.(1) 0.001);
+  Alcotest.check_raises "bad d"
+    (Invalid_argument "Mean_field.insertion_tail: d must be >= 1") (fun () ->
+      ignore (Mf.insertion_tail ~d:0 [| 1. |]))
+
+let test_derivative_a_signs () =
+  (* From the adversarial-ish profile (all mass high), high levels must
+     drain: derivative at the top is negative. *)
+  let s = [| 1.; 1.; 1.; 0.; 0. |] in
+  (* mean load 3 -> m_over_n = 3 *)
+  let d = Mf.derivative_a ~d:2 ~m_over_n:3. s in
+  Alcotest.(check bool) "top level drains" true (d.(2) < 0.);
+  Alcotest.(check bool) "empty level fills" true (d.(3) >= 0.)
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("rk4 exponential", test_rk4_exponential_decay);
+      ("rk4 linear system", test_rk4_linear_system);
+      ("rk4 zero time", test_rk4_zero_time);
+      ("rk4 invalid", test_rk4_invalid);
+      ("fixed point logistic", test_fixed_point_logistic);
+      ("static d=1 is Poisson", test_static_d1_is_poisson);
+      ("static mass conservation", test_static_mass_conservation);
+      ("static d=2 thinner tail", test_static_two_choices_thinner_tail);
+      ("uniform profile", test_uniform_profile);
+      ("fixed points conserve mass", test_fixed_points_conserve_mass);
+      ("fixed point stationary", test_fixed_point_is_stationary);
+      ("fixed point monotone", test_fixed_point_monotone_profile);
+      ("predicted max load", test_predicted_max_load);
+      ("predicted max load grows with n", test_predicted_max_load_grows_with_n);
+      ("insertion tail", test_insertion_tail);
+      ("derivative A signs", test_derivative_a_signs);
+    ]

@@ -1,0 +1,233 @@
+(* Tests for the generalized removal rules and the ADAP mean-field
+   extension. *)
+
+module Mf = Fluid.Mean_field
+module Mv = Loadvec.Mutable_vector
+module Lv = Loadvec.Load_vector
+module Sr = Core.Scheduling_rule
+
+let feq ?(tol = 1e-9) a b = Float.abs (a -. b) <= tol
+
+(* ---- generalized removal ---- *)
+
+let rng ?(seed = 42) () = Prng.Rng.create ~seed ()
+
+let test_removal_matches_scenarios () =
+  (* The built-in scenario_a/scenario_b rules agree with Core.Scenario
+     for every u on a fixed state. *)
+  let v = Mv.of_load_vector (Lv.of_array [| 4; 2; 2; 0 |]) in
+  List.iter
+    (fun u ->
+      Alcotest.(check int) "A agrees"
+        (Core.Scenario.remove_rank Core.Scenario.A v ~u)
+        (Core.Removal.remove_rank Core.Removal.scenario_a v ~u);
+      Alcotest.(check int) "B agrees"
+        (Core.Scenario.remove_rank Core.Scenario.B v ~u)
+        (Core.Removal.remove_rank Core.Removal.scenario_b v ~u))
+    [ 0.0; 0.1; 0.3; 0.49; 0.51; 0.7; 0.9; 0.999 ]
+
+let test_removal_heaviest () =
+  let v = Mv.of_load_vector (Lv.of_array [| 4; 4; 2; 0 |]) in
+  for k = 0 to 9 do
+    let u = float_of_int k /. 10. in
+    let r = Core.Removal.remove_rank Core.Removal.heaviest v ~u in
+    Alcotest.(check bool) "only fullest ranks" true (r = 0 || r = 1)
+  done
+
+let test_removal_load_squared_law () =
+  let g = rng () in
+  let v = Mv.of_load_vector (Lv.of_array [| 3; 1; 0 |]) in
+  let counts = Array.make 3 0 in
+  let reps = 30_000 in
+  for _ = 1 to reps do
+    let r =
+      Core.Removal.remove_rank Core.Removal.load_squared v ~u:(Prng.Rng.float g)
+    in
+    counts.(r) <- counts.(r) + 1
+  done;
+  (* weights 9 : 1 : 0 *)
+  let frac0 = float_of_int counts.(0) /. float_of_int reps in
+  Alcotest.(check bool) "rank0 ~ 0.9" true (Float.abs (frac0 -. 0.9) < 0.01);
+  Alcotest.(check int) "rank2 never" 0 counts.(2)
+
+let test_removal_step_conserves () =
+  let g = rng () in
+  List.iter
+    (fun rule ->
+      let v = Mv.of_load_vector (Lv.all_in_one ~n:8 ~m:8) in
+      for _ = 1 to 500 do
+        Core.Removal.step rule (Sr.abku 2) g v
+      done;
+      Alcotest.(check int)
+        (Core.Removal.name rule ^ " conserves")
+        8 (Mv.total v))
+    [
+      Core.Removal.scenario_a;
+      Core.Removal.scenario_b;
+      Core.Removal.load_squared;
+      Core.Removal.heaviest;
+    ]
+
+let test_removal_invalid () =
+  let v = Mv.of_load_vector (Lv.of_array [| 0; 0 |]) in
+  Alcotest.check_raises "no balls" (Invalid_argument "Removal.remove_rank: no balls")
+    (fun () ->
+      ignore (Core.Removal.remove_rank Core.Removal.scenario_a v ~u:0.5));
+  let bad = Core.Removal.make ~name:"bad" (fun loads -> Array.map (fun _ -> -1.) loads) in
+  let v = Mv.of_load_vector (Lv.of_array [| 1; 0 |]) in
+  Alcotest.check_raises "negative weights"
+    (Invalid_argument "Removal.remove_rank: negative weight") (fun () ->
+      ignore (Core.Removal.remove_rank bad v ~u:0.5))
+
+let test_removal_ordering_on_recovery () =
+  (* Repair-friendliness ordering: heaviest < load^2 < A < B in recovery
+     steps from the all-in-one state. *)
+  let n = 64 in
+  let g = rng ~seed:11 () in
+  let recovery rule =
+    let v = Mv.of_load_vector (Lv.all_in_one ~n ~m:n) in
+    let steps = ref 0 in
+    while Mv.max_load v > 4 && !steps < 10_000_000 do
+      Core.Removal.step rule (Sr.abku 2) g v;
+      incr steps
+    done;
+    !steps
+  in
+  let med rule =
+    Stats.Quantile.median
+      (Array.init 7 (fun _ -> float_of_int (recovery rule)))
+  in
+  let h = med Core.Removal.heaviest in
+  let sq = med Core.Removal.load_squared in
+  let a = med Core.Removal.scenario_a in
+  let b = med Core.Removal.scenario_b in
+  Alcotest.(check bool)
+    (Printf.sprintf "ordering %.0f <= %.0f <= %.0f <= %.0f" h sq a b)
+    true
+    (h <= sq && sq <= a && a <= b)
+
+let test_removal_coupled_coalesces () =
+  List.iter
+    (fun rule ->
+      let n = 8 in
+      let c = Core.Removal.coupled rule (Sr.abku 2) in
+      let g = rng ~seed:7 () in
+      let x = Mv.of_load_vector (Lv.all_in_one ~n ~m:n) in
+      let y = Mv.of_load_vector (Lv.uniform ~n ~m:n) in
+      match Coupling.Coalescence.time c g x y ~limit:1_000_000 with
+      | Some _ -> ()
+      | None ->
+          Alcotest.failf "%s coupling did not coalesce" (Core.Removal.name rule))
+    [
+      Core.Removal.scenario_a;
+      Core.Removal.scenario_b;
+      Core.Removal.load_squared;
+      Core.Removal.heaviest;
+    ]
+
+let test_removal_coupled_faithful_totals () =
+  let g = rng () in
+  let c = Core.Removal.coupled Core.Removal.load_squared (Sr.abku 2) in
+  let x = Mv.of_load_vector (Lv.all_in_one ~n:6 ~m:9) in
+  let y = Mv.of_load_vector (Lv.uniform ~n:6 ~m:9) in
+  for _ = 1 to 100 do
+    let x', y' = c.Coupling.Coupled_chain.step g x y in
+    Alcotest.(check int) "x total" 9 (Mv.total x');
+    Alcotest.(check int) "y total" 9 (Mv.total y')
+  done
+
+(* ---- ADAP mean field ---- *)
+
+let profile = [| 0.7; 0.3; 0.05; 0.002; 0. |]
+
+let test_adap_landing_const_matches_power () =
+  (* Constant threshold d: the landing law's tail is s^d. *)
+  List.iter
+    (fun d ->
+      let landing = Mf.adap_landing ~threshold:(fun _ -> d) profile in
+      (* tail_i = sum_{l >= i} landing(l) must equal s_i^d *)
+      let levels = Array.length profile in
+      for i = 0 to levels do
+        let tail = ref 0. in
+        for l = i to levels do
+          tail := !tail +. landing.(l)
+        done;
+        let s_i = if i = 0 then 1. else profile.(i - 1) in
+        if not (feq ~tol:1e-9 !tail (s_i ** float_of_int d)) then
+          Alcotest.failf "d=%d tail_%d = %g vs %g" d i !tail
+            (s_i ** float_of_int d)
+      done)
+    [ 1; 2; 3 ]
+
+let test_adap_landing_sums_to_one () =
+  let landing =
+    Mf.adap_landing ~threshold:(fun l -> 1 + l) profile
+  in
+  let total = Array.fold_left ( +. ) 0. landing in
+  Alcotest.(check bool) "mass 1" true (feq ~tol:1e-9 total 1.)
+
+let test_expected_probes_fluid () =
+  Alcotest.(check bool) "const d = d" true
+    (feq ~tol:1e-9 (Mf.expected_probes_fluid ~threshold:(fun _ -> 3) profile) 3.);
+  let e = Mf.expected_probes_fluid ~threshold:(fun l -> 1 + l) profile in
+  Alcotest.(check bool) "adaptive between 1 and 3" true (e >= 1. && e <= 3.)
+
+let test_adap_fixed_points () =
+  let threshold l = if l < 1 then 1 else if l < 2 then 2 else 4 in
+  let sa = Mf.fixed_point_a_adap ~threshold ~m_over_n:1. ~levels:25 in
+  Alcotest.(check bool) "A mass" true (feq ~tol:1e-4 (Mf.mean_load sa) 1.);
+  let sb = Mf.fixed_point_b_adap ~threshold ~m_over_n:1. ~levels:25 in
+  Alcotest.(check bool) "B mass" true (feq ~tol:1e-4 (Mf.mean_load sb) 1.);
+  (* Consistency: the ADAP machinery at constant threshold 2 reproduces
+     the ABKU[2] fixed point. *)
+  let s_adap = Mf.fixed_point_a_adap ~threshold:(fun _ -> 2) ~m_over_n:1. ~levels:25 in
+  let s_abku = Mf.fixed_point_a ~d:2 ~m_over_n:1. ~levels:25 in
+  Array.iteri
+    (fun i x ->
+      if not (feq ~tol:1e-6 x s_abku.(i)) then
+        Alcotest.failf "level %d: %g vs %g" (i + 1) x s_abku.(i))
+    s_adap
+
+let test_adap_fluid_matches_simulation () =
+  (* Id-ADAP(1;2;4): simulated stationary s_2 vs the ADAP fluid fixed
+     point. *)
+  let n = 2048 in
+  let x = Core.Adaptive.of_list [ 1; 2; 4 ] in
+  let threshold l = Core.Adaptive.threshold x l in
+  let fluid = Mf.fixed_point_a_adap ~threshold ~m_over_n:1. ~levels:20 in
+  let g = rng ~seed:21 () in
+  let sys =
+    Core.System.create Core.Scenario.A (Sr.adap x)
+      (Core.Bins.of_loads (Lv.to_array (Lv.uniform ~n ~m:n)))
+  in
+  Core.System.run g sys ~steps:(50 * n);
+  let acc = Stats.Summary.create () in
+  for _ = 1 to 100 do
+    Core.System.run g sys ~steps:n;
+    let loads = Core.Bins.loads (Core.System.bins sys) in
+    let s2 = Array.fold_left (fun a l -> if l >= 2 then a + 1 else a) 0 loads in
+    Stats.Summary.add acc (float_of_int s2 /. float_of_int n)
+  done;
+  let sim = Stats.Summary.mean acc in
+  Alcotest.(check bool)
+    (Printf.sprintf "s_2 sim %.4f vs fluid %.4f" sim fluid.(1))
+    true
+    (Float.abs (sim -. fluid.(1)) < 0.02)
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("removal = scenarios", test_removal_matches_scenarios);
+      ("removal heaviest", test_removal_heaviest);
+      ("removal load-squared law", test_removal_load_squared_law);
+      ("removal step conserves", test_removal_step_conserves);
+      ("removal invalid", test_removal_invalid);
+      ("removal repair-friendliness ordering", test_removal_ordering_on_recovery);
+      ("removal coupled coalesces", test_removal_coupled_coalesces);
+      ("removal coupled faithful totals", test_removal_coupled_faithful_totals);
+      ("ADAP landing: const = power", test_adap_landing_const_matches_power);
+      ("ADAP landing sums to 1", test_adap_landing_sums_to_one);
+      ("fluid expected probes", test_expected_probes_fluid);
+      ("ADAP fixed points", test_adap_fixed_points);
+      ("ADAP fluid matches simulation", test_adap_fluid_matches_simulation);
+    ]

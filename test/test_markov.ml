@@ -1,0 +1,217 @@
+(* Tests for matrices, chains, partition spaces and exact analysis. *)
+
+module M = Markov.Matrix
+module Lv = Loadvec.Load_vector
+
+let feq ?(tol = 1e-9) a b = Float.abs (a -. b) <= tol
+
+let test_matrix_identity_mul () =
+  let a = M.create ~rows:2 ~cols:2 in
+  M.set a 0 0 1.;
+  M.set a 0 1 2.;
+  M.set a 1 0 3.;
+  M.set a 1 1 4.;
+  let i = M.identity 2 in
+  Alcotest.(check (float 1e-12)) "left id" 0. (M.max_abs_diff (M.mul i a) a);
+  Alcotest.(check (float 1e-12)) "right id" 0. (M.max_abs_diff (M.mul a i) a)
+
+let test_matrix_mul_known () =
+  let a = M.create ~rows:2 ~cols:3 in
+  let b = M.create ~rows:3 ~cols:2 in
+  (* a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12] *)
+  List.iteri (fun k x -> M.set a (k / 3) (k mod 3) x) [ 1.; 2.; 3.; 4.; 5.; 6. ];
+  List.iteri (fun k x -> M.set b (k / 2) (k mod 2) x) [ 7.; 8.; 9.; 10.; 11.; 12. ];
+  let c = M.mul a b in
+  Alcotest.(check (float 1e-12)) "c00" 58. (M.get c 0 0);
+  Alcotest.(check (float 1e-12)) "c01" 64. (M.get c 0 1);
+  Alcotest.(check (float 1e-12)) "c10" 139. (M.get c 1 0);
+  Alcotest.(check (float 1e-12)) "c11" 154. (M.get c 1 1)
+
+let test_matrix_vec_mul () =
+  let m = M.create ~rows:2 ~cols:2 in
+  M.set m 0 0 0.5;
+  M.set m 0 1 0.5;
+  M.set m 1 0 1.;
+  let v = M.vec_mul [| 0.4; 0.6 |] m in
+  Alcotest.(check (float 1e-12)) "v0" 0.8 v.(0);
+  Alcotest.(check (float 1e-12)) "v1" 0.2 v.(1)
+
+let test_matrix_stochastic () =
+  let m = M.create ~rows:2 ~cols:2 in
+  M.set m 0 0 0.3;
+  M.set m 0 1 0.7;
+  M.set m 1 0 1.0;
+  Alcotest.(check bool) "stochastic" true (M.is_stochastic m);
+  M.set m 1 0 0.9;
+  Alcotest.(check bool) "not stochastic" false (M.is_stochastic m)
+
+let test_matrix_invalid () =
+  Alcotest.check_raises "bad size" (Invalid_argument "Matrix.create: non-positive size")
+    (fun () -> ignore (M.create ~rows:0 ~cols:2));
+  let a = M.create ~rows:2 ~cols:2 and b = M.create ~rows:3 ~cols:2 in
+  Alcotest.check_raises "mul mismatch"
+    (Invalid_argument "Matrix.mul: dimension mismatch") (fun () ->
+      ignore (M.mul a b))
+
+let test_chain_iterate () =
+  let c = Markov.Chain.make (fun _g s -> s + 1) in
+  let g = Prng.Rng.create () in
+  Alcotest.(check int) "10 steps" 10 (Markov.Chain.iterate c g 0 10);
+  Alcotest.(check int) "0 steps" 0 (Markov.Chain.iterate c g 0 0)
+
+let test_chain_fold_trajectory () =
+  let c = Markov.Chain.make (fun _g s -> s * 2) in
+  let g = Prng.Rng.create () in
+  let states = Markov.Chain.trajectory c g 1 4 in
+  Alcotest.(check (array int)) "trajectory" [| 2; 4; 8; 16 |] states;
+  let sum =
+    Markov.Chain.fold c g 1 4 ~init:0 ~f:(fun acc _i s -> acc + s)
+  in
+  Alcotest.(check int) "fold" 30 sum
+
+let test_chain_first_hit () =
+  let c = Markov.Chain.make (fun _g s -> s + 1) in
+  let g = Prng.Rng.create () in
+  Alcotest.(check (option int)) "hits" (Some 5)
+    (Markov.Chain.first_hit c g 0 ~pred:(fun s -> s >= 5) ~limit:10);
+  Alcotest.(check (option int)) "initial state" (Some 0)
+    (Markov.Chain.first_hit c g 7 ~pred:(fun s -> s >= 5) ~limit:10);
+  Alcotest.(check (option int)) "never" None
+    (Markov.Chain.first_hit c g 0 ~pred:(fun s -> s > 100) ~limit:10)
+
+let test_chain_sample_every () =
+  let c = Markov.Chain.make (fun _g s -> s + 1) in
+  let g = Prng.Rng.create () in
+  let samples =
+    Markov.Chain.sample_every c g 0 ~burn_in:10 ~every:5 ~samples:3 (fun s -> s)
+  in
+  Alcotest.(check (list int)) "samples" [ 15; 20; 25 ] samples
+
+let test_partition_count_small () =
+  (* Partitions of 4 into at most 2 parts: 4, 3+1, 2+2. *)
+  Alcotest.(check int) "p(4,2)" 3 (Markov.Partition_space.count ~n:2 ~m:4);
+  (* Partitions of 5 (n >= 5): 7. *)
+  Alcotest.(check int) "p(5)" 7 (Markov.Partition_space.count ~n:5 ~m:5);
+  Alcotest.(check int) "m=0" 1 (Markov.Partition_space.count ~n:3 ~m:0)
+
+let test_partition_enumerate () =
+  let states = Markov.Partition_space.enumerate ~n:3 ~m:4 in
+  Alcotest.(check int) "count matches" (Markov.Partition_space.count ~n:3 ~m:4)
+    (Array.length states);
+  Array.iter
+    (fun v ->
+      Alcotest.(check int) "total" 4 (Lv.total v);
+      Alcotest.(check int) "dim" 3 (Lv.dim v);
+      Alcotest.(check bool) "normalized" true (Lv.is_normalized (Lv.to_array v)))
+    states;
+  (* All distinct. *)
+  let tbl = Hashtbl.create 16 in
+  Array.iter (fun v -> Hashtbl.replace tbl v ()) states;
+  Alcotest.(check int) "distinct" (Array.length states) (Hashtbl.length tbl)
+
+let test_partition_count_matches_enumerate_sweep () =
+  for n = 1 to 5 do
+    for m = 0 to 8 do
+      Alcotest.(check int)
+        (Printf.sprintf "count n=%d m=%d" n m)
+        (Array.length (Markov.Partition_space.enumerate ~n ~m))
+        (Markov.Partition_space.count ~n ~m)
+    done
+  done
+
+let test_partition_index () =
+  let states = Markov.Partition_space.enumerate ~n:3 ~m:5 in
+  let idx = Markov.Partition_space.index_of_space states in
+  Alcotest.(check int) "size" (Array.length states)
+    (Markov.Partition_space.size idx);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check int) "roundtrip" i (Markov.Partition_space.find idx v))
+    states;
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Markov.Partition_space.find idx (Lv.of_array [| 9; 9; 9 |])))
+
+(* A two-state chain with known stationary distribution and mixing rate:
+   P = [[1-p, p], [q, 1-q]], pi = (q, p)/(p+q). *)
+let two_state p q =
+  Markov.Exact.build ~states:[| "x"; "y" |] ~transitions:(function
+    | "x" -> [ ("x", 1. -. p); ("y", p) ]
+    | _ -> [ ("x", q); ("y", 1. -. q) ])
+
+let test_exact_stationary_two_state () =
+  let c = two_state 0.3 0.1 in
+  let pi = Markov.Exact.stationary c in
+  Alcotest.(check bool) "pi x" true (feq ~tol:1e-9 pi.(0) 0.25);
+  Alcotest.(check bool) "pi y" true (feq ~tol:1e-9 pi.(1) 0.75)
+
+let test_exact_tv () =
+  Alcotest.(check (float 1e-12)) "tv" 0.5
+    (Markov.Exact.tv_distance [| 1.; 0. |] [| 0.5; 0.5 |]);
+  Alcotest.(check (float 1e-12)) "tv self" 0.
+    (Markov.Exact.tv_distance [| 0.3; 0.7 |] [| 0.3; 0.7 |])
+
+let test_exact_distribution_after () =
+  let c = two_state 0.5 0.5 in
+  let d = Markov.Exact.distribution_after c ~start:0 1 in
+  Alcotest.(check bool) "after one step" true
+    (feq d.(0) 0.5 && feq d.(1) 0.5);
+  let d0 = Markov.Exact.distribution_after c ~start:0 0 in
+  Alcotest.(check bool) "t=0 is point mass" true (feq d0.(0) 1.)
+
+let test_exact_mixing_two_state () =
+  (* For p = q = 1/2 the chain is exactly mixed after one step. *)
+  let c = two_state 0.5 0.5 in
+  Alcotest.(check int) "mixes in 1" 1 (Markov.Exact.mixing_time ~eps:0.01 c);
+  (* Slow chain mixes slower. *)
+  let slow = two_state 0.05 0.05 in
+  Alcotest.(check bool) "slow chain slower" true
+    (Markov.Exact.mixing_time ~eps:0.01 slow > 5)
+
+let test_exact_mixing_monotone_eps () =
+  let c = two_state 0.2 0.3 in
+  let t1 = Markov.Exact.mixing_time ~eps:0.25 c in
+  let t2 = Markov.Exact.mixing_time ~eps:0.01 c in
+  Alcotest.(check bool) "smaller eps, larger tau" true (t2 >= t1)
+
+let test_exact_build_invalid () =
+  Alcotest.check_raises "bad row" (Invalid_argument "Exact.build: row does not sum to 1")
+    (fun () ->
+      ignore
+        (Markov.Exact.build ~states:[| 0 |] ~transitions:(fun _ -> [ (0, 0.5) ])));
+  Alcotest.check_raises "unknown successor"
+    (Invalid_argument "Exact.build: successor outside state space") (fun () ->
+      ignore
+        (Markov.Exact.build ~states:[| 0 |] ~transitions:(fun _ -> [ (1, 1.) ])))
+
+let test_exact_build_merges_duplicates () =
+  let c =
+    Markov.Exact.build ~states:[| 0; 1 |] ~transitions:(function
+      | 0 -> [ (1, 0.5); (1, 0.5) ]
+      | _ -> [ (0, 1.) ])
+  in
+  Alcotest.(check (float 1e-12)) "merged" 1. (M.get (Markov.Exact.matrix c) 0 1)
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("matrix identity mul", test_matrix_identity_mul);
+      ("matrix mul known", test_matrix_mul_known);
+      ("matrix vec_mul", test_matrix_vec_mul);
+      ("matrix stochastic", test_matrix_stochastic);
+      ("matrix invalid", test_matrix_invalid);
+      ("chain iterate", test_chain_iterate);
+      ("chain fold/trajectory", test_chain_fold_trajectory);
+      ("chain first_hit", test_chain_first_hit);
+      ("chain sample_every", test_chain_sample_every);
+      ("partition count small", test_partition_count_small);
+      ("partition enumerate", test_partition_enumerate);
+      ("partition count sweep", test_partition_count_matches_enumerate_sweep);
+      ("partition index", test_partition_index);
+      ("exact stationary", test_exact_stationary_two_state);
+      ("exact tv distance", test_exact_tv);
+      ("exact distribution_after", test_exact_distribution_after);
+      ("exact mixing two-state", test_exact_mixing_two_state);
+      ("exact mixing monotone in eps", test_exact_mixing_monotone_eps);
+      ("exact build invalid", test_exact_build_invalid);
+      ("exact build merges duplicates", test_exact_build_merges_duplicates);
+    ]

@@ -1,0 +1,234 @@
+(* Cross-cutting property tests: invariants that tie several modules
+   together, each stated as a qcheck law. *)
+
+module Lv = Loadvec.Load_vector
+module Mv = Loadvec.Mutable_vector
+module Sr = Core.Scheduling_rule
+module C = Edgeorient.Class_chain
+
+let rng_of seed = Prng.Rng.create ~seed ()
+
+let random_vector g ~n ~m =
+  let a = Array.make n 0 in
+  for _ = 1 to m do
+    let i = Prng.Rng.int g n in
+    a.(i) <- a.(i) + 1
+  done;
+  Lv.of_array a
+
+let qcheck_counts_by_load_reconstructs =
+  QCheck.Test.make ~name:"counts_by_load partitions the vector" ~count:300
+    QCheck.(triple small_int (int_range 1 12) (int_range 0 40))
+    (fun (seed, n, m) ->
+      let v = random_vector (rng_of seed) ~n ~m in
+      let classes = Lv.counts_by_load v in
+      let total_bins = List.fold_left (fun a (_, c) -> a + c) 0 classes in
+      let total_balls = List.fold_left (fun a (l, c) -> a + (l * c)) 0 classes in
+      let decreasing =
+        let rec ok = function
+          | (l1, _) :: ((l2, _) :: _ as rest) -> l1 > l2 && ok rest
+          | _ -> true
+        in
+        ok classes
+      in
+      total_bins = n && total_balls = m && decreasing)
+
+let qcheck_diameter_bound =
+  (* The paper's remark: Delta(v, u) <= m - ceil(m/n) for v, u in
+     Omega_m. *)
+  QCheck.Test.make ~name:"Delta diameter <= m - ceil(m/n)" ~count:300
+    QCheck.(triple small_int (int_range 1 10) (int_range 1 30))
+    (fun (seed, n, m) ->
+      let g = rng_of seed in
+      let v = random_vector g ~n ~m and u = random_vector g ~n ~m in
+      Lv.delta v u <= m - ((m + n - 1) / n))
+
+let qcheck_oplus_ominus_roundtrip =
+  QCheck.Test.make ~name:"ominus inverts oplus" ~count:300
+    QCheck.(triple small_int (int_range 1 10) (int_range 0 25))
+    (fun (seed, n, m) ->
+      let g = rng_of seed in
+      let v = random_vector g ~n ~m in
+      let i = Prng.Rng.int g n in
+      let v' = Lv.oplus v i in
+      (* The added ball sits at first_equal of the new value; removing a
+         ball of that value restores v. *)
+      let j = Lv.first_equal v' (Lv.first_equal v i) in
+      Lv.equal (Lv.ominus v' j) v)
+
+let qcheck_abku_rank_distribution_monotone =
+  QCheck.Test.make ~name:"ABKU rank distribution increases with rank" ~count:200
+    QCheck.(pair (int_range 2 30) (int_range 2 4))
+    (fun (n, d) ->
+      let loads = Array.make n 0 in
+      let dist = Sr.rank_distribution (Sr.abku d) ~loads in
+      let ok = ref true in
+      for j = 1 to n - 1 do
+        if dist.(j) < dist.(j - 1) -. 1e-12 then ok := false
+      done;
+      !ok)
+
+let qcheck_exact_transitions_stay_in_space =
+  QCheck.Test.make ~name:"exact transitions stay inside Omega_m" ~count:100
+    QCheck.(quad small_int (int_range 2 5) (int_range 1 7) bool)
+    (fun (seed, n, m, scenario_b) ->
+      let g = rng_of seed in
+      let scenario = if scenario_b then Core.Scenario.B else Core.Scenario.A in
+      let process = Core.Dynamic_process.make scenario (Sr.abku 2) ~n in
+      let states = Markov.Partition_space.enumerate ~n ~m in
+      let idx = Markov.Partition_space.index_of_space states in
+      let v = random_vector g ~n ~m in
+      List.for_all
+        (fun (s, _) ->
+          match Markov.Partition_space.find idx s with
+          | _ -> true
+          | exception Not_found -> false)
+        (Core.Dynamic_process.exact_transitions process v))
+
+let qcheck_empirical_tv_range =
+  QCheck.Test.make ~name:"empirical TV in [0,1]" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 30) (int_range 0 5))
+              (list_of_size (Gen.int_range 1 30) (int_range 0 5)))
+    (fun (a, b) ->
+      let tv =
+        Markov.Empirical.tv_between_samples (Array.of_list a) (Array.of_list b)
+      in
+      tv >= 0. && tv <= 1.)
+
+let qcheck_emd_metric =
+  QCheck.Test.make ~name:"edge EMD is a metric" ~count:200
+    QCheck.(pair small_int (int_range 3 8))
+    (fun (seed, n) ->
+      let g = rng_of seed in
+      let state () =
+        let diffs = Array.make n 0 in
+        for _ = 1 to n do
+          let i, j = Prng.Rng.pair_distinct g n in
+          if abs diffs.(i) < n - 1 && abs diffs.(j) < n - 1 then begin
+            diffs.(i) <- diffs.(i) + 1;
+            diffs.(j) <- diffs.(j) - 1
+          end
+        done;
+        C.of_discrepancies diffs
+      in
+      let x = state () and y = state () and z = state () in
+      C.emd x y = C.emd y x
+      && C.emd x z <= C.emd x y + C.emd y z
+      && (C.emd x y = 0) = C.equal x y)
+
+let qcheck_parallel_places_all =
+  QCheck.Test.make ~name:"parallel allocation places every ball" ~count:100
+    QCheck.(quad small_int (int_range 1 64) (int_range 0 128) (int_range 0 4))
+    (fun (seed, n, m, rounds) ->
+      let g = rng_of seed in
+      let result = Core.Parallel_alloc.run g ~n ~m ~d:2 ~rounds () in
+      Array.fold_left ( + ) 0 result.loads = m
+      && result.fallback_balls <= m
+      && result.max_load <= m)
+
+let qcheck_weighted_mass_balance =
+  QCheck.Test.make ~name:"weighted system conserves mass" ~count:100
+    QCheck.(triple small_int (int_range 1 16) (int_range 0 50))
+    (fun (seed, n, m) ->
+      let g = rng_of seed in
+      let t = Core.Weighted.static_run g ~n ~m ~d:2 ~dist:Core.Weighted.Uniform_unit in
+      let sum = ref 0. in
+      for b = 0 to n - 1 do
+        sum := !sum +. Core.Weighted.load t b
+      done;
+      Float.abs (!sum -. Core.Weighted.total_weight t) < 1e-9
+      && Core.Weighted.num_balls t = m)
+
+let qcheck_theorem1_monotone =
+  QCheck.Test.make ~name:"Theorem 1 monotone in m and 1/eps" ~count:200
+    QCheck.(pair (int_range 1 1000) (float_range 0.01 0.9))
+    (fun (m, eps) ->
+      Theory.Bounds.theorem1 ~m:(m + 1) ~eps >= Theory.Bounds.theorem1 ~m ~eps
+      && Theory.Bounds.theorem1 ~m ~eps:(eps /. 2.)
+         >= Theory.Bounds.theorem1 ~m ~eps)
+
+let qcheck_delayed_bound_at_least_block =
+  QCheck.Test.make ~name:"delayed bound >= one block" ~count:200
+    QCheck.(quad (int_range 1 20) (float_range 0. 0.99) (int_range 1 50)
+              (float_range 0.01 0.9))
+    (fun (block, beta, diameter, eps) ->
+      Coupling.Delayed.bound ~block ~beta ~diameter ~eps
+      >= float_of_int block)
+
+let qcheck_monotone_coupling_preserves_totals =
+  QCheck.Test.make ~name:"monotone coupling preserves both totals" ~count:150
+    QCheck.(quad small_int (int_range 2 8) (int_range 2 20) bool)
+    (fun (seed, n, m, scenario_b) ->
+      let g = rng_of seed in
+      let scenario = if scenario_b then Core.Scenario.B else Core.Scenario.A in
+      let process = Core.Dynamic_process.make scenario (Sr.abku 2) ~n in
+      let c = Core.Coupled.monotone process in
+      let x = Mv.of_load_vector (random_vector g ~n ~m) in
+      let y = Mv.of_load_vector (random_vector g ~n ~m) in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let x', y' = c.Coupling.Coupled_chain.step g x y in
+        if Mv.total x' <> m || Mv.total y' <> m then ok := false
+      done;
+      !ok)
+
+let qcheck_probe_replay_identical =
+  QCheck.Test.make ~name:"probes replay identically from copied rng" ~count:200
+    QCheck.(pair small_int (int_range 1 50))
+    (fun (seed, n) ->
+      let g = rng_of seed in
+      let g' = Prng.Rng.copy g in
+      let p = Core.Probe.create g ~n and p' = Core.Probe.create g' ~n in
+      let ok = ref true in
+      for i = 0 to 30 do
+        if Core.Probe.get p i <> Core.Probe.get p' i then ok := false
+      done;
+      !ok)
+
+let qcheck_fluid_profile_valid =
+  QCheck.Test.make ~name:"fluid fixed points are monotone profiles in [0,1]"
+    ~count:30
+    QCheck.(pair (int_range 1 3) (int_range 1 3))
+    (fun (d, ratio) ->
+      let s =
+        Fluid.Mean_field.fixed_point_a ~d ~m_over_n:(float_of_int ratio)
+          ~levels:(10 + (10 * ratio))
+      in
+      let ok = ref true in
+      Array.iteri
+        (fun i si ->
+          if si < -1e-9 || si > 1. +. 1e-9 then ok := false;
+          if i > 0 && si > s.(i - 1) +. 1e-9 then ok := false)
+        s;
+      !ok
+      && Float.abs (Fluid.Mean_field.mean_load s -. float_of_int ratio) < 1e-4)
+
+let qcheck_go_left_places_everything =
+  QCheck.Test.make ~name:"go-left places every ball in range" ~count:100
+    QCheck.(triple small_int (int_range 1 8) (int_range 0 60))
+    (fun (seed, d, m) ->
+      let n = d * 8 in
+      let g = rng_of seed in
+      let rule = Core.Go_left.make ~d ~n in
+      let bins = Core.Go_left.static_run rule g ~m in
+      Core.Bins.num_balls bins = m)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      qcheck_counts_by_load_reconstructs;
+      qcheck_diameter_bound;
+      qcheck_oplus_ominus_roundtrip;
+      qcheck_abku_rank_distribution_monotone;
+      qcheck_exact_transitions_stay_in_space;
+      qcheck_empirical_tv_range;
+      qcheck_emd_metric;
+      qcheck_parallel_places_all;
+      qcheck_weighted_mass_balance;
+      qcheck_theorem1_monotone;
+      qcheck_delayed_bound_at_least_block;
+      qcheck_monotone_coupling_preserves_totals;
+      qcheck_probe_replay_identical;
+      qcheck_fluid_profile_valid;
+      qcheck_go_left_places_everything;
+    ]

@@ -1,0 +1,250 @@
+(* Tests for the statistics substrate. *)
+
+let feq ?(tol = 1e-9) a b = Float.abs (a -. b) <= tol
+
+let check_float ?tol name expected got =
+  if not (feq ?tol expected got) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" name expected got
+
+let summary_of xs =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) xs;
+  s
+
+let test_summary_basic () =
+  let s = summary_of [ 1.; 2.; 3.; 4. ] in
+  Alcotest.(check int) "count" 4 (Stats.Summary.count s);
+  check_float "mean" 2.5 (Stats.Summary.mean s);
+  check_float "variance" (5. /. 3.) (Stats.Summary.variance s);
+  check_float "min" 1. (Stats.Summary.min s);
+  check_float "max" 4. (Stats.Summary.max s);
+  check_float "sum" 10. (Stats.Summary.sum s)
+
+let test_summary_empty () =
+  let s = Stats.Summary.create () in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.Summary.mean s));
+  Alcotest.(check bool) "variance nan" true
+    (Float.is_nan (Stats.Summary.variance s))
+
+let test_summary_single () =
+  let s = summary_of [ 7. ] in
+  check_float "mean" 7. (Stats.Summary.mean s);
+  Alcotest.(check bool) "variance nan" true
+    (Float.is_nan (Stats.Summary.variance s))
+
+let test_summary_merge () =
+  let a = summary_of [ 1.; 2.; 3. ] and b = summary_of [ 10.; 20. ] in
+  let m = Stats.Summary.merge a b in
+  let whole = summary_of [ 1.; 2.; 3.; 10.; 20. ] in
+  Alcotest.(check int) "count" (Stats.Summary.count whole) (Stats.Summary.count m);
+  check_float ~tol:1e-9 "mean" (Stats.Summary.mean whole) (Stats.Summary.mean m);
+  check_float ~tol:1e-9 "variance" (Stats.Summary.variance whole)
+    (Stats.Summary.variance m);
+  check_float "min" 1. (Stats.Summary.min m);
+  check_float "max" 20. (Stats.Summary.max m)
+
+let test_summary_merge_empty () =
+  let a = summary_of [ 1.; 2. ] and e = Stats.Summary.create () in
+  let m = Stats.Summary.merge a e in
+  check_float "mean unchanged" 1.5 (Stats.Summary.mean m);
+  let m' = Stats.Summary.merge e a in
+  check_float "mean unchanged (flip)" 1.5 (Stats.Summary.mean m')
+
+let test_quantile_known () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_float "q0" 1. (Stats.Quantile.quantile xs 0.);
+  check_float "q1" 4. (Stats.Quantile.quantile xs 1.);
+  check_float "median" 2.5 (Stats.Quantile.median xs);
+  check_float "q25" 1.75 (Stats.Quantile.quantile xs 0.25);
+  check_float "iqr" 1.5 (Stats.Quantile.iqr xs)
+
+let test_quantile_unsorted_input () =
+  let xs = [| 3.; 1.; 2. |] in
+  check_float "median of unsorted" 2. (Stats.Quantile.median xs);
+  Alcotest.(check (array (float 0.))) "input untouched" [| 3.; 1.; 2. |] xs
+
+let test_quantile_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Quantile.quantile: empty sample")
+    (fun () -> ignore (Stats.Quantile.quantile [||] 0.5));
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Quantile.quantile: q not in [0,1]") (fun () ->
+      ignore (Stats.Quantile.quantile [| 1. |] 1.5))
+
+let test_histogram () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add h) [ 0; 1; 1; 3; 3; 3 ];
+  Alcotest.(check int) "count 1" 2 (Stats.Histogram.count h 1);
+  Alcotest.(check int) "count 2" 0 (Stats.Histogram.count h 2);
+  Alcotest.(check int) "count 3" 3 (Stats.Histogram.count h 3);
+  Alcotest.(check int) "total" 6 (Stats.Histogram.total h);
+  Alcotest.(check int) "max value" 3 (Stats.Histogram.max_value h);
+  check_float "mean" (11. /. 6.) (Stats.Histogram.mean h);
+  check_float "frac >= 3" 0.5 (Stats.Histogram.fraction_at_least h 3);
+  check_float "frac >= 0" 1. (Stats.Histogram.fraction_at_least h 0);
+  Alcotest.(check (array int)) "to_array" [| 1; 2; 0; 3 |]
+    (Stats.Histogram.to_array h)
+
+let test_histogram_growth () =
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.add h 1000;
+  Alcotest.(check int) "large value" 1 (Stats.Histogram.count h 1000);
+  Alcotest.check_raises "negative" (Invalid_argument "Histogram.add: negative value")
+    (fun () -> Stats.Histogram.add h (-1))
+
+let test_histogram_pp () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add h) [ 0; 1; 1 ];
+  let rendered = Format.asprintf "%a" Stats.Histogram.pp h in
+  Alcotest.(check bool) "mentions both values" true
+    (String.length rendered > 0
+    && String.split_on_char '\n' rendered |> List.length >= 2);
+  let empty = Format.asprintf "%a" Stats.Histogram.pp (Stats.Histogram.create ()) in
+  Alcotest.(check string) "empty marker" "(empty histogram)" empty
+
+let test_ols_exact_line () =
+  let pts = Array.init 10 (fun i ->
+      let x = float_of_int i in
+      (x, 3. +. (2. *. x)))
+  in
+  let fit = Stats.Regression.ols pts in
+  check_float ~tol:1e-9 "slope" 2. fit.Stats.Regression.slope;
+  check_float ~tol:1e-9 "intercept" 3. fit.Stats.Regression.intercept;
+  check_float ~tol:1e-9 "r2" 1. fit.Stats.Regression.r_squared
+
+let test_power_law_exact () =
+  let pts = Array.init 8 (fun i ->
+      let x = float_of_int (i + 2) in
+      (x, 5. *. (x ** 1.7)))
+  in
+  let fit = Stats.Regression.power_law pts in
+  check_float ~tol:1e-9 "exponent" 1.7 fit.Stats.Regression.slope;
+  check_float ~tol:1e-6 "log c" (log 5.) fit.Stats.Regression.intercept
+
+let test_log_corrected_power_law () =
+  (* y = x ln x should fit exponent 1 after dividing by ln x. *)
+  let pts = Array.init 8 (fun i ->
+      let x = float_of_int (10 * (i + 1)) in
+      (x, x *. log x))
+  in
+  let fit = Stats.Regression.log_corrected_power_law ~log_exponent:1. pts in
+  check_float ~tol:1e-9 "exponent" 1. fit.Stats.Regression.slope
+
+let test_regression_invalid () =
+  Alcotest.check_raises "one point"
+    (Invalid_argument "Regression.ols: need at least two points") (fun () ->
+      ignore (Stats.Regression.ols [| (1., 1.) |]));
+  Alcotest.check_raises "zero variance"
+    (Invalid_argument "Regression.ols: zero variance in x") (fun () ->
+      ignore (Stats.Regression.ols [| (1., 1.); (1., 2.) |]));
+  Alcotest.check_raises "negative coordinate"
+    (Invalid_argument "Regression.power_law: coordinates must be positive")
+    (fun () -> ignore (Stats.Regression.power_law [| (1., 1.); (-1., 2.) |]))
+
+let test_bootstrap_constant () =
+  let rng = Prng.Rng.create ~seed:7 () in
+  let xs = Array.make 30 5. in
+  let lo, hi = Stats.Bootstrap.ci_median ~rng xs in
+  check_float "lo" 5. lo;
+  check_float "hi" 5. hi
+
+let test_bootstrap_contains_truth () =
+  let rng = Prng.Rng.create ~seed:7 () in
+  let xs = Array.init 200 (fun i -> float_of_int (i mod 10)) in
+  let lo, hi = Stats.Bootstrap.ci_mean ~rng xs in
+  Alcotest.(check bool) "mean in CI" true (lo <= 4.5 && 4.5 <= hi);
+  Alcotest.(check bool) "tight-ish" true (hi -. lo < 1.5)
+
+let test_bootstrap_invalid () =
+  let rng = Prng.Rng.create ~seed:7 () in
+  Alcotest.check_raises "empty" (Invalid_argument "Bootstrap.ci: empty sample")
+    (fun () -> ignore (Stats.Bootstrap.ci_median ~rng [||]))
+
+let test_table () =
+  let t = Stats.Table.create ~title:"T" ~columns:[ "a"; "bb" ] in
+  Stats.Table.add_row t [ "1"; "2" ];
+  Stats.Table.add_note t "a note";
+  let buf = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer buf in
+  Stats.Table.pp fmt t;
+  Format.pp_print_flush fmt ();
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0 && String.index_opt s 'T' <> None);
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Stats.Table.add_row t [ "only one" ])
+
+let test_table_csv () =
+  let t = Stats.Table.create ~title:"T" ~columns:[ "a"; "b" ] in
+  Stats.Table.add_row t [ "1,5"; "say \"hi\"" ];
+  Stats.Table.add_row t [ "2"; "plain" ];
+  Alcotest.(check string) "escaped"
+    "a,b\n\"1,5\",\"say \"\"hi\"\"\"\n2,plain\n"
+    (Stats.Table.to_csv t);
+  Alcotest.(check string) "title accessor" "T" (Stats.Table.title t)
+
+let test_table_cells () =
+  Alcotest.(check string) "int" "42" (Stats.Table.cell_int 42);
+  Alcotest.(check string) "float" "3.14" (Stats.Table.cell_float 3.14159);
+  Alcotest.(check string) "nan" "-" (Stats.Table.cell_float nan);
+  Alcotest.(check string) "ci" "[1.00, 2.00]" (Stats.Table.cell_ci (1., 2.))
+
+let qcheck_quantile_monotone =
+  QCheck.Test.make ~name:"quantile monotone in q" ~count:300
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 1 20) (float_range (-100.) 100.))
+        (float_range 0. 1.) (float_range 0. 1.))
+    (fun (xs, q1, q2) ->
+      let xs = Array.of_list xs in
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      Stats.Quantile.quantile xs lo <= Stats.Quantile.quantile xs hi +. 1e-9)
+
+let qcheck_mean_within_bounds =
+  QCheck.Test.make ~name:"summary mean within [min,max]" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 30) (float_range (-50.) 50.))
+    (fun xs ->
+      let s = summary_of xs in
+      let m = Stats.Summary.mean s in
+      m >= Stats.Summary.min s -. 1e-9 && m <= Stats.Summary.max s +. 1e-9)
+
+let qcheck_merge_matches_whole =
+  QCheck.Test.make ~name:"summary merge = whole-stream summary" ~count:300
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 20) (float_range (-10.) 10.))
+        (list_of_size (Gen.int_range 1 20) (float_range (-10.) 10.)))
+    (fun (xs, ys) ->
+      let m = Stats.Summary.merge (summary_of xs) (summary_of ys) in
+      let w = summary_of (xs @ ys) in
+      feq ~tol:1e-6 (Stats.Summary.mean m) (Stats.Summary.mean w)
+      && (Stats.Summary.count w < 2
+         || feq ~tol:1e-6 (Stats.Summary.variance m) (Stats.Summary.variance w)))
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("summary basic", test_summary_basic);
+      ("summary empty", test_summary_empty);
+      ("summary single", test_summary_single);
+      ("summary merge", test_summary_merge);
+      ("summary merge empty", test_summary_merge_empty);
+      ("quantile known", test_quantile_known);
+      ("quantile unsorted input", test_quantile_unsorted_input);
+      ("quantile invalid", test_quantile_invalid);
+      ("histogram", test_histogram);
+      ("histogram growth", test_histogram_growth);
+      ("histogram pp", test_histogram_pp);
+      ("ols exact line", test_ols_exact_line);
+      ("power law exact", test_power_law_exact);
+      ("log-corrected power law", test_log_corrected_power_law);
+      ("regression invalid", test_regression_invalid);
+      ("bootstrap constant", test_bootstrap_constant);
+      ("bootstrap contains truth", test_bootstrap_contains_truth);
+      ("bootstrap invalid", test_bootstrap_invalid);
+      ("table", test_table);
+      ("table cells", test_table_cells);
+      ("table csv", test_table_csv);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ qcheck_quantile_monotone; qcheck_mean_within_bounds;
+        qcheck_merge_matches_whole ]
