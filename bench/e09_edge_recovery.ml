@@ -33,39 +33,26 @@ let run (cfg : Config.t) =
       let target = int_of_float (ceil loglog) + 1 in
       let scale = float_of_int n *. float_of_int n *. log (float_of_int n) in
       let limit = 50 * int_of_float scale in
-      (* Recovery measurements. *)
-      let times = ref [] in
-      let failures = ref 0 in
-      for _ = 1 to reps do
-        let g = Prng.Rng.split rng in
-        let t = O.adversarial ~n in
-        let steps = ref 0 in
-        while O.unfairness t > target && !steps < limit do
-          O.greedy_step g t;
-          incr steps
-        done;
-        if !steps >= limit then incr failures else times := float_of_int !steps :: !times
-      done;
-      let xs = Array.of_list !times in
-      let median = if Array.length xs = 0 then nan else Stats.Quantile.median xs in
+      (* Recovery: the sim's probe is the unfairness, so the first
+         hitting time comes straight out of the replication runner. *)
+      let meas, _metrics =
+        Engine.Runner.measure ~domains:cfg.domains ~rng ~reps ~limit
+          (fun g metrics ~limit ->
+            let s = O.sim ~metrics (O.adversarial ~n) in
+            Engine.Sim.first_hit s g ~pred:(fun u -> u <= target) ~limit)
+      in
       (* Stationary unfairness: run on from a typical state. *)
-      let t = O.create ~n in
-      O.run rng t ~steps:(10 * n * n);
+      let s = O.sim (O.create ~n) in
       let summary = Stats.Summary.create () in
-      for _ = 1 to 300 do
-        O.run rng t ~steps:n;
-        Stats.Summary.add_int summary (O.unfairness t)
-      done;
-      rec_points := (float_of_int n, median) :: !rec_points;
+      Engine.Sim.sample_every s rng ~burn_in:(10 * n * n) ~every:n
+        ~samples:300 (fun () -> Engine.Sim.probe s)
+      |> List.iter (Stats.Summary.add_int summary);
+      rec_points := (float_of_int n, meas.median) :: !rec_points;
       Stats.Table.add_row table
         [
           string_of_int n;
           string_of_int target;
-          (if Float.is_nan median then "(limit)"
-           else
-             Printf.sprintf "%.0f [%.0f, %.0f]" median
-               (Stats.Quantile.quantile xs 0.1)
-               (Stats.Quantile.quantile xs 0.9));
+          Exp_util.cell_measurement meas;
           Printf.sprintf "%.0f" scale;
           Printf.sprintf "%.2f" (Stats.Summary.mean summary);
           Printf.sprintf "%.2f" loglog;

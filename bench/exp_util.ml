@@ -3,6 +3,16 @@
 let heading ~id ~claim =
   Printf.printf "\n#### %s — %s\n%!" id claim
 
+(* Like mkdir -p; tolerates a concurrent bench process creating the
+   same component between the existence check and the mkdir. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir && Sys.is_directory dir -> ()
+  end
+
 (* Print the table; when BENCH_CSV names a directory, also dump the rows
    as CSV (one file per table, named from the title). *)
 let output table =
@@ -10,7 +20,7 @@ let output table =
   match Sys.getenv_opt "BENCH_CSV" with
   | None -> ()
   | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      mkdir_p dir;
       let sanitized =
         String.map
           (fun c ->

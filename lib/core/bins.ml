@@ -160,7 +160,7 @@ let insert_with_rule rule g t =
   | Scheduling_rule.Adap x ->
       let rec go probes best =
         if probes > Scheduling_rule.probe_cap then
-          failwith "Bins.insert_with_rule: probe cap exceeded";
+          Scheduling_rule.probe_cap_exceeded rule ~n:t.n;
         if Adaptive.threshold x t.loads.(best) <= probes then begin
           add_ball t best;
           (best, probes)
@@ -172,6 +172,22 @@ let insert_with_rule rule g t =
         end
       in
       go 1 (Prng.Rng.int g t.n)
+
+let reset_loads t per_bin =
+  if Array.length per_bin <> t.n then
+    invalid_arg "Bins.reset_loads: dimension mismatch";
+  Array.iter
+    (fun l -> if l < 0 then invalid_arg "Bins.reset_loads: negative load")
+    per_bin;
+  while Int_vec.length t.balls > 0 do
+    ignore (delete_slot t (Int_vec.length t.balls - 1))
+  done;
+  Array.iteri
+    (fun b l ->
+      for _ = 1 to l do
+        add_ball t b
+      done)
+    per_bin
 
 let loads t = Array.copy t.loads
 

@@ -49,6 +49,11 @@ val insert_with_rule : Scheduling_rule.t -> Prng.Rng.t -> t -> int * int
     i.u.r. per the rule (least-loaded-so-far wins, ADAP keeps probing
     while its threshold demands).  Returns [(bin, probes_used)]. *)
 
+val reset_loads : t -> int array -> unit
+(** Overwrite the state with the given per-bin loads, in place (O(m)) —
+    the reset primitive of the simulation engine.
+    @raise Invalid_argument on a dimension mismatch or negative load. *)
+
 val loads : t -> int array
 (** Snapshot of per-bin loads. *)
 

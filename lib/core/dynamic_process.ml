@@ -30,7 +30,7 @@ let choose_rank_direct rule g ~loads =
   | Scheduling_rule.Adap x ->
       let rec go t best =
         if t > Scheduling_rule.probe_cap then
-          failwith "Dynamic_process: probe cap exceeded";
+          Scheduling_rule.probe_cap_exceeded rule ~n;
         if Adaptive.threshold x loads.(best) <= t then (best, t)
         else go (t + 1) (Stdlib.max best (Prng.Rng.int g n))
       in
@@ -52,6 +52,22 @@ let chain t =
       let v = Mv.of_load_vector lv in
       step_in_place t g v;
       Mv.to_load_vector v)
+
+(* One removal variate plus one draw per insertion probe. *)
+let sim ?metrics t v =
+  if Mv.dim v <> t.n then invalid_arg "Dynamic_process.sim: dimension mismatch";
+  let metrics =
+    match metrics with Some m -> m | None -> Engine.Metrics.create ()
+  in
+  Engine.Sim.make ~metrics
+    ~step:(fun g ->
+      let probes = step_probes t g v in
+      Engine.Metrics.add_probes metrics probes;
+      Engine.Metrics.add_draws metrics (1 + probes))
+    ~observe:(fun () -> Mv.to_load_vector v)
+    ~reset:(fun lv -> Mv.set_from_load_vector v lv)
+    ~probe:(fun () -> Mv.max_load v)
+    ()
 
 let exact_transitions t lv =
   let loads = Lv.to_array lv in

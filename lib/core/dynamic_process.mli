@@ -34,7 +34,22 @@ val step_probes : t -> Prng.Rng.t -> Loadvec.Mutable_vector.t -> int
     used (of interest for the ADAP ablation). *)
 
 val chain : t -> Loadvec.Load_vector.t Markov.Chain.t
-(** Functional view for the generic chain drivers. *)
+(** Functional view.
+    @deprecated for simulation: each step copies the state through
+    {!Loadvec.Mutable_vector.of_load_vector}/[to_load_vector] (two array
+    allocations plus a sort).  Use {!sim} with the {!Engine.Sim} drivers
+    instead; [chain] remains for exact-analysis-style functional
+    states. *)
+
+val sim :
+  ?metrics:Engine.Metrics.t ->
+  t ->
+  Loadvec.Mutable_vector.t ->
+  Loadvec.Load_vector.t Engine.Sim.t
+(** Zero-allocation stepper on the given state buffer (adopted and
+    mutated; the caller may keep it for cheap reads).  The probe is the
+    maximum load; probes and RNG draws are counted per step.
+    @raise Invalid_argument on a dimension mismatch. *)
 
 val exact_transitions :
   t -> Loadvec.Load_vector.t -> (Loadvec.Load_vector.t * float) list

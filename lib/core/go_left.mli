@@ -31,3 +31,14 @@ val static_run : t -> Prng.Rng.t -> m:int -> Bins.t
 val dynamic_step : t -> Scenario.t -> Prng.Rng.t -> Bins.t -> unit
 (** One remove-and-reinsert step of the dynamic process using this rule
     for insertion. *)
+
+val sim :
+  ?metrics:Engine.Metrics.t ->
+  t ->
+  Scenario.t ->
+  Bins.t ->
+  int array Engine.Sim.t
+(** {!dynamic_step} as an in-place engine stepper on the given bins
+    (adopted and mutated).
+    @raise Invalid_argument if the bins' size differs from the rule's
+    [n]. *)

@@ -37,3 +37,12 @@ val coupled :
     is ⌈½ ‖v − u‖₁⌉. *)
 
 val step_normalized : t -> Prng.Rng.t -> Loadvec.Mutable_vector.t -> unit
+
+val sim :
+  ?metrics:Engine.Metrics.t ->
+  t ->
+  Loadvec.Mutable_vector.t ->
+  Loadvec.Load_vector.t Engine.Sim.t
+(** {!step_normalized} as an in-place engine stepper on the given state
+    buffer (adopted and mutated).
+    @raise Invalid_argument on a dimension mismatch. *)

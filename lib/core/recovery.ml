@@ -15,67 +15,46 @@ let balanced_bins spec =
     (Loadvec.Load_vector.to_array
        (Loadvec.Load_vector.uniform ~n:spec.n ~m:spec.m))
 
+(* The sim's probe is the O(1) max load, so first-hitting times come
+   out of the generic engine driver with the historical draw order. *)
+let adversarial_sim ?metrics spec =
+  System.sim ?metrics
+    (System.create spec.scenario spec.rule (adversarial_bins spec))
+
 let time_to_max_load ~rng spec ~target ~limit =
-  let system = System.create spec.scenario spec.rule (adversarial_bins spec) in
-  System.run_until rng system ~pred:(fun s -> System.max_load s <= target) ~limit
+  let s = adversarial_sim spec in
+  Engine.Sim.first_hit s rng ~pred:(fun ml -> ml <= target) ~limit
 
 let measure ?(domains = 1) ~rng ~reps spec ~target ~limit =
   if reps <= 0 then invalid_arg "Recovery.measure: reps must be positive";
-  let gens = Array.init reps (fun _ -> Prng.Rng.split rng) in
-  let outcomes =
-    Parallel.map_array ~domains
-      (fun g -> time_to_max_load ~rng:g spec ~target ~limit)
-      gens
+  let m, metrics =
+    Engine.Runner.measure ~domains ~rng ~reps ~limit
+      (fun g metrics ~limit ->
+        let s = adversarial_sim ~metrics spec in
+        Engine.Sim.first_hit s g ~pred:(fun ml -> ml <= target) ~limit)
   in
-  let times = ref [] in
-  let failures = ref 0 in
-  Array.iter
-    (function
-      | Some t -> times := t :: !times
-      | None -> incr failures)
-    outcomes;
-  let times = Array.of_list (List.rev !times) in
-  if Array.length times = 0 then
-    {
-      Coupling.Coalescence.times;
-      failures = !failures;
-      median = nan;
-      mean = nan;
-      q10 = nan;
-      q90 = nan;
-    }
-  else begin
-    let xs = Stats.Quantile.of_ints times in
-    let s = Stats.Summary.create () in
-    Array.iter (Stats.Summary.add s) xs;
-    {
-      Coupling.Coalescence.times;
-      failures = !failures;
-      median = Stats.Quantile.median xs;
-      mean = Stats.Summary.mean s;
-      q10 = Stats.Quantile.quantile xs 0.1;
-      q90 = Stats.Quantile.quantile xs 0.9;
-    }
-  end
+  if Engine.Metrics.dump_enabled () then
+    Engine.Metrics.dump ~label:"recovery" metrics;
+  m
 
 let trajectory ~rng spec ~every ~points =
   if every <= 0 || points < 0 then invalid_arg "Recovery.trajectory";
-  let system = System.create spec.scenario spec.rule (adversarial_bins spec) in
+  let s = adversarial_sim spec in
   Array.init points (fun k ->
-      if k > 0 then System.run rng system ~steps:every;
-      (k * every, System.max_load system))
+      if k > 0 then Engine.Sim.iterate s rng every;
+      (k * every, Engine.Sim.probe s))
 
 let stationary_max_load ~rng spec ~burn_in ~every ~samples =
   if burn_in < 0 || every <= 0 || samples <= 0 then
     invalid_arg "Recovery.stationary_max_load";
-  let system = System.create spec.scenario spec.rule (balanced_bins spec) in
-  System.run rng system ~steps:burn_in;
+  let s =
+    System.sim (System.create spec.scenario spec.rule (balanced_bins spec))
+  in
   let summary = Stats.Summary.create () in
   let worst = ref 0 in
-  for _ = 1 to samples do
-    System.run rng system ~steps:every;
-    let ml = System.max_load system in
-    Stats.Summary.add_int summary ml;
-    if ml > !worst then worst := ml
-  done;
+  Engine.Sim.sample_every s rng ~burn_in ~every ~samples (fun () ->
+      Engine.Sim.probe s)
+  |> List.iter (fun ml ->
+         Stats.Summary.add_int summary ml;
+         if ml > !worst then worst := ml);
   (Stats.Summary.mean summary, !worst)

@@ -25,8 +25,10 @@ val measure :
   rng:Prng.Rng.t -> reps:int -> spec -> target:int -> limit:int ->
   Coupling.Coalescence.measurement
 (** Repeated {!time_to_max_load} (failures = runs hitting [limit]).
-    [domains] (default 1) fans repetitions over OCaml domains with
-    bit-identical results (generators split before the fan-out).
+    Implemented on {!Engine.Runner} over {!System.sim}: [domains]
+    (default 1) fans repetitions over OCaml domains with bit-identical
+    results (generators split before the fan-out), and with
+    [BENCH_METRICS=1] the aggregated engine counters are printed.
     @raise Invalid_argument if [reps <= 0]. *)
 
 val trajectory :

@@ -26,6 +26,8 @@ let fullest_bin bins =
   in
   scan 0
 
+(* Returns the number of probes it consumed, so the engine adapter can
+   meter relocation traffic alongside insertion traffic. *)
 let relocate_once t g bins =
   if Bins.max_load bins > 0 then begin
     let from_bin = fullest_bin bins in
@@ -39,14 +41,35 @@ let relocate_once t g bins =
     (* Commit only strictly improving moves, so relocation never makes
        the state worse. *)
     if Bins.load bins !best + 1 < Bins.load bins from_bin then
-      Bins.move_ball bins ~src:from_bin ~dst:!best
+      Bins.move_ball bins ~src:from_bin ~dst:!best;
+    d
   end
+  else 0
 
-let step t g bins =
+let step_counted t g bins =
   (match t.scenario with
   | Scenario.A -> ignore (Bins.remove_ball_uniform g bins)
   | Scenario.B -> ignore (Bins.remove_from_random_nonempty g bins));
-  ignore (Bins.insert_with_rule t.rule g bins);
+  let _, insert_probes = Bins.insert_with_rule t.rule g bins in
+  let reloc_probes = ref 0 in
   for _ = 1 to t.relocations do
-    relocate_once t g bins
-  done
+    reloc_probes := !reloc_probes + relocate_once t g bins
+  done;
+  insert_probes + !reloc_probes
+
+let step t g bins = ignore (step_counted t g bins)
+
+let sim ?metrics t bins =
+  if Bins.n bins <> t.n then invalid_arg "Relocation.sim: size mismatch";
+  let metrics =
+    match metrics with Some m -> m | None -> Engine.Metrics.create ()
+  in
+  Engine.Sim.make ~metrics
+    ~step:(fun g ->
+      let probes = step_counted t g bins in
+      Engine.Metrics.add_probes metrics probes;
+      Engine.Metrics.add_draws metrics (1 + probes))
+    ~observe:(fun () -> Bins.loads bins)
+    ~reset:(fun loads -> Bins.reset_loads bins loads)
+    ~probe:(fun () -> Bins.max_load bins)
+    ()

@@ -20,4 +20,9 @@ val step : t -> Prng.Rng.t -> Bins.t -> unit
 (** One remove-insert step followed by at most [relocations] relocation
     attempts. *)
 
+val sim : ?metrics:Engine.Metrics.t -> t -> Bins.t -> int array Engine.Sim.t
+(** {!step} as an in-place engine stepper on the given bins (adopted and
+    mutated).  Probes count both insertion and relocation traffic.
+    @raise Invalid_argument if the bins were not created with [n] bins. *)
+
 val relocation_attempts : t -> int

@@ -8,17 +8,19 @@ let remove_rank sc v ~u =
   if m <= 0 then invalid_arg "Scenario.remove_rank: no balls";
   match sc with
   | A ->
-      (* Inverse CDF of A(v): rank i with probability v_i / m. *)
+      (* Inverse CDF of A(v): rank i with probability v_i / m.  The
+         partial sums are ints (exact as floats up to 2^53), so the
+         accumulator stays unboxed and the scan never allocates. *)
       let loads = Mv.unsafe_loads v in
       let target = u *. float_of_int m in
       let n = Array.length loads in
       let rec scan i acc =
         if i = n - 1 then i
         else
-          let acc = acc +. float_of_int loads.(i) in
-          if target < acc then i else scan (i + 1) acc
+          let acc = acc + loads.(i) in
+          if target < float_of_int acc then i else scan (i + 1) acc
       in
-      scan 0 0.
+      scan 0 0
   | B ->
       let s = Mv.support v in
       Stdlib.min (int_of_float (u *. float_of_int s)) (s - 1)

@@ -12,12 +12,28 @@ let name = function
 
 let probe_cap = 1_000_000
 
+exception Probe_cap_exceeded of { n : int; x : string; cap : int }
+
+let () =
+  Printexc.register_printer (function
+    | Probe_cap_exceeded { n; x; cap } ->
+        Some
+          (Printf.sprintf
+             "Probe_cap_exceeded: rule %s issued more than %d probes on %d \
+              bins (the threshold sequence never released the insertion)"
+             x cap n)
+    | _ -> None)
+
+let probe_cap_exceeded rule ~n =
+  raise (Probe_cap_exceeded { n; x = name rule; cap = probe_cap })
+
 let choose_rank rule ~loads ~probe =
   match rule with
   | Abku d -> (Probe.prefix_max probe (d - 1), d)
   | Adap x ->
       let rec go t =
-        if t > probe_cap then failwith "Scheduling_rule: probe cap exceeded";
+        if t > probe_cap then
+          probe_cap_exceeded rule ~n:(Array.length loads);
         let best = Probe.prefix_max probe (t - 1) in
         if Adaptive.threshold x loads.(best) <= t then (best, t) else go (t + 1)
       in
@@ -33,7 +49,7 @@ let adap_dp x ~loads ~emit =
   let t = ref 1 in
   let remaining = ref 1. in
   while !remaining > 1e-15 do
-    if !t > probe_cap then failwith "Scheduling_rule: probe cap exceeded";
+    if !t > probe_cap then probe_cap_exceeded (Adap x) ~n;
     (* Emit the mass that stops at time t. *)
     for r = 0 to n - 1 do
       if alive.(r) > 0. && Adaptive.threshold x loads.(r) <= !t then begin

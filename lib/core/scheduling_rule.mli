@@ -20,9 +20,19 @@ val adap : Adaptive.t -> t
 val name : t -> string
 
 val probe_cap : int
-(** Safety bound on probes per insertion (an [Failure] is raised if a
-    threshold sequence forces more — it would indicate a sequence that is
-    not positive non-decreasing). *)
+(** Safety bound on probes per insertion. *)
+
+exception Probe_cap_exceeded of { n : int; x : string; cap : int }
+(** Raised when an insertion issues more than [cap = probe_cap] probes
+    over [n] bins under the threshold sequence named [x] — a sequence
+    whose thresholds exceed the cap can demand more probes than any
+    state can release, which would otherwise loop for a very long time.
+    Raised by {!choose_rank}, {!rank_distribution}, {!expected_probes},
+    {!Bins.insert_with_rule} and the direct stepper in
+    {!Dynamic_process}. *)
+
+val probe_cap_exceeded : t -> n:int -> 'a
+(** Raise {!Probe_cap_exceeded} for the given rule on [n] bins. *)
 
 val choose_rank : t -> loads:int array -> probe:Probe.t -> int * int
 (** [choose_rank rule ~loads ~probe] evaluates [D(v, b)] on the normalized

@@ -5,6 +5,12 @@
     ln ln n / ln d (1 + o(1)) + Θ(m/n).  Experiment E5 reproduces this
     contrast. *)
 
+val sim :
+  ?metrics:Engine.Metrics.t -> Scheduling_rule.t -> Bins.t ->
+  int array Engine.Sim.t
+(** One insertion per step into the given bins (adopted and mutated).
+    [run]/[run_stats] are [m] steps of this sim from empty bins. *)
+
 val run : Scheduling_rule.t -> Prng.Rng.t -> n:int -> m:int -> Bins.t
 (** Allocate [m] balls sequentially.
     @raise Invalid_argument if [n <= 0] or [m < 0]. *)

@@ -25,6 +25,22 @@ let run g t ~steps =
 
 let max_load t = Bins.max_load t.bins
 
+(* Scenario A draws one registry slot, scenario B one non-empty bin;
+   the insertion draws one bin per probe. *)
+let sim ?metrics t =
+  let metrics =
+    match metrics with Some m -> m | None -> Engine.Metrics.create ()
+  in
+  Engine.Sim.make ~metrics
+    ~step:(fun g ->
+      let probes = step_probes g t in
+      Engine.Metrics.add_probes metrics probes;
+      Engine.Metrics.add_draws metrics (1 + probes))
+    ~observe:(fun () -> Bins.loads t.bins)
+    ~reset:(fun loads -> Bins.reset_loads t.bins loads)
+    ~probe:(fun () -> Bins.max_load t.bins)
+    ()
+
 let run_until g t ~pred ~limit =
   if limit < 0 then invalid_arg "System.run_until: negative limit";
   let rec go k =

@@ -23,6 +23,11 @@ val run : Prng.Rng.t -> t -> steps:int -> unit
 
 val max_load : t -> int
 
+val sim : ?metrics:Engine.Metrics.t -> t -> int array Engine.Sim.t
+(** In-place stepper over the system's bins (observations are per-bin
+    load snapshots; the probe is the maximum load).  The recovery
+    harness drives this through {!Engine.Sim.first_hit}. *)
+
 val run_until :
   Prng.Rng.t -> t -> pred:(t -> bool) -> limit:int -> int option
 (** First step count [<= limit] at which [pred] holds (checked before the

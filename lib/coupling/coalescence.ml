@@ -9,7 +9,7 @@ let time c g x y ~limit =
   in
   go 0 x y
 
-type measurement = {
+type measurement = Engine.Runner.measurement = {
   times : int array;
   failures : int;
   median : float;
@@ -18,41 +18,22 @@ type measurement = {
   q90 : float;
 }
 
+(* The generators are split and the coupling stepped in exactly the
+   order of the historical bespoke loop (split all reps up front, then
+   init and step each), so measurements are bit-identical to it for any
+   domain count. *)
 let measure ?(domains = 1) ~reps ~limit ~rng c ~init =
   if reps <= 0 then invalid_arg "Coalescence.measure: reps must be positive";
-  (* Split all generators up front so the outcome does not depend on the
-     domain count. *)
-  let gens = Array.init reps (fun _ -> Prng.Rng.split rng) in
-  let outcomes =
-    Parallel.map_array ~domains
-      (fun g ->
+  let m, metrics =
+    Engine.Runner.measure ~domains ~rng ~reps ~limit
+      (fun g metrics ~limit ->
         let x, y = init g in
-        time c g x y ~limit)
-      gens
+        let s = Coupled_chain.sim ~metrics c ~x ~y in
+        Engine.Sim.first_hit s g ~pred:(fun d -> d = 0) ~limit)
   in
-  let times = ref [] in
-  let failures = ref 0 in
-  Array.iter
-    (function
-      | Some t -> times := t :: !times
-      | None -> incr failures)
-    outcomes;
-  let times = Array.of_list (List.rev !times) in
-  if Array.length times = 0 then
-    { times; failures = !failures; median = nan; mean = nan; q10 = nan; q90 = nan }
-  else begin
-    let xs = Stats.Quantile.of_ints times in
-    let s = Stats.Summary.create () in
-    Array.iter (Stats.Summary.add s) xs;
-    {
-      times;
-      failures = !failures;
-      median = Stats.Quantile.median xs;
-      mean = Stats.Summary.mean s;
-      q10 = Stats.Quantile.quantile xs 0.1;
-      q90 = Stats.Quantile.quantile xs 0.9;
-    }
-  end
+  if Engine.Metrics.dump_enabled () then
+    Engine.Metrics.dump ~label:"coalescence" metrics;
+  m
 
 let trace_distance c g x y ~every ~limit =
   if every <= 0 || limit < 0 then invalid_arg "Coalescence.trace_distance";

@@ -17,7 +17,7 @@ val time :
     copies equal, [None] if they have not met after [limit] steps.
     @raise Invalid_argument if [limit < 0]. *)
 
-type measurement = {
+type measurement = Engine.Runner.measurement = {
   times : int array;       (** Coalescence times of successful runs. *)
   failures : int;          (** Runs that hit the limit without meeting. *)
   median : float;
@@ -25,6 +25,8 @@ type measurement = {
   q10 : float;
   q90 : float;
 }
+(** Re-exported from {!Engine.Runner} so engine and coupling results are
+    interchangeable. *)
 
 val measure :
   ?domains:int ->
@@ -38,9 +40,11 @@ val measure :
     coalescence runs from (possibly randomized) initial pairs.  Quantile
     fields are [nan] when every run failed.
 
-    [domains] (default 1) fans the repetitions out over OCaml domains;
-    each repetition's generator is split from [rng] before the fan-out,
-    so the result is bit-identical for any domain count.
+    Implemented on {!Engine.Runner} over {!Coupled_chain.sim}: the
+    fan-out, step order and aggregation are the engine's, and remain
+    bit-identical to the historical bespoke loop for any [domains]
+    (default 1).  With [BENCH_METRICS=1] the aggregated engine counters
+    are printed.
     @raise Invalid_argument if [reps <= 0]. *)
 
 val trace_distance :

@@ -30,3 +30,18 @@ val of_identity :
     copies the very same random stream.  This is a valid coupling for any
     chain, and for chains driven by right-oriented functions (Lemma 3.4
     with [Φ = identity]) it coincides with the paper's coupling. *)
+
+val sim :
+  ?metrics:Engine.Metrics.t ->
+  ?copy:('state -> 'state) ->
+  'state t ->
+  x:'state ->
+  y:'state ->
+  ('state * 'state) Engine.Sim.t
+(** The coupling as an engine stepper over the pair.  The probe reports
+    [0] exactly when the copies have met ([equal]) and otherwise the
+    coupling distance clamped to at least 1, so
+    [Engine.Sim.first_hit ~pred:(fun d -> d = 0)] is the coalescence
+    time.  [copy] (default identity) deep-copies a state; supply it when
+    states are mutable buffers so [observe]/[reset] detach from the live
+    pair.  Watermarking is disabled: the probe is O(n), not a max-load. *)

@@ -23,24 +23,37 @@ let create ~n =
     edges_seen = 0;
   }
 
+let check_values ~who n values =
+  if Array.fold_left ( + ) 0 values <> 0 then
+    invalid_arg (who ^ ": values must sum to 0");
+  Array.iter
+    (fun d -> if abs d > n then invalid_arg (who ^ ": outside +-n window"))
+    values
+
+(* Unchecked in-place install of a discrepancy vector. *)
+let install t values =
+  Array.blit values 0 t.diffs 0 t.n;
+  Array.fill t.count_by_diff 0 ((2 * t.n) + 1) 0;
+  Array.iter
+    (fun d -> t.count_by_diff.(d + t.n) <- t.count_by_diff.(d + t.n) + 1)
+    values;
+  t.max_diff <- Array.fold_left Stdlib.max values.(0) values;
+  t.min_diff <- Array.fold_left Stdlib.min values.(0) values
+
 let of_discrepancies values =
   let n = Array.length values in
   if n < 2 then invalid_arg "Orientation.of_discrepancies: need n >= 2";
-  if Array.fold_left ( + ) 0 values <> 0 then
-    invalid_arg "Orientation.of_discrepancies: values must sum to 0";
-  Array.iter
-    (fun d ->
-      if abs d > n then
-        invalid_arg "Orientation.of_discrepancies: outside +-n window")
-    values;
+  check_values ~who:"Orientation.of_discrepancies" n values;
   let t = create ~n in
-  Array.blit values 0 t.diffs 0 n;
-  Array.fill t.count_by_diff 0 ((2 * n) + 1) 0;
-  Array.iter (fun d -> t.count_by_diff.(d + n) <- t.count_by_diff.(d + n) + 1)
-    values;
-  t.max_diff <- Array.fold_left Stdlib.max values.(0) values;
-  t.min_diff <- Array.fold_left Stdlib.min values.(0) values;
+  install t values;
   t
+
+let restore t values =
+  if Array.length values <> t.n then
+    invalid_arg "Orientation.restore: dimension mismatch";
+  check_values ~who:"Orientation.restore" t.n values;
+  install t values;
+  t.edges_seen <- 0
 
 let adversarial ~n =
   if n < 2 then invalid_arg "Orientation.adversarial: need n >= 2";
@@ -108,3 +121,19 @@ let run g t ~steps =
   for _ = 1 to steps do
     greedy_step g t
   done
+
+(* Two endpoint inspections per edge; the tie-breaking coin is not
+   metered separately. *)
+let sim ?metrics t =
+  let metrics =
+    match metrics with Some m -> m | None -> Engine.Metrics.create ()
+  in
+  Engine.Sim.make ~metrics
+    ~step:(fun g ->
+      greedy_step g t;
+      Engine.Metrics.add_probes metrics 2;
+      Engine.Metrics.add_draws metrics 2)
+    ~observe:(fun () -> discrepancies t)
+    ~reset:(fun values -> restore t values)
+    ~probe:(fun () -> unfairness t)
+    ()

@@ -1,0 +1,56 @@
+type 'r result = { observations : 'r array; metrics : Metrics.snapshot }
+
+let run ?(domains = 1) ~rng ~reps f =
+  if reps <= 0 then invalid_arg "Runner.run: reps must be positive";
+  (* Split all generators before the fan-out so the outcome does not
+     depend on the domain count. *)
+  let gens = Array.init reps (fun _ -> Prng.Rng.split rng) in
+  let outs =
+    Parallel.map_array ~domains
+      (fun g ->
+        let m = Metrics.create () in
+        let r = Metrics.time m "run" (fun () -> f g m) in
+        (r, Metrics.snapshot m))
+      gens
+  in
+  {
+    observations = Array.map fst outs;
+    metrics =
+      Array.fold_left (fun acc (_, s) -> Metrics.merge acc s) Metrics.zero outs;
+  }
+
+type measurement = {
+  times : int array;
+  failures : int;
+  median : float;
+  mean : float;
+  q10 : float;
+  q90 : float;
+}
+
+let summarize outcomes =
+  let times = ref [] in
+  let failures = ref 0 in
+  Array.iter
+    (function Some t -> times := t :: !times | None -> incr failures)
+    outcomes;
+  let times = Array.of_list (List.rev !times) in
+  if Array.length times = 0 then
+    { times; failures = !failures; median = nan; mean = nan; q10 = nan; q90 = nan }
+  else begin
+    let xs = Stats.Quantile.of_ints times in
+    let s = Stats.Summary.create () in
+    Array.iter (Stats.Summary.add s) xs;
+    {
+      times;
+      failures = !failures;
+      median = Stats.Quantile.median xs;
+      mean = Stats.Summary.mean s;
+      q10 = Stats.Quantile.quantile xs 0.1;
+      q90 = Stats.Quantile.quantile xs 0.9;
+    }
+  end
+
+let measure ?domains ~rng ~reps ~limit f =
+  let r = run ?domains ~rng ~reps (fun g m -> f g m ~limit) in
+  (summarize r.observations, r.metrics)

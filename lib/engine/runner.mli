@@ -1,0 +1,53 @@
+(** Deterministic replication fan-out.
+
+    One generic repetition runner for every measurement in the repo:
+    generators are split from the root {e before} the fan-out over OCaml
+    domains, so per-rep observations are bit-identical for any domain
+    count; each repetition gets its own {!Metrics.t} (timed under the
+    ["run"] phase) and the snapshots are merged after the join.
+    {!Core.Recovery.measure}, {!Coupling.Coalescence.measure} and the
+    bench experiments are built on this. *)
+
+type 'r result = {
+  observations : 'r array;  (** Per-rep results, in rep order. *)
+  metrics : Metrics.snapshot;  (** Aggregate over all repetitions. *)
+}
+
+val run :
+  ?domains:int ->
+  rng:Prng.Rng.t ->
+  reps:int ->
+  (Prng.Rng.t -> Metrics.t -> 'r) ->
+  'r result
+(** [run ~rng ~reps f] evaluates [f] once per repetition on an
+    independent generator split from [rng], fanning out over [domains]
+    (default 1) OCaml domains via {!Parallel.map_array}.  [f] must not
+    share mutable state across repetitions.
+    @raise Invalid_argument if [reps <= 0]. *)
+
+type measurement = {
+  times : int array;  (** Hitting times of successful runs, in rep order. *)
+  failures : int;  (** Runs that hit the limit. *)
+  median : float;
+  mean : float;
+  q10 : float;
+  q90 : float;
+}
+(** Aggregated first-hitting-time observations (coalescence times,
+    recovery times, …).  Quantile fields are [nan] when every run
+    failed. *)
+
+val summarize : int option array -> measurement
+(** Aggregate raw per-rep outcomes ([None] = hit the limit). *)
+
+val measure :
+  ?domains:int ->
+  rng:Prng.Rng.t ->
+  reps:int ->
+  limit:int ->
+  (Prng.Rng.t -> Metrics.t -> limit:int -> int option) ->
+  measurement * Metrics.snapshot
+(** [measure ~rng ~reps ~limit f] runs [f] per repetition (typically a
+    {!Sim.first_hit} with the given [limit]) and {!summarize}s the
+    outcomes, returning the aggregate metrics alongside.
+    @raise Invalid_argument if [reps <= 0]. *)

@@ -1,0 +1,72 @@
+type 'obs t = {
+  step : Prng.Rng.t -> unit;
+  observe : unit -> 'obs;
+  reset : 'obs -> unit;
+  probe : unit -> int;
+  metrics : Metrics.t;
+}
+
+let make ?metrics ?(watermark = true) ~step ~observe ~reset ~probe () =
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
+  let step =
+    if watermark then (fun g ->
+      step g;
+      Metrics.add_step metrics;
+      Metrics.watermark metrics (probe ()))
+    else (fun g ->
+      step g;
+      Metrics.add_step metrics)
+  in
+  { step; observe; reset; probe; metrics }
+
+let metrics s = s.metrics
+let step s g = s.step g
+let observe s = s.observe ()
+let reset s obs = s.reset obs
+let probe s = s.probe ()
+
+let iterate s g t =
+  if t < 0 then invalid_arg "Sim.iterate: negative step count";
+  for _ = 1 to t do
+    s.step g
+  done
+
+let fold s g t ~init ~f =
+  if t < 0 then invalid_arg "Sim.fold: negative step count";
+  let acc = ref init in
+  for i = 1 to t do
+    s.step g;
+    acc := f !acc i (s.probe ())
+  done;
+  !acc
+
+let trajectory s g t =
+  if t < 0 then invalid_arg "Sim.trajectory: negative step count";
+  Array.init t (fun _ ->
+      s.step g;
+      s.observe ())
+
+let first_hit s g ~pred ~limit =
+  if limit < 0 then invalid_arg "Sim.first_hit: negative limit";
+  let rec go t =
+    if pred (s.probe ()) then Some t
+    else if t >= limit then None
+    else begin
+      s.step g;
+      go (t + 1)
+    end
+  in
+  go 0
+
+let sample_every s g ~burn_in ~every ~samples obs =
+  if burn_in < 0 || every <= 0 || samples < 0 then
+    invalid_arg "Sim.sample_every: bad parameters";
+  iterate s g burn_in;
+  let out = ref [] in
+  for _ = 1 to samples do
+    iterate s g every;
+    out := obs () :: !out
+  done;
+  List.rev !out

@@ -1,0 +1,74 @@
+(** In-place simulation steppers.
+
+    A sim is a process whose state lives in preallocated buffers owned by
+    the adapter that built it: {!step} mutates that state without
+    allocating, {!probe} reads a cheap scalar observable of it (the
+    maximum load for allocation processes, the coupling distance for
+    coupled pairs, the unfairness for edge orientations), {!observe}
+    snapshots the full state as an immutable value and {!reset} restores
+    a snapshot — so one sim can be reused across repetitions.
+
+    Every process in the repository exposes a [sim] constructor returning
+    this type ({!Core.Dynamic_process.sim}, {!Core.System.sim},
+    {!Core.Open_process.sim}, {!Coupling.Coupled_chain.sim},
+    {!Edgeorient.Orientation.sim}, …).  The drivers below mirror
+    {!Markov.Chain}'s API so call sites migrate mechanically; the chain
+    drivers remain only for exact-analysis-style functional states and
+    are deprecated for simulation. *)
+
+type 'obs t = {
+  step : Prng.Rng.t -> unit;  (** One in-place transition. *)
+  observe : unit -> 'obs;  (** Full-state snapshot (may allocate). *)
+  reset : 'obs -> unit;  (** Restore a snapshot into the live buffers. *)
+  probe : unit -> int;  (** Cheap scalar observable; no allocation. *)
+  metrics : Metrics.t;  (** Counters threaded through [step]. *)
+}
+
+val make :
+  ?metrics:Metrics.t ->
+  ?watermark:bool ->
+  step:(Prng.Rng.t -> unit) ->
+  observe:(unit -> 'obs) ->
+  reset:('obs -> unit) ->
+  probe:(unit -> int) ->
+  unit ->
+  'obs t
+(** Wraps [step] so that the step counter — and, unless
+    [watermark = false], the {!probe} watermark — are maintained
+    automatically.  Adapters whose probe is not O(1) pass
+    [~watermark:false].  A fresh {!Metrics.t} is created when none is
+    given. *)
+
+val metrics : _ t -> Metrics.t
+val step : _ t -> Prng.Rng.t -> unit
+val observe : 'obs t -> 'obs
+val reset : 'obs t -> 'obs -> unit
+val probe : _ t -> int
+
+val iterate : _ t -> Prng.Rng.t -> int -> unit
+(** [iterate s g t] runs [t] steps in place.
+    @raise Invalid_argument if [t < 0]. *)
+
+val fold :
+  _ t -> Prng.Rng.t -> int -> init:'acc -> f:('acc -> int -> int -> 'acc) -> 'acc
+(** [fold s g t ~init ~f] runs [t] steps, folding
+    [f acc step_index probe_value] over the probe {e after} each step.
+    Allocation-free when [f] is. *)
+
+val trajectory : 'obs t -> Prng.Rng.t -> int -> 'obs array
+(** Observations after steps 1..t (length [t]). *)
+
+val first_hit : _ t -> Prng.Rng.t -> pred:(int -> bool) -> limit:int -> int option
+(** [first_hit s g ~pred ~limit] is [Some t] for the smallest
+    [0 <= t <= limit] such that the probe after [t] steps satisfies
+    [pred] ([t = 0] checks the initial state), [None] if the predicate
+    never holds within [limit] steps.
+    @raise Invalid_argument if [limit < 0]. *)
+
+val sample_every :
+  _ t -> Prng.Rng.t -> burn_in:int -> every:int -> samples:int ->
+  (unit -> 'a) -> 'a list
+(** [sample_every s g ~burn_in ~every ~samples obs] runs [burn_in]
+    steps, then records [obs ()] every [every] steps until [samples]
+    observations are collected.  [obs] closes over the sim (typically
+    {!probe} or an adapter-specific accessor). *)

@@ -12,6 +12,14 @@ let to_load_vector v = Load_vector.of_array v.loads
 
 let copy v = { loads = Array.copy v.loads; total = v.total; support = v.support }
 
+let set_from_load_vector v lv =
+  if Load_vector.dim lv <> Array.length v.loads then
+    invalid_arg "Mutable_vector.set_from_load_vector: dimension mismatch";
+  let src = Load_vector.to_array lv in
+  Array.blit src 0 v.loads 0 (Array.length src);
+  v.total <- Load_vector.total lv;
+  v.support <- Load_vector.support lv
+
 let dim v = Array.length v.loads
 let total v = v.total
 

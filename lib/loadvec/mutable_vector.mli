@@ -12,6 +12,12 @@ val to_load_vector : t -> Load_vector.t
 (** Snapshot as an immutable vector. *)
 
 val copy : t -> t
+
+val set_from_load_vector : t -> Load_vector.t -> unit
+(** Overwrite the state with the given snapshot, in place — the reset
+    primitive of the simulation engine.
+    @raise Invalid_argument on a dimension mismatch. *)
+
 val dim : t -> int
 val total : t -> int
 (** Ball count, maintained incrementally. *)

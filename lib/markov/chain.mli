@@ -3,7 +3,15 @@
     A chain is just a randomized transition function; the allocation
     processes of the paper (Section 3.3) and the edge-orientation chain
     (Section 6) are instances.  This module holds the generic driving
-    loops used by experiments. *)
+    loops used by experiments.
+
+    @deprecated For {e simulation} prefer [Engine.Sim]: each process
+    module exposes a [sim] adapter whose steppers mutate preallocated
+    buffers instead of rebuilding functional states, and whose drivers
+    ([iterate], [fold], [first_hit], [trajectory], [sample_every])
+    mirror the ones here with always-on instrumentation.  This module
+    remains the right tool for chains over immutable states (exact
+    analysis, couplings built with [of_identity]). *)
 
 type 'state t = {
   step : Prng.Rng.t -> 'state -> 'state;

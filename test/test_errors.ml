@@ -169,6 +169,30 @@ let test_core_errors () =
       let rule = Core.Go_left.make ~d:2 ~n:4 in
       ignore (Core.Go_left.insert rule (g ()) (Core.Bins.create ~n:8)))
 
+(* A threshold sequence that never releases the insertion must raise the
+   dedicated exception (not loop) at every insertion site, carrying the
+   system size and the cap. *)
+let test_probe_cap () =
+  let slow = Sr.adap (Core.Adaptive.of_list [ Sr.probe_cap + 1 ]) in
+  let expect name f =
+    match f () with
+    | exception Sr.Probe_cap_exceeded { n; x; cap } ->
+        Alcotest.(check int) (name ^ ": n") 2 n;
+        Alcotest.(check int) (name ^ ": cap") Sr.probe_cap cap;
+        Alcotest.(check string) (name ^ ": rule") (Sr.name slow) x
+    | _ -> Alcotest.failf "%s: expected Probe_cap_exceeded" name
+  in
+  expect "choose_rank" (fun () ->
+      ignore
+        (Sr.choose_rank slow ~loads:[| 1; 1 |]
+           ~probe:(Core.Probe.create (g ()) ~n:2)));
+  expect "Bins.insert_with_rule" (fun () ->
+      ignore (Core.Bins.insert_with_rule slow (g ()) (Core.Bins.of_loads [| 1; 1 |])));
+  expect "Dynamic_process.step_in_place" (fun () ->
+      let p = Core.Dynamic_process.make Core.Scenario.A slow ~n:2 in
+      Core.Dynamic_process.step_in_place p (g ())
+        (Mv.of_load_vector (Lv.of_array [| 1; 1 |])))
+
 let test_edgeorient_errors () =
   inv "Orientation.create: need n >= 2" (fun () ->
       ignore (Edgeorient.Orientation.create ~n:0));
@@ -214,6 +238,7 @@ let suite =
       ("markov error paths", test_markov_errors);
       ("coupling error paths", test_coupling_errors);
       ("core error paths", test_core_errors);
+      ("probe cap exception", test_probe_cap);
       ("edgeorient error paths", test_edgeorient_errors);
       ("fluid/theory error paths", test_fluid_theory_errors);
     ]

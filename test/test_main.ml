@@ -5,6 +5,7 @@ let () =
       ("stats", Test_stats.suite);
       ("loadvec", Test_loadvec.suite);
       ("markov", Test_markov.suite);
+      ("engine", Test_engine.suite);
       ("coupling", Test_coupling.suite);
       ("core.rules", Test_core_rules.suite);
       ("core.process", Test_core_process.suite);
