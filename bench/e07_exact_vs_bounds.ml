@@ -4,7 +4,14 @@
    closed-form path-coupling bounds, side by side.
 
    The ordering exact <= bound must hold; coalescence tracks the exact
-   value from a fixed extremal pair. *)
+   value from a fixed extremal pair.
+
+   The sparse exact layer (CSR matrix, cached stationary distribution,
+   doubling-then-bisect crossing search) makes state spaces several
+   times larger than the historical dense ceiling affordable; each cell
+   reports |Omega| in the table and its build/mix wall-clock through
+   Engine.Metrics phases (dump with BENCH_METRICS=1), keeping the
+   default table byte-identical across runs and domain counts. *)
 
 module Lv = Loadvec.Load_vector
 module Mv = Loadvec.Mutable_vector
@@ -15,10 +22,11 @@ let eps = 0.25
 let run (cfg : Config.t) =
   Exp_util.heading ~id:"E7"
     ~claim:"exact mixing time vs coupling coalescence vs closed-form bounds";
-  let sizes = if cfg.full then [ 4; 5; 6; 7; 8 ] else [ 4; 5; 6; 7 ] in
+  let sizes = if cfg.full then [ 4; 6; 8; 10; 12; 14 ] else [ 4; 6; 8; 10; 12 ] in
   let reps = if cfg.full then 401 else 201 in
   List.iter
     (fun scenario ->
+      let metrics = Engine.Metrics.create () in
       let table =
         Stats.Table.create
           ~title:
@@ -36,12 +44,16 @@ let run (cfg : Config.t) =
         (fun n ->
           let m = n in
           let process = Core.Dynamic_process.make scenario (Sr.abku 2) ~n in
-          let states = Markov.Partition_space.enumerate ~n ~m in
-          let chain =
-            Markov.Exact.build ~states
+          let a =
+            Markov.Exact_builder.build_mix ~eps ~max_t:1_000_000
+              ~domains:cfg.domains
+              (Markov.Exact_builder.enumerated
+                 (Markov.Partition_space.enumerate ~n ~m))
               ~transitions:(Core.Dynamic_process.exact_transitions process)
           in
-          let tau = Markov.Exact.mixing_time ~eps ~max_t:1_000_000 chain in
+          let cell = Printf.sprintf "cell n=%02d |Omega|=%d" n a.state_count in
+          Engine.Metrics.add_phase metrics (cell ^ " build") a.build_seconds;
+          Engine.Metrics.add_phase metrics (cell ^ " mix") a.mix_seconds;
           let coupled = Core.Coupled.monotone process in
           let rng = Config.rng_for cfg ~experiment:(7000 + n) in
           let meas =
@@ -56,7 +68,7 @@ let run (cfg : Config.t) =
             | Core.Scenario.B -> Theory.Bounds.claim53 ~n ~m ~eps
           in
           let exact_mean_max =
-            Markov.Exact.stationary_expectation chain
+            Markov.Exact.stationary_expectation a.chain
               ~f:(fun v -> float_of_int (Loadvec.Load_vector.max_load v))
               ()
           in
@@ -70,8 +82,8 @@ let run (cfg : Config.t) =
           Stats.Table.add_row table
             [
               string_of_int n;
-              string_of_int (Array.length states);
-              string_of_int tau;
+              string_of_int a.state_count;
+              string_of_int a.tau;
               Exp_util.cell_measurement meas;
               Printf.sprintf "%.0f" bound;
               Printf.sprintf "%.2f" exact_mean_max;
@@ -80,5 +92,10 @@ let run (cfg : Config.t) =
         sizes;
       Stats.Table.add_note table
         "soundness: exact tau <= closed-form bound on every row";
-      Exp_util.output table)
+      Exp_util.output table;
+      Engine.Metrics.dump
+        ~label:
+          (Printf.sprintf "E7 %s exact-cell metrics"
+             (match scenario with Core.Scenario.A -> "Id" | B -> "Ib"))
+        (Engine.Metrics.snapshot metrics))
     [ Core.Scenario.A; Core.Scenario.B ]

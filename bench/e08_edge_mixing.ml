@@ -65,11 +65,14 @@ let run (cfg : Config.t) =
   let exact_sizes = if cfg.full then [ 4; 5; 6; 7; 8; 9 ] else [ 4; 5; 6; 7; 8 ] in
   List.iter
     (fun n ->
-      let states = C.reachable ~from:(C.start ~n) in
-      let chain =
-        Markov.Exact.build ~states ~transitions:C.exact_transitions
+      let a =
+        Markov.Exact_builder.build_mix ~eps:0.25 ~max_t:1_000_000
+          ~domains:cfg.domains
+          (Markov.Exact_builder.reachable ~root:(C.start ~n))
+          ~transitions:C.exact_transitions
       in
-      let tau = Markov.Exact.mixing_time ~eps:0.25 ~max_t:1_000_000 chain in
+      let states = Markov.Exact.states a.chain in
+      let tau = a.tau in
       (* The full Section-6 pipeline, exactly: worst-case contraction of
          the coupling over Gamma pairs in the Definition-6.3 metric, fed
          through Lemma 3.1(1). *)

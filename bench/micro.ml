@@ -131,7 +131,102 @@ let engine_vs_chain () =
     (Printf.sprintf "speedup: %.1fx" (sim_rate /. chain_rate));
   Exp_util.output table
 
+(* Mean seconds per call of [f] under a wall-clock budget.  Calls here
+   are ms-scale, so no batching: one warm call, then count whole
+   calls. *)
+let time_calls ~budget f =
+  ignore (Sys.opaque_identity (f ()));
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  let count = ref 0 in
+  let elapsed = ref 0. in
+  while !elapsed < budget do
+    ignore (Sys.opaque_identity (f ()));
+    incr count;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  !elapsed /. float_of_int !count
+
+(* The exact-layer refactor's headline number: dense mixing_time scans
+   t = 0,1,2,... with a full |Omega|^3 matrix product per step and
+   recomputes the stationary distribution on every call, while the
+   sparse path evolves per-start distribution vectors by CSR spmv with
+   a doubling-then-bisect crossing search, pruning starts against the
+   shared crossing bound, and reuses the chain's cached pi.  The n=8
+   cells are the largest of the pre-extension e07 grid; n=12 is the
+   largest extended quick cell.  Results must agree exactly — between
+   the two implementations and across domain counts. *)
+let dense_vs_sparse () =
+  Printf.printf "\n#### Micro — dense vs sparse Exact.mixing_time\n%!";
+  let metrics = Engine.Metrics.create () in
+  let budget = 0.3 in
+  let table =
+    Stats.Table.create ~title:"dense vs sparse exact mixing time"
+      ~columns:[ "cell"; "|Omega|"; "tau"; "dense ms"; "sparse ms"; "speedup" ]
+  in
+  let headline = ref 0. in
+  List.iter
+    (fun (scenario, n, is_headline) ->
+      let name =
+        Printf.sprintf "%s n=%d"
+          (match scenario with Core.Scenario.A -> "Id" | B -> "Ib")
+          n
+      in
+      let process =
+        Core.Dynamic_process.make scenario (Core.Scheduling_rule.abku 2) ~n
+      in
+      let chain =
+        Markov.Exact_builder.build
+          (Markov.Exact_builder.enumerated
+             (Markov.Partition_space.enumerate ~n ~m:n))
+          ~transitions:(Core.Dynamic_process.exact_transitions process)
+      in
+      let tau_dense = Markov.Exact.Dense.mixing_time ~eps:0.25 chain in
+      let tau_sparse = Markov.Exact.mixing_time ~eps:0.25 ~domains:1 chain in
+      let tau_par = Markov.Exact.mixing_time ~eps:0.25 ~domains:2 chain in
+      if tau_sparse <> tau_dense then
+        failwith
+          (Printf.sprintf "micro: sparse tau %d <> dense tau %d (%s)"
+             tau_sparse tau_dense name);
+      if tau_par <> tau_sparse then
+        failwith
+          (Printf.sprintf "micro: tau differs across domains (%s)" name);
+      let dense_s =
+        time_calls ~budget (fun () ->
+            Markov.Exact.Dense.mixing_time ~eps:0.25 chain)
+      in
+      let sparse_s =
+        time_calls ~budget (fun () ->
+            Markov.Exact.mixing_time ~eps:0.25 ~domains:1 chain)
+      in
+      Engine.Metrics.add_phase metrics (name ^ " dense call") dense_s;
+      Engine.Metrics.add_phase metrics (name ^ " sparse call") sparse_s;
+      if is_headline then headline := dense_s /. sparse_s;
+      Stats.Table.add_row table
+        [
+          name;
+          string_of_int (Markov.Exact.size chain);
+          string_of_int tau_sparse;
+          Printf.sprintf "%.4f" (dense_s *. 1e3);
+          Printf.sprintf "%.4f" (sparse_s *. 1e3);
+          Printf.sprintf "%.1fx" (dense_s /. sparse_s);
+        ])
+    [
+      (Core.Scenario.A, 8, false);
+      (Core.Scenario.B, 8, true);
+      (Core.Scenario.B, 12, false);
+    ];
+  Stats.Table.add_note table
+    (Printf.sprintf
+       "speedup on the largest pre-extension e07 cell (Ib n=8): %.1fx; taus \
+        identical dense/sparse and for domains=1 vs 2"
+       !headline);
+  Exp_util.output table;
+  Engine.Metrics.dump ~label:"micro dense vs sparse"
+    (Engine.Metrics.snapshot metrics)
+
 let run () =
+  dense_vs_sparse ();
   engine_vs_chain ();
   Printf.printf "\n#### Micro — per-step cost (Bechamel OLS estimate)\n%!";
   let cfg =

@@ -105,22 +105,13 @@ let exact_transitions t =
   !out
 
 let reachable ~from =
-  let seen = Hashtbl.create 256 in
-  let queue = Queue.create () in
-  Hashtbl.replace seen from ();
-  Queue.add from queue;
-  while not (Queue.is_empty queue) do
-    let s = Queue.pop queue in
-    List.iter
-      (fun (s', p) ->
-        if p > 0. && not (Hashtbl.mem seen s') then begin
-          Hashtbl.replace seen s' ();
-          Queue.add s' queue
-        end)
-      (exact_transitions s)
-  done;
-  let states = Hashtbl.fold (fun s () acc -> s :: acc) seen [] in
-  Array.of_list states
+  Markov.Exact_builder.reachable_states ~root:from
+    ~transitions:exact_transitions
+
+let exact_chain ~from =
+  Markov.Exact_builder.build
+    (Markov.Exact_builder.reachable ~root:from)
+    ~transitions:exact_transitions
 
 let g_tilde_lambda x y =
   if x.n <> y.n then None

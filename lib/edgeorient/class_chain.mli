@@ -50,7 +50,13 @@ val exact_transitions : t -> (t * float) list
 
 val reachable : from:t -> t array
 (** Breadth-first closure of {!exact_transitions} — the paper's state
-    space Ψ when [from] is {!start}.  Only practical for small [n]. *)
+    space Ψ when [from] is {!start} — in discovery order ([from]
+    first).  Only practical for small [n]. *)
+
+val exact_chain : from:t -> t Markov.Exact.t
+(** The chain over {!reachable}[ ~from], built through
+    [Markov.Exact_builder] — the exact path used by the e08 grid and
+    the path-metric tests. *)
 
 val coupled : unit -> t Coupling.Coupled_chain.t
 (** The shared-[(φ,ψ,b)] coupling with the Lemma 6.2 (7) bit flip. *)

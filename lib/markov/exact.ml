@@ -1,35 +1,52 @@
 type 'state t = {
   states : 'state array;
   lookup : ('state, int) Hashtbl.t;
-  matrix : Matrix.t;
+  sparse : Sparse.t;
+  mutable dense : Matrix.t option; (* lazy dense view *)
+  mutable pi : (float array * float) option; (* cached stationary, with its tol *)
 }
 
 let build ~states ~transitions =
   let n = Array.length states in
   if n = 0 then invalid_arg "Exact.build: empty state space";
   let lookup = Hashtbl.create n in
-  Array.iteri (fun i s -> Hashtbl.replace lookup s i) states;
-  let matrix = Matrix.create ~rows:n ~cols:n in
   Array.iteri
     (fun i s ->
-      let row = transitions s in
-      let total = ref 0. in
-      List.iter
-        (fun (s', p) ->
-          if p < 0. then invalid_arg "Exact.build: negative probability";
-          match Hashtbl.find_opt lookup s' with
-          | None -> invalid_arg "Exact.build: successor outside state space"
-          | Some j ->
-              Matrix.add_to matrix i j p;
-              total := !total +. p)
-        row;
-      if Float.abs (!total -. 1.) > 1e-9 then
-        invalid_arg "Exact.build: row does not sum to 1")
+      if Hashtbl.mem lookup s then invalid_arg "Exact.build: duplicate state";
+      Hashtbl.add lookup s i)
     states;
-  { states; lookup; matrix }
+  let sparse =
+    Sparse.of_rows ~rows:n ~cols:n (fun i ->
+        let row = transitions states.(i) in
+        let total = ref 0. in
+        let entries =
+          List.map
+            (fun (s', p) ->
+              if p < 0. then invalid_arg "Exact.build: negative probability";
+              match Hashtbl.find_opt lookup s' with
+              | None -> invalid_arg "Exact.build: successor outside state space"
+              | Some j ->
+                  total := !total +. p;
+                  (j, p))
+            row
+        in
+        if Float.abs (!total -. 1.) > 1e-9 then
+          invalid_arg "Exact.build: row does not sum to 1";
+        entries)
+  in
+  { states; lookup; sparse; dense = None; pi = None }
 
 let size c = Array.length c.states
-let matrix c = c.matrix
+let sparse c = c.sparse
+let states c = Array.copy c.states
+
+let matrix c =
+  match c.dense with
+  | Some m -> m
+  | None ->
+      let m = Sparse.to_dense c.sparse in
+      c.dense <- Some m;
+      m
 
 let index c s =
   match Hashtbl.find_opt c.lookup s with
@@ -45,66 +62,147 @@ let tv_distance p q =
   Array.iteri (fun i x -> acc := !acc +. Float.abs (x -. q.(i))) p;
   !acc /. 2.
 
-let stationary ?(tol = 1e-12) ?(max_iter = 1_000_000) c =
-  let n = size c in
+let l1_diff a b =
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. Float.abs (Array.unsafe_get a i -. Array.unsafe_get b i)
+  done;
+  !acc
+
+(* TV between a dense distribution and pi, without allocating. *)
+let tv_to_pi pi d = l1_diff pi d /. 2.
+
+(* Power iteration with a gap-corrected stopping rule.  The naive rule
+   "stop when successive iterates are close" can stop far from π on a
+   slowly-mixing chain: the residual r_k = ‖d_k P − d_k‖₁ relates to the
+   true error as ‖d_k − π‖₁ ≈ r_k / (1 − λ₂).  We estimate the decay
+   factor λ₂ from the residual ratio and require both the residual and
+   the gap-corrected error to be ≤ tol.  If the residual stops
+   decreasing (floating-point floor) while already ≤ tol, no further
+   progress is possible and we accept the iterate. *)
+let power_stationary ~tol ~max_iter ~n step =
   let dist = ref (Array.make n (1. /. float_of_int n)) in
-  let rec go iter =
-    if iter > max_iter then failwith "Exact.stationary: did not converge";
-    let next = Matrix.vec_mul !dist c.matrix in
-    let d = tv_distance !dist next in
-    dist := next;
-    if d > tol then go (iter + 1)
-  in
-  go 0;
-  !dist
+  let next = ref (Array.make n 0.) in
+  let prev_r = ref infinity in
+  let result = ref None in
+  let iter = ref 0 in
+  while !result = None do
+    if !iter > max_iter then failwith "Exact.stationary: did not converge";
+    step ~src:!dist ~dst:!next;
+    let r = l1_diff !dist !next in
+    let converged =
+      r = 0.
+      || r <= tol
+         &&
+         let rho = r /. !prev_r in
+         (rho < 1. && r /. (1. -. rho) <= tol) || r >= !prev_r
+    in
+    prev_r := r;
+    let tmp = !dist in
+    dist := !next;
+    next := tmp;
+    if converged then result := Some !dist;
+    incr iter
+  done;
+  Option.get !result
+
+(* Shared cached π: reused when it was computed at a tolerance at least
+   as tight as the requested one. *)
+let stationary_cached ?(tol = 1e-12) ?(max_iter = 1_000_000) c =
+  match c.pi with
+  | Some (pi, cached_tol) when cached_tol <= tol -> pi
+  | _ ->
+      let pi =
+        power_stationary ~tol ~max_iter ~n:(size c) (fun ~src ~dst ->
+            Sparse.spmv_into c.sparse ~src ~dst)
+      in
+      c.pi <- Some (pi, tol);
+      pi
+
+let stationary ?tol ?max_iter c =
+  Array.copy (stationary_cached ?tol ?max_iter c)
 
 let distribution_after c ~start t =
   if t < 0 then invalid_arg "Exact.distribution_after: negative t";
   let n = size c in
   if start < 0 || start >= n then invalid_arg "Exact.distribution_after: start";
-  let dist = ref (Array.init n (fun i -> if i = start then 1. else 0.)) in
+  let cur = ref (Array.make n 0.) in
+  let nxt = ref (Array.make n 0.) in
+  !cur.(start) <- 1.;
   for _ = 1 to t do
-    dist := Matrix.vec_mul !dist c.matrix
+    Sparse.spmv_into c.sparse ~src:!cur ~dst:!nxt;
+    let tmp = !cur in
+    cur := !nxt;
+    nxt := tmp
   done;
-  !dist
+  !cur
 
-let worst_tv_after c ~pi t =
+let worst_tv_after ?domains c ~pi t =
   let n = size c in
-  let worst = ref 0. in
-  for start = 0 to n - 1 do
-    let d = tv_distance (distribution_after c ~start t) pi in
-    if d > !worst then worst := d
-  done;
-  !worst
+  let tvs =
+    Parallel.init_array ?domains n (fun start ->
+        tv_to_pi pi (distribution_after c ~start t))
+  in
+  Array.fold_left Float.max 0. tvs
 
 let stationary_expectation c ?pi ~f () =
-  let pi = match pi with Some p -> p | None -> stationary c in
+  let pi = match pi with Some p -> p | None -> stationary_cached c in
   let acc = ref 0. in
   Array.iteri (fun i s -> acc := !acc +. (pi.(i) *. f s)) c.states;
   !acc
 
-let worst_tv_profile c ~max_t =
+(* Per-start TV decay curves.  Each start evolves its own distribution
+   vector by repeated spmv — work is independent per start, so the sweep
+   fans out over domains; the per-start curves (and hence their
+   pointwise max) are identical for any domain count.  A start whose TV
+   has fallen to ≤ drop_below stops evolving and keeps its last value:
+   per-start TV to π is non-increasing, so the profile error is at most
+   drop_below (exact for the default drop_below = 0). *)
+let worst_tv_profile ?domains ?(drop_below = 0.) c ~max_t =
   if max_t < 0 then invalid_arg "Exact.worst_tv_profile: negative max_t";
-  let pi = stationary c in
+  let pi = stationary_cached c in
   let n = size c in
-  let current = ref (Matrix.identity n) in
+  let per_start =
+    Parallel.init_array ?domains n (fun start ->
+        let tvs = Array.make (max_t + 1) 0. in
+        let cur = ref (Array.make n 0.) in
+        let nxt = ref (Array.make n 0.) in
+        !cur.(start) <- 1.;
+        tvs.(0) <- tv_to_pi pi !cur;
+        let t = ref 1 in
+        let stopped = tvs.(0) <= drop_below in
+        let stopped = ref stopped in
+        if !stopped then for u = 1 to max_t do tvs.(u) <- tvs.(0) done;
+        while (not !stopped) && !t <= max_t do
+          Sparse.spmv_into c.sparse ~src:!cur ~dst:!nxt;
+          let tmp = !cur in
+          cur := !nxt;
+          nxt := tmp;
+          let d = tv_to_pi pi !cur in
+          tvs.(!t) <- d;
+          if d <= drop_below then begin
+            for u = !t + 1 to max_t do
+              tvs.(u) <- d
+            done;
+            stopped := true
+          end;
+          incr t
+        done;
+        tvs)
+  in
   Array.init (max_t + 1) (fun t ->
-      if t > 0 then current := Matrix.mul !current c.matrix;
-      let worst = ref 0. in
-      for start = 0 to n - 1 do
-        let d = tv_distance (Matrix.row !current start) pi in
-        if d > !worst then worst := d
-      done;
-      !worst)
+      Array.fold_left (fun acc tvs -> Float.max acc tvs.(t)) 0. per_start)
 
-let relaxation_estimate c ?(max_t = 200) () =
-  let profile = worst_tv_profile c ~max_t in
+let relaxation_estimate ?domains c ?(max_t = 200) () =
+  (* Points below 1e-8 are excluded from the fit, so dropping starts
+     once they decay past 1e-9 does not perturb it. *)
+  let profile = worst_tv_profile ?domains ~drop_below:1e-9 c ~max_t in
   (* Fit only the clean exponential regime: below the initial transient,
      above the floating-point noise floor. *)
   let pts = ref [] in
   Array.iteri
-    (fun t d -> if d <= 0.1 && d >= 1e-8 then
-        pts := (float_of_int t, log d) :: !pts)
+    (fun t d ->
+      if d <= 0.1 && d >= 1e-8 then pts := (float_of_int t, log d) :: !pts)
     profile;
   (match !pts with
   | _ :: _ :: _ -> ()
@@ -122,22 +220,167 @@ let relaxation_estimate c ?(max_t = 200) () =
     failwith "Exact.relaxation_estimate: no exponential decay detected";
   -.sxx /. sxy
 
-let mixing_time ?(eps = 0.25) ?(max_t = 100_000) c =
-  let pi = stationary c in
+(* Doubling-then-bisect search for one start's ε-crossing time.
+
+   Per-start TV to π is non-increasing in t (P contracts signed measures
+   in L1), so τ_x = min {t : ‖P^t(x,·) − π‖ ≤ ε} is well defined and
+   bisection over the bracket is sound.  [base] holds the distribution
+   at time [t_base] (always a t with TV > ε, so the bracket invariant is
+   maintained); probes evolve a scratch copy forward without touching
+   it, and a probe that becomes the new lower bound is committed by
+   swapping buffers.
+
+   [tau_hat] is a shared lower bound on the answer (the max of the exact
+   τ_x found so far).  Each start first probes there: if its TV is
+   already ≤ ε it cannot raise the max and is abandoned with a single
+   probe.  The final max is independent of the probe schedule — a start
+   attaining the max has TV > ε at every t below its τ_x, so it is never
+   pruned and always contributes its exact crossing — which keeps the
+   result identical for any domain count despite the shared counter. *)
+let search_crossing c ~pi ~eps ~max_t ~tau_hat start =
   let n = size c in
-  (* Evolve all n start distributions together: rows of P^t. *)
-  let current = ref (Matrix.identity n) in
-  let rec go t =
-    if t > max_t then failwith "Exact.mixing_time: not mixed within max_t";
-    let worst = ref 0. in
-    for start = 0 to n - 1 do
-      let d = tv_distance (Matrix.row !current start) pi in
-      if d > !worst then worst := d
+  let base = ref (Array.make n 0.) in
+  let w1 = ref (Array.make n 0.) in
+  let w2 = ref (Array.make n 0.) in
+  !base.(start) <- 1.;
+  let t_base = ref 0 in
+  let probe target =
+    Sparse.spmv_into c.sparse ~src:!base ~dst:!w1;
+    for _ = 2 to target - !t_base do
+      Sparse.spmv_into c.sparse ~src:!w1 ~dst:!w2;
+      let tmp = !w1 in
+      w1 := !w2;
+      w2 := tmp
     done;
-    if !worst <= eps then t
-    else begin
-      current := Matrix.mul !current c.matrix;
-      go (t + 1)
-    end
+    tv_to_pi pi !w1
   in
-  go 0
+  let commit target =
+    let tmp = !base in
+    base := !w1;
+    w1 := tmp;
+    t_base := target
+  in
+  let guess = min (Atomic.get tau_hat) max_t in
+  (* Pruning probe, stepping toward [guess] but checking the (monotone)
+     per-start TV after every product: a start that crosses ε at some
+     s ≤ guess is certified under the shared bound after only s steps
+     instead of always paying the full [guess]. *)
+  Sparse.spmv_into c.sparse ~src:!base ~dst:!w1;
+  let t = ref 1 in
+  let crossed = ref (tv_to_pi pi !w1 <= eps) in
+  while (not !crossed) && !t < guess do
+    Sparse.spmv_into c.sparse ~src:!w1 ~dst:!w2;
+    let tmp = !w1 in
+    w1 := !w2;
+    w2 := tmp;
+    incr t;
+    crossed := tv_to_pi pi !w1 <= eps
+  done;
+  if !crossed then !t (* τ_x = t ≤ guess ≤ answer: cannot raise it *)
+  else if guess >= max_t then
+    failwith "Exact.mixing_time: not mixed within max_t"
+  else begin
+    commit guess;
+    let lo = ref guess in
+    let hi = ref 0 in
+    while !hi = 0 do
+      let target = min (2 * !lo) max_t in
+      if probe target <= eps then hi := target
+      else if target >= max_t then
+        failwith "Exact.mixing_time: not mixed within max_t"
+      else begin
+        commit target;
+        lo := target
+      end
+    done;
+    while !hi - !lo > 1 do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      if probe mid <= eps then hi := mid
+      else begin
+        commit mid;
+        lo := mid
+      end
+    done;
+    let rec bump () =
+      let cur = Atomic.get tau_hat in
+      if !hi > cur && not (Atomic.compare_and_set tau_hat cur !hi) then bump ()
+    in
+    bump ();
+    !hi
+  end
+
+let mixing_time ?(eps = 0.25) ?(max_t = 100_000) ?domains c =
+  let pi = stationary_cached c in
+  let n = size c in
+  (* TV of the point mass at [start] against π. *)
+  let tv0 start =
+    let acc = ref 0. in
+    for j = 0 to n - 1 do
+      acc := !acc +. if j = start then Float.abs (1. -. pi.(j)) else pi.(j)
+    done;
+    !acc /. 2.
+  in
+  let tv0s = Array.init n tv0 in
+  let worst0 = Array.fold_left Float.max 0. tv0s in
+  if worst0 <= eps then 0
+  else if max_t < 1 then failwith "Exact.mixing_time: not mixed within max_t"
+  else begin
+    (* Only starts still above ε at t = 0 can determine τ; visit the
+       farthest-from-π ones first so the shared lower bound is tight
+       early and most remaining starts are pruned after one probe. *)
+    let order =
+      Array.init n Fun.id |> Array.to_list
+      |> List.filter (fun s -> tv0s.(s) > eps)
+      |> List.sort (fun a b ->
+             match Float.compare tv0s.(b) tv0s.(a) with
+             | 0 -> Int.compare a b
+             | c -> c)
+      |> Array.of_list
+    in
+    let tau_hat = Atomic.make 1 in
+    let crossings =
+      Parallel.map_array ?domains
+        (search_crossing c ~pi ~eps ~max_t ~tau_hat)
+        order
+    in
+    Array.fold_left max 1 crossings
+  end
+
+(* Historical dense implementations, kept as the reference the sparse
+   paths are benchmarked and property-tested against. *)
+module Dense = struct
+  let stationary ?(tol = 1e-12) ?(max_iter = 1_000_000) c =
+    let m = matrix c in
+    let n = size c in
+    let dist = ref (Array.make n (1. /. float_of_int n)) in
+    let rec go iter =
+      if iter > max_iter then failwith "Exact.stationary: did not converge";
+      let next = Matrix.vec_mul !dist m in
+      let d = tv_distance !dist next in
+      dist := next;
+      if d > tol then go (iter + 1)
+    in
+    go 0;
+    !dist
+
+  let mixing_time ?(eps = 0.25) ?(max_t = 100_000) c =
+    let m = matrix c in
+    let pi = stationary c in
+    let n = size c in
+    (* Evolve all n start distributions together: rows of P^t. *)
+    let current = ref (Matrix.identity n) in
+    let rec go t =
+      if t > max_t then failwith "Exact.mixing_time: not mixed within max_t";
+      let worst = ref 0. in
+      for start = 0 to n - 1 do
+        let d = tv_distance (Matrix.row !current start) pi in
+        if d > !worst then worst := d
+      done;
+      if !worst <= eps then t
+      else begin
+        current := Matrix.mul !current m;
+        go (t + 1)
+      end
+    in
+    go 0
+end

@@ -1,12 +1,24 @@
 (** Exact analysis of finite Markov chains.
 
-    Builds the full transition matrix from a state enumeration and a
-    transition-distribution function, then computes the stationary
-    distribution, total-variation distances and the {e exact} mixing time
+    Builds the transition matrix — stored sparse, see {!Sparse} — from a
+    state enumeration and a transition-distribution function, then
+    computes the stationary distribution, total-variation distances and
+    the {e exact} mixing time
 
     {v τ(ε) = min { T : ∀t ≥ T, max_x ‖L(M_t | M_0 = x) − π‖ ≤ ε } v}
 
-    of the paper's Section 3.  Only practical for small state spaces. *)
+    of the paper's Section 3.  All per-start quantities evolve
+    distribution {e vectors} by repeated sparse products rather than
+    materialising dense powers [P^t], the stationary distribution is
+    computed once per chain and cached, and the per-start sweeps fan out
+    over {!Parallel.map_array} with results identical for any domain
+    count.  Practical well beyond the dense implementation (kept in
+    {!Dense} as the benchmark and testing reference), though still only
+    for enumerable state spaces.
+
+    A chain value carries internal caches (dense view, stationary
+    distribution) and must not be shared across domains while these
+    functions run on it. *)
 
 type 'state t
 
@@ -14,14 +26,26 @@ val build :
   states:'state array ->
   transitions:('state -> ('state * float) list) ->
   'state t
-(** [build ~states ~transitions] constructs the chain.  [transitions s]
-    must list successor states (all members of [states], compared
-    structurally) with probabilities summing to 1; duplicates are merged.
-    @raise Invalid_argument if a successor is unknown or a row's total
-    deviates from 1 by more than 1e-9. *)
+(** [build ~states ~transitions] constructs the chain.  [states] must
+    enumerate each state exactly once; [transitions s] must list
+    successor states (all members of [states], compared structurally)
+    with probabilities summing to 1; duplicate successors are merged.
+    @raise Invalid_argument if a state appears twice in [states], if a
+    successor is unknown, or if a row's total deviates from 1 by more
+    than 1e-9. *)
 
 val size : _ t -> int
+
+val sparse : _ t -> Sparse.t
+(** The transition matrix in its native CSR representation. *)
+
 val matrix : _ t -> Matrix.t
+(** Dense view of the transition matrix, converted on first use and
+    cached.  Callers must not mutate it. *)
+
+val states : 'state t -> 'state array
+(** The state enumeration, in index order (a copy). *)
+
 val index : 'state t -> 'state -> int
 (** @raise Not_found for a state outside the enumeration. *)
 
@@ -35,37 +59,72 @@ val tv_distance : float array -> float array -> float
 val stationary : ?tol:float -> ?max_iter:int -> 'state t -> float array
 (** Stationary distribution by power iteration from the uniform
     distribution (default [tol = 1e-12], [max_iter = 1_000_000]).
+    Convergence requires the residual [‖πP − π‖₁] {e and} its
+    gap-corrected projection of the true error to fall below [tol], so
+    slowly-mixing chains are not declared converged early.  The result
+    is cached on the chain and reused whenever the cached tolerance is
+    at least as tight as the requested one.
     @raise Failure if the iteration does not converge — e.g. for a
     periodic chain. *)
 
 val distribution_after : 'state t -> start:int -> int -> float array
 (** [distribution_after c ~start t] is the law of the chain after [t]
-    steps from state index [start]. *)
+    steps from state index [start], by [t] sparse vector·matrix
+    products. *)
 
-val worst_tv_after : 'state t -> pi:float array -> int -> float
+val worst_tv_after : ?domains:int -> 'state t -> pi:float array -> int -> float
 (** [worst_tv_after c ~pi t] is [max_x ‖P^t(x,·) − pi‖], the distance
-    appearing in the mixing-time definition. *)
+    appearing in the mixing-time definition.  The per-start sweep fans
+    out over [domains]; the result does not depend on the domain
+    count. *)
 
 val stationary_expectation :
   'state t -> ?pi:float array -> f:('state -> float) -> unit -> float
 (** [stationary_expectation c ~f ()] is [Σ_x π(x) f(x)], computing π
-    unless one is supplied. *)
+    (cached) unless one is supplied. *)
 
-val worst_tv_profile : 'state t -> max_t:int -> float array
+val worst_tv_profile :
+  ?domains:int -> ?drop_below:float -> 'state t -> max_t:int -> float array
 (** [worst_tv_profile c ~max_t] is the sequence
     [t ↦ max_x ‖P^t(x,·) − π‖] for [t = 0..max_t] — the exact decay curve
-    whose ε-crossing point is τ(ε). *)
+    whose ε-crossing point is τ(ε).  Each start evolves independently
+    (fanned out over [domains]; deterministic for any domain count).  A
+    start whose TV has decayed to ≤ [drop_below] (default [0.], i.e.
+    never) stops evolving and holds its last value: since per-start TV
+    is non-increasing, the profile is then exact up to an additive error
+    of at most [drop_below] and remains non-increasing. *)
 
-val relaxation_estimate : 'state t -> ?max_t:int -> unit -> float
+val relaxation_estimate : ?domains:int -> 'state t -> ?max_t:int -> unit -> float
 (** Fit [worst TV ≈ C·exp(−t/τ_rel)] to the tail of the decay curve and
     return the estimated relaxation time τ_rel (OLS on the log of the
-    second half of the profile, truncated where the TV hits numerical
-    noise).  Complements {!mixing_time}: for a sound chain
+    profile restricted to TV in [1e-8, 0.1], where the decay is cleanly
+    exponential).  Complements {!mixing_time}: for a sound chain
     [τ(ε) ≲ τ_rel · ln(1/(ε·π_min))].
     @raise Failure if the profile never decays enough to fit. *)
 
-val mixing_time : ?eps:float -> ?max_t:int -> 'state t -> int
-(** Exact [τ(ε)] (default [eps = 0.25], [max_t = 100_000]).  Computes the
-    stationary distribution internally.  Because worst-case TV distance is
-    non-increasing in [t], the first [t] with distance ≤ ε is τ(ε).
+val mixing_time : ?eps:float -> ?max_t:int -> ?domains:int -> 'state t -> int
+(** Exact [τ(ε)] (default [eps = 0.25], [max_t = 100_000]).  Uses the
+    cached stationary distribution.  Because per-start TV distance to π
+    is non-increasing in [t], each start's ε-crossing time is found by a
+    doubling-then-bisect search over checkpointed distribution vectors,
+    and τ(ε) is the maximum over starts.  Starts are searched
+    farthest-from-π first and share the largest crossing found so far:
+    a start already within ε there is abandoned after a single probe,
+    since it cannot raise the maximum.  The result is identical for
+    [domains = 1] and [domains > 1].
     @raise Failure if not mixed within [max_t]. *)
+
+(** Historical dense implementations — quadratic storage, full dense
+    [P^t] per time step, stationary distribution recomputed per call.
+    Kept as the reference that the sparse paths are property-tested for
+    agreement with and benchmarked against (see [bench/micro.ml]). *)
+module Dense : sig
+  val stationary : ?tol:float -> ?max_iter:int -> 'state t -> float array
+  (** Power iteration on the dense view with the historical
+      successive-iterate stopping rule.
+      @raise Failure if the iteration does not converge. *)
+
+  val mixing_time : ?eps:float -> ?max_t:int -> 'state t -> int
+  (** Step-by-step scan over dense powers [P^t].
+      @raise Failure if not mixed within [max_t]. *)
+end

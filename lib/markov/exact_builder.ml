@@ -1,0 +1,55 @@
+type 'state source =
+  | Enumerated of 'state array
+  | Reachable of 'state
+
+let enumerated states = Enumerated states
+let reachable ~root = Reachable root
+
+let reachable_states ~root ~transitions =
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let acc = ref [] in
+  Hashtbl.add seen root ();
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    acc := s :: !acc;
+    List.iter
+      (fun (s', _) ->
+        if not (Hashtbl.mem seen s') then begin
+          Hashtbl.add seen s' ();
+          Queue.add s' queue
+        end)
+      (transitions s)
+  done;
+  Array.of_list (List.rev !acc)
+
+let states_of source ~transitions =
+  match source with
+  | Enumerated states -> states
+  | Reachable root -> reachable_states ~root ~transitions
+
+let build source ~transitions =
+  Exact.build ~states:(states_of source ~transitions) ~transitions
+
+type 'state analysis = {
+  chain : 'state Exact.t;
+  state_count : int;
+  tau : int;
+  build_seconds : float;
+  mix_seconds : float;
+}
+
+let build_mix ?eps ?max_t ?domains source ~transitions =
+  let t0 = Unix.gettimeofday () in
+  let chain = build source ~transitions in
+  let t1 = Unix.gettimeofday () in
+  let tau = Exact.mixing_time ?eps ?max_t ?domains chain in
+  let t2 = Unix.gettimeofday () in
+  {
+    chain;
+    state_count = Exact.size chain;
+    tau;
+    build_seconds = t1 -. t0;
+    mix_seconds = t2 -. t1;
+  }

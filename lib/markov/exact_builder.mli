@@ -1,0 +1,56 @@
+(** The one way to go from a transition function to an analysed chain.
+
+    Every exact pipeline in the repository does the same three things:
+    obtain the state space (either a closed-form enumeration such as
+    {!Partition_space.enumerate}, or the set reachable from a root
+    state), build the {!Exact.t}, and compute its mixing time.  This
+    module packages that build→mix sequence once, with wall-clock
+    timings for each half so benches can report cost per grid cell
+    (e.g. through [Engine.Metrics.add_phase]). *)
+
+type 'state source
+
+val enumerated : 'state array -> 'state source
+(** A state space given explicitly; must list each state once. *)
+
+val reachable : root:'state -> 'state source
+(** The states reachable from [root] under the transition function,
+    discovered by breadth-first search (states are compared and hashed
+    structurally). *)
+
+val reachable_states :
+  root:'state -> transitions:('state -> ('state * float) list) -> 'state array
+(** The BFS closure itself, in discovery order — [root] first. *)
+
+val states_of :
+  'state source ->
+  transitions:('state -> ('state * float) list) ->
+  'state array
+(** The state array a source denotes (runs the BFS for {!reachable}). *)
+
+val build :
+  'state source ->
+  transitions:('state -> ('state * float) list) ->
+  'state Exact.t
+(** Resolve the source and {!Exact.build} the chain.
+    @raise Invalid_argument as {!Exact.build}. *)
+
+type 'state analysis = {
+  chain : 'state Exact.t;
+  state_count : int;  (** [Exact.size chain]. *)
+  tau : int;  (** [Exact.mixing_time] of the chain. *)
+  build_seconds : float;  (** Wall-clock for enumeration + build. *)
+  mix_seconds : float;  (** Wall-clock for the mixing-time search. *)
+}
+
+val build_mix :
+  ?eps:float ->
+  ?max_t:int ->
+  ?domains:int ->
+  'state source ->
+  transitions:('state -> ('state * float) list) ->
+  'state analysis
+(** Build the chain and compute its exact mixing time (defaults as
+    {!Exact.mixing_time}).
+    @raise Invalid_argument as {!Exact.build}.
+    @raise Failure as {!Exact.mixing_time}. *)

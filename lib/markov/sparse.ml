@@ -1,0 +1,130 @@
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array; (* length rows+1; entries of row i at [row_ptr.(i), row_ptr.(i+1)) *)
+  col_idx : int array;
+  values : float array;
+}
+
+let rows t = t.rows
+let cols t = t.cols
+let nnz t = Array.length t.values
+
+let of_rows ~rows ~cols f =
+  if rows <= 0 || cols <= 0 then invalid_arg "Sparse.of_rows: non-positive size";
+  (* Per row: sort by column, merge duplicates, drop explicit zeros. *)
+  let entries =
+    Array.init rows (fun i ->
+        let a = Array.of_list (f i) in
+        Array.iter
+          (fun (j, _) ->
+            if j < 0 || j >= cols then
+              invalid_arg "Sparse.of_rows: column index out of bounds")
+          a;
+        Array.sort (fun (a, _) (b, _) -> compare (a : int) b) a;
+        let out = ref [] in
+        let k = Array.length a in
+        let p = ref 0 in
+        while !p < k do
+          let j, _ = a.(!p) in
+          let v = ref 0. in
+          while !p < k && fst a.(!p) = j do
+            v := !v +. snd a.(!p);
+            incr p
+          done;
+          if !v <> 0. then out := (j, !v) :: !out
+        done;
+        Array.of_list (List.rev !out))
+  in
+  let row_ptr = Array.make (rows + 1) 0 in
+  for i = 0 to rows - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + Array.length entries.(i)
+  done;
+  let total = row_ptr.(rows) in
+  let col_idx = Array.make total 0 in
+  let values = Array.make total 0. in
+  for i = 0 to rows - 1 do
+    Array.iteri
+      (fun k (j, v) ->
+        col_idx.(row_ptr.(i) + k) <- j;
+        values.(row_ptr.(i) + k) <- v)
+      entries.(i)
+  done;
+  { rows; cols; row_ptr; col_idx; values }
+
+let of_triplets ~rows ~cols triplets =
+  if rows <= 0 || cols <= 0 then
+    invalid_arg "Sparse.of_triplets: non-positive size";
+  let buckets = Array.make rows [] in
+  List.iter
+    (fun (i, j, v) ->
+      if i < 0 || i >= rows then
+        invalid_arg "Sparse.of_triplets: row index out of bounds";
+      buckets.(i) <- (j, v) :: buckets.(i))
+    triplets;
+  of_rows ~rows ~cols (fun i -> List.rev buckets.(i))
+
+let of_dense m =
+  let rows = Matrix.rows m and cols = Matrix.cols m in
+  of_rows ~rows ~cols (fun i ->
+      let acc = ref [] in
+      for j = cols - 1 downto 0 do
+        let v = Matrix.get m i j in
+        if v <> 0. then acc := (j, v) :: !acc
+      done;
+      !acc)
+
+let to_dense t =
+  let m = Matrix.create ~rows:t.rows ~cols:t.cols in
+  for i = 0 to t.rows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      Matrix.add_to m i t.col_idx.(k) t.values.(k)
+    done
+  done;
+  m
+
+let row_iter t i ~f =
+  if i < 0 || i >= t.rows then invalid_arg "Sparse.row_iter: row out of bounds";
+  for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+    f t.col_idx.(k) t.values.(k)
+  done
+
+let row_sums t =
+  let sums = Array.make t.rows 0. in
+  for i = 0 to t.rows - 1 do
+    let acc = ref 0. in
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      acc := !acc +. t.values.(k)
+    done;
+    sums.(i) <- !acc
+  done;
+  sums
+
+let is_stochastic ?(tol = 1e-9) t =
+  t.rows = t.cols
+  && Array.for_all (fun v -> v >= -.tol) t.values
+  && Array.for_all (fun s -> Float.abs (s -. 1.) <= tol) (row_sums t)
+
+(* [dst <- src · A], skipping rows whose input weight is zero — early in a
+   distribution's evolution from a point mass most rows are. *)
+let spmv_into t ~src ~dst =
+  if Array.length src <> t.rows || Array.length dst <> t.cols then
+    invalid_arg "Sparse.spmv: dimension mismatch";
+  let rp = t.row_ptr and ci = t.col_idx and vs = t.values in
+  Array.fill dst 0 t.cols 0.;
+  for i = 0 to t.rows - 1 do
+    let v = Array.unsafe_get src i in
+    if v <> 0. then begin
+      let k1 = Array.unsafe_get rp (i + 1) - 1 in
+      for k = Array.unsafe_get rp i to k1 do
+        let j = Array.unsafe_get ci k in
+        Array.unsafe_set dst j
+          (Array.unsafe_get dst j +. (v *. Array.unsafe_get vs k))
+      done
+    end
+  done
+
+let spmv src t =
+  let dst = Array.make t.cols 0. in
+  spmv_into t ~src ~dst;
+  dst

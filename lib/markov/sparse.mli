@@ -1,0 +1,59 @@
+(** Compressed-sparse-row float matrices.
+
+    The transition matrix of an allocation chain over [|S|] partition
+    states has only [O(n)] non-zero successors per row, so the dense
+    [O(|S|²)] representation in {!Matrix} wastes both memory and — for
+    the repeated distribution·matrix products of exact mixing-time
+    analysis — time.  This module stores only the non-zeros in the
+    classic [row_ptr]/[col_idx]/[values] layout; construction sorts each
+    row by column, merges duplicate coordinates by summing, and drops
+    explicit zeros, so [nnz] counts structural non-zeros only. *)
+
+type t
+
+val of_rows : rows:int -> cols:int -> (int -> (int * float) list) -> t
+(** [of_rows ~rows ~cols f] builds the matrix row by row from the entry
+    lists [f i] (any order; duplicate columns are summed, zeros
+    dropped).
+    @raise Invalid_argument on non-positive dimensions or an
+    out-of-bounds column index. *)
+
+val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
+(** [of_triplets ~rows ~cols l] builds from [(row, col, value)]
+    coordinates, same merging rules as {!of_rows}.
+    @raise Invalid_argument on non-positive dimensions or out-of-bounds
+    indices. *)
+
+val of_dense : Matrix.t -> t
+(** Exact non-zeros of a dense matrix. *)
+
+val to_dense : t -> Matrix.t
+
+val rows : t -> int
+val cols : t -> int
+
+val nnz : t -> int
+(** Number of stored (non-zero) entries. *)
+
+val row_iter : t -> int -> f:(int -> float -> unit) -> unit
+(** [row_iter t i ~f] applies [f col value] to the stored entries of row
+    [i] in increasing column order.
+    @raise Invalid_argument on an out-of-bounds row. *)
+
+val row_sums : t -> float array
+
+val is_stochastic : ?tol:float -> t -> bool
+(** Square, entries ≥ −[tol], every row sum within [tol] of 1 (default
+    [tol = 1e-9]). *)
+
+val spmv : float array -> t -> float array
+(** [spmv v t] is the row vector [v·t] — one step of distribution
+    evolution when [t] is a transition matrix.  Rows with [v.(i) = 0]
+    are skipped, so evolving a point mass costs only the reachable
+    rows.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val spmv_into : t -> src:float array -> dst:float array -> unit
+(** Allocation-free {!spmv}: overwrite [dst] with [src·t].  [src] and
+    [dst] must be distinct arrays.
+    @raise Invalid_argument on dimension mismatch. *)

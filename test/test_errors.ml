@@ -66,8 +66,31 @@ let test_markov_errors () =
       ignore (Markov.Partition_space.count ~n:1 ~m:(-1)));
   inv "Exact.build: empty state space" (fun () ->
       ignore (Markov.Exact.build ~states:[||] ~transitions:(fun _ -> [])));
+  (* Regression: duplicate states used to be silently accepted
+     (Hashtbl.replace overwrote the first index, leaving an orphan row
+     and a corrupt lookup). *)
+  inv "Exact.build: duplicate state" (fun () ->
+      ignore
+        (Markov.Exact.build
+           ~states:[| "a"; "b"; "a" |]
+           ~transitions:(fun _ -> [ ("a", 0.5); ("b", 0.5) ])));
   inv "Exact.tv_distance: length mismatch" (fun () ->
       ignore (Markov.Exact.tv_distance [| 1. |] [| 0.5; 0.5 |]));
+  inv "Sparse.of_rows: non-positive size" (fun () ->
+      ignore (Markov.Sparse.of_rows ~rows:0 ~cols:1 (fun _ -> [])));
+  inv "Sparse.of_rows: column index out of bounds" (fun () ->
+      ignore (Markov.Sparse.of_rows ~rows:1 ~cols:1 (fun _ -> [ (1, 1.) ])));
+  inv "Sparse.of_triplets: row index out of bounds" (fun () ->
+      ignore (Markov.Sparse.of_triplets ~rows:1 ~cols:1 [ (1, 0, 1.) ]));
+  inv "Sparse.row_iter: row out of bounds" (fun () ->
+      Markov.Sparse.row_iter
+        (Markov.Sparse.of_rows ~rows:1 ~cols:1 (fun _ -> [ (0, 1.) ]))
+        1
+        ~f:(fun _ _ -> ()));
+  inv "Sparse.spmv: dimension mismatch" (fun () ->
+      ignore
+        (Markov.Sparse.spmv [| 1.; 0. |]
+           (Markov.Sparse.of_rows ~rows:1 ~cols:1 (fun _ -> [ (0, 1.) ]))));
   inv "Chain.iterate: negative step count" (fun () ->
       ignore
         (Markov.Chain.iterate (Markov.Chain.make (fun _ s -> s)) (g ()) 0 (-1)));

@@ -109,16 +109,22 @@ let test_mini_e6 () =
     true
     (Float.abs (sim -. fluid.(1)) < 0.02)
 
-(* E7 mini: exact tau matches coalescence and respects the bound. *)
+(* E7 mini: exact tau matches coalescence and respects the bound; the
+   build→mix pipeline goes through Exact_builder like the bench does. *)
 let test_mini_e7 () =
   let n = 6 in
   let process = Core.Dynamic_process.make Core.Scenario.A (Sr.abku 2) ~n in
-  let states = Markov.Partition_space.enumerate ~n ~m:n in
-  let chain =
-    Markov.Exact.build ~states
+  let a =
+    Markov.Exact_builder.build_mix ~eps:0.25
+      (Markov.Exact_builder.enumerated
+         (Markov.Partition_space.enumerate ~n ~m:n))
       ~transitions:(Core.Dynamic_process.exact_transitions process)
   in
-  let tau = Markov.Exact.mixing_time ~eps:0.25 chain in
+  Alcotest.(check int)
+    "state count is p(m) restricted to <= n parts"
+    (Markov.Partition_space.count ~n ~m:n)
+    a.Markov.Exact_builder.state_count;
+  let tau = a.Markov.Exact_builder.tau in
   let median = coalescence_median ~scenario:Core.Scenario.A ~n ~reps:101
       ~limit:10_000 ~seed:9
   in

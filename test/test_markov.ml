@@ -191,6 +191,130 @@ let test_exact_build_merges_duplicates () =
   in
   Alcotest.(check (float 1e-12)) "merged" 1. (M.get (Markov.Exact.matrix c) 0 1)
 
+module S = Markov.Sparse
+
+let test_sparse_construction () =
+  (* Rows given out of order with duplicate coordinates and an explicit
+     zero: construction sorts, merges and drops. *)
+  let s =
+    S.of_rows ~rows:3 ~cols:3 (function
+      | 0 -> [ (2, 0.25); (0, 0.5); (2, 0.25); (1, 0.) ]
+      | _ -> [ (1, 1.) ])
+  in
+  Alcotest.(check int) "nnz" 4 (S.nnz s);
+  Alcotest.(check int) "rows" 3 (S.rows s);
+  Alcotest.(check int) "cols" 3 (S.cols s);
+  let seen = ref [] in
+  S.row_iter s 0 ~f:(fun j v -> seen := (j, v) :: !seen);
+  Alcotest.(check bool) "row 0 sorted and merged" true
+    (List.rev !seen = [ (0, 0.5); (2, 0.5) ]);
+  Alcotest.(check bool) "row sums" true
+    (Array.for_all (fun x -> feq x 1.) (S.row_sums s));
+  Alcotest.(check bool) "stochastic" true (S.is_stochastic s);
+  let t =
+    S.of_triplets ~rows:2 ~cols:3 [ (0, 0, 0.25); (1, 1, 1.); (0, 0, 0.25); (0, 2, 0.5) ]
+  in
+  Alcotest.(check int) "triplets merge duplicates" 3 (S.nnz t);
+  Alcotest.(check bool) "rectangular is not stochastic" true
+    (not (S.is_stochastic t))
+
+let test_sparse_dense_roundtrip () =
+  let m = M.create ~rows:3 ~cols:3 in
+  M.set m 0 0 0.5;
+  M.set m 0 2 0.5;
+  M.set m 1 1 1.;
+  M.set m 2 0 0.25;
+  M.set m 2 1 0.75;
+  let s = S.of_dense m in
+  Alcotest.(check int) "nnz of dense" 5 (S.nnz s);
+  Alcotest.(check (float 1e-15)) "roundtrip exact" 0.
+    (M.max_abs_diff (S.to_dense s) m);
+  (* spmv agrees with the dense product, including a zero input entry
+     (whose row is skipped). *)
+  let v = [| 0.2; 0.; 0.8 |] in
+  let sparse_out = S.spmv v s in
+  let dense_out = M.vec_mul v m in
+  Alcotest.(check bool) "spmv = vec_mul" true
+    (Array.for_all2 (fun a b -> feq ~tol:1e-15 a b) sparse_out dense_out);
+  let dst = Array.make 3 9. in
+  S.spmv_into s ~src:v ~dst;
+  Alcotest.(check bool) "spmv_into overwrites" true
+    (Array.for_all2 (fun a b -> a = b) dst sparse_out)
+
+(* Satellite regression: the historical stopping rule "successive
+   iterates are close" stops far from pi on a slowly-mixing chain.  For
+   P = [[1-p, p], [q, 1-q]] with p = 0.004, q = 0.001, pi = (0.2, 0.8)
+   but the iterate drifts from (0.5, 0.5) by at most ~(p+q)/2 per step,
+   so at tol = 1e-3 the old rule (kept in Dense) stops near (0.4, 0.6).
+   The gap-corrected residual rule must keep iterating until the true
+   error is ~tol. *)
+let test_exact_stationary_near_reducible () =
+  let c = two_state 0.004 0.001 in
+  let pi = Markov.Exact.stationary ~tol:1e-3 c in
+  Alcotest.(check bool)
+    (Printf.sprintf "gap-corrected pi0 %.4f within 1e-2 of 0.2" pi.(0))
+    true
+    (Float.abs (pi.(0) -. 0.2) <= 1e-2);
+  (* The true residual is below tol as well. *)
+  let pi_step = Markov.Sparse.spmv pi (Markov.Exact.sparse c) in
+  Alcotest.(check bool) "residual |piP - pi| <= tol" true
+    (Markov.Exact.tv_distance pi pi_step *. 2. <= 1e-3);
+  let old = Markov.Exact.Dense.stationary ~tol:1e-3 c in
+  Alcotest.(check bool)
+    (Printf.sprintf "historical rule stops early (pi0 %.4f)" old.(0))
+    true
+    (Float.abs (old.(0) -. 0.2) > 0.05)
+
+let test_exact_stationary_cache () =
+  let c = two_state 0.3 0.1 in
+  let pi1 = Markov.Exact.stationary c in
+  let pi2 = Markov.Exact.stationary c in
+  Alcotest.(check bool) "cached result identical" true
+    (Array.for_all2 (fun a b -> a = b) pi1 pi2);
+  (* A looser request reuses the tighter cached value bit-identically. *)
+  let pi3 = Markov.Exact.stationary ~tol:1e-6 c in
+  Alcotest.(check bool) "looser tol served from cache" true
+    (Array.for_all2 (fun a b -> a = b) pi1 pi3)
+
+let test_exact_accessors () =
+  let c = two_state 0.3 0.1 in
+  let sts = Markov.Exact.states c in
+  Alcotest.(check (array string)) "states in index order" [| "x"; "y" |] sts;
+  Alcotest.(check int) "sparse nnz" 4 (S.nnz (Markov.Exact.sparse c));
+  Alcotest.(check (float 1e-15)) "dense view = to_dense sparse" 0.
+    (M.max_abs_diff (Markov.Exact.matrix c) (S.to_dense (Markov.Exact.sparse c)))
+
+let test_builder_reachable_and_mix () =
+  (* A 4-cycle plus an unreachable island: BFS from 0 finds the cycle in
+     discovery order and build_mix agrees with the direct pipeline. *)
+  let transitions i =
+    [ ((i + 1) mod 4, 0.5); (i, 0.5) ]
+  in
+  let states = Markov.Exact_builder.reachable_states ~root:0 ~transitions in
+  Alcotest.(check (array int)) "BFS discovery order" [| 0; 1; 2; 3 |] states;
+  let a =
+    Markov.Exact_builder.build_mix ~eps:0.25
+      (Markov.Exact_builder.reachable ~root:0)
+      ~transitions
+  in
+  Alcotest.(check int) "state count" 4 a.Markov.Exact_builder.state_count;
+  let direct =
+    Markov.Exact.mixing_time ~eps:0.25
+      (Markov.Exact.build ~states ~transitions)
+  in
+  Alcotest.(check int) "tau agrees with direct build" direct
+    a.Markov.Exact_builder.tau;
+  Alcotest.(check bool) "timings non-negative" true
+    (a.Markov.Exact_builder.build_seconds >= 0.
+    && a.Markov.Exact_builder.mix_seconds >= 0.)
+
+let test_worst_tv_profile_drop_below () =
+  let c = two_state 0.2 0.3 in
+  let exact = Markov.Exact.worst_tv_profile c ~max_t:40 in
+  let dropped = Markov.Exact.worst_tv_profile ~drop_below:1e-9 c ~max_t:40 in
+  Alcotest.(check bool) "profiles within drop_below" true
+    (Array.for_all2 (fun a b -> Float.abs (a -. b) <= 1e-9) exact dropped)
+
 let suite =
   List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
     [
@@ -214,4 +338,11 @@ let suite =
       ("exact mixing monotone in eps", test_exact_mixing_monotone_eps);
       ("exact build invalid", test_exact_build_invalid);
       ("exact build merges duplicates", test_exact_build_merges_duplicates);
+      ("sparse construction", test_sparse_construction);
+      ("sparse/dense roundtrip + spmv", test_sparse_dense_roundtrip);
+      ("stationary near-reducible", test_exact_stationary_near_reducible);
+      ("stationary cache", test_exact_stationary_cache);
+      ("exact accessors", test_exact_accessors);
+      ("builder reachable + build_mix", test_builder_reachable_and_mix);
+      ("profile drop_below", test_worst_tv_profile_drop_below);
     ]

@@ -142,9 +142,10 @@ let test_path_coupling_bound_from_exact_beta () =
     Coupling.Path_coupling.bound_contractive ~beta
       ~diameter:(P.diameter metric) ~eps:0.25
   in
-  let chain =
-    Markov.Exact.build ~states ~transitions:C.exact_transitions
-  in
+  (* Same unified pipeline as bench/e08: reachable closure -> chain. *)
+  let chain = C.exact_chain ~from:(C.start ~n) in
+  Alcotest.(check int) "builder state space matches reachable" (Array.length states)
+    (Markov.Exact.size chain);
   let tau = Markov.Exact.mixing_time ~eps:0.25 chain in
   Alcotest.(check bool)
     (Printf.sprintf "exact tau %d <= lemma bound %.1f" tau bound)

@@ -85,6 +85,54 @@ let qcheck_exact_transitions_stay_in_space =
           | exception Not_found -> false)
         (Core.Dynamic_process.exact_transitions process v))
 
+let qcheck_partition_count_matches_enumerate =
+  (* The closed-form DP count against the explicit enumeration over the
+     full grid up to n = m = 12 — the sizes the extended e07/e14 grids
+     rely on. *)
+  QCheck.Test.make ~name:"Partition_space.count = |enumerate| up to 12x12"
+    ~count:300
+    QCheck.(pair (int_range 1 12) (int_range 0 12))
+    (fun (n, m) ->
+      Markov.Partition_space.count ~n ~m
+      = Array.length (Markov.Partition_space.enumerate ~n ~m))
+
+(* A random lazy stochastic chain: strictly positive off-diagonal mass
+   (irreducible and aperiodic, so everything is well defined) with a
+   self-loop weight [a] that slows mixing down enough to exercise the
+   doubling-then-bisect search away from the t <= 1 corner. *)
+let random_chain g ~n ~a =
+  let states = Array.init n Fun.id in
+  let rows =
+    Array.init n (fun _ ->
+        let w = Array.init n (fun _ -> 0.05 +. Prng.Rng.float g) in
+        let total = Array.fold_left ( +. ) 0. w in
+        Array.map (fun x -> x /. total *. (1. -. a)) w)
+  in
+  Markov.Exact.build ~states ~transitions:(fun i ->
+      (i, a) :: Array.to_list (Array.mapi (fun j p -> (j, p)) rows.(i)))
+
+let qcheck_sparse_dense_agree =
+  (* The sparse rewrite against the historical dense reference: the
+     stationary distributions agree to 1e-9 entrywise and the mixing
+     times are identical — also across domain counts. *)
+  QCheck.Test.make ~name:"sparse and dense stationary/mixing agree" ~count:60
+    QCheck.(triple small_int (int_range 2 8) (int_range 0 9))
+    (fun (seed, n, tenths) ->
+      let a = float_of_int tenths /. 10. in
+      let chain = random_chain (rng_of seed) ~n ~a in
+      let pi_sparse = Markov.Exact.stationary chain in
+      let pi_dense = Markov.Exact.Dense.stationary chain in
+      let close =
+        Array.for_all2
+          (fun x y -> Float.abs (x -. y) <= 1e-9)
+          pi_sparse pi_dense
+      in
+      let eps = 0.25 in
+      let tau_dense = Markov.Exact.Dense.mixing_time ~eps chain in
+      let tau_seq = Markov.Exact.mixing_time ~eps ~domains:1 chain in
+      let tau_par = Markov.Exact.mixing_time ~eps ~domains:2 chain in
+      close && tau_seq = tau_dense && tau_par = tau_seq)
+
 let qcheck_empirical_tv_range =
   QCheck.Test.make ~name:"empirical TV in [0,1]" ~count:200
     QCheck.(pair (list_of_size (Gen.int_range 1 30) (int_range 0 5))
@@ -221,6 +269,8 @@ let suite =
       qcheck_oplus_ominus_roundtrip;
       qcheck_abku_rank_distribution_monotone;
       qcheck_exact_transitions_stay_in_space;
+      qcheck_partition_count_matches_enumerate;
+      qcheck_sparse_dense_agree;
       qcheck_empirical_tv_range;
       qcheck_emd_metric;
       qcheck_parallel_places_all;
