@@ -10,19 +10,17 @@
 module Lv = Loadvec.Load_vector
 module Mv = Loadvec.Mutable_vector
 module Sr = Core.Scheduling_rule
+module Ctx = Experiment.Ctx
 
 let eps = 0.25
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E1"
-    ~claim:"Theorem 1: scenario-A mixing time = ceil(m ln(m/eps))";
-  let sizes = if cfg.full then [ 16; 32; 64; 128; 256; 512 ] else [ 16; 32; 64; 128; 256 ] in
-  let reps = if cfg.full then 41 else 15 in
+let run ctx =
+  let reps = Ctx.reps ctx in
   let rules = [ Sr.abku 2; Sr.adap (Core.Adaptive.of_list [ 1; 2; 2; 3 ]) ] in
   List.iter
     (fun rule ->
       let table =
-        Stats.Table.create
+        Ctx.table ctx
           ~title:
             (Printf.sprintf "E1: coalescence of Id-%s vs Theorem 1 (eps=%.2f)"
                (Sr.name rule) eps)
@@ -37,26 +35,38 @@ let run (cfg : Config.t) =
           let coupled = Core.Coupled.monotone process in
           let bound = Theory.Bounds.theorem1 ~m ~eps in
           let limit = 40 * int_of_float bound in
-          let rng = Config.rng_for cfg ~experiment:(1000 + n) in
-          let meas =
-            Coupling.Coalescence.measure ~domains:cfg.domains ~reps ~limit ~rng coupled
+          let rng = Ctx.rng ctx ~experiment:(1000 + n) in
+          let meas, metrics =
+            Coupling.Coalescence.measure_with_metrics ~domains:(Ctx.domains ctx)
+              ~reps ~limit ~rng coupled
               ~init:(fun _g ->
                 ( Mv.of_load_vector (Lv.all_in_one ~n ~m),
                   Mv.of_load_vector (Lv.uniform ~n ~m) ))
           in
           points := (float_of_int m, meas.median) :: !points;
-          Stats.Table.add_row table
+          Ctx.row table
+            ~values:(Ctx.measurement_values meas @ [ ("bound", bound) ])
+            ~metrics
             [
               string_of_int n;
-              Exp_util.cell_measurement meas;
+              Ctx.cell_measurement meas;
               Printf.sprintf "%.0f" bound;
-              Exp_util.ratio_cell meas.median bound;
+              Ctx.ratio_cell meas.median bound;
             ])
-        sizes;
-      Exp_util.note_exponent table ~points:(List.rev !points) ~log_exponent:1.
+        (Ctx.sizes ctx);
+      Ctx.note_exponent table ~points:(List.rev !points) ~log_exponent:1.
         ~expected:"1 (m ln m growth)" ~what:"median vs m (after / ln m)";
-      Stats.Table.add_note table
+      Ctx.note table
         "ratio < 1 is expected: the theorem is an upper bound and the pair \
          is a single start, not the worst case over time";
-      Exp_util.output table)
+      Ctx.emit ctx table)
     rules
+
+let spec =
+  Experiment.Spec.v ~id:"e1"
+    ~claim:"Theorem 1: scenario-A mixing time = ceil(m ln(m/eps))"
+    ~tags:[ "mixing"; "scenario-a"; "coupling"; "sim" ]
+    ~grid:
+      (Experiment.Grid.v ~axis:"n=m" ~quick:[ 16; 32; 64; 128; 256 ]
+         ~full:[ 16; 32; 64; 128; 256; 512 ] ~reps:(15, 41) ())
+    run

@@ -5,18 +5,13 @@
    We start with all n balls in one bin and measure the first time the
    maximum load drops to (fluid-limit prediction + 1), sweeping n. *)
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E2"
-    ~claim:"scenario-A recovery from the worst state in O(n ln n) steps";
-  let sizes =
-    if cfg.full then [ 128; 256; 512; 1024; 2048; 4096 ]
-    else [ 128; 256; 512; 1024; 2048 ]
-  in
-  let reps = if cfg.full then 31 else 11 in
+module Ctx = Experiment.Ctx
+
+let run ctx =
+  let reps = Ctx.reps ctx in
   let d = 2 in
   let table =
-    Stats.Table.create
-      ~title:"E2: recovery of Id-ABKU[2] to fluid max load + 1"
+    Ctx.table ctx ~title:"E2: recovery of Id-ABKU[2] to fluid max load + 1"
       ~columns:
         [ "n=m"; "target"; "median steps [q10,q90]"; "n ln n"; "ratio" ]
   in
@@ -34,21 +29,34 @@ let run (cfg : Config.t) =
         }
       in
       let scale = Theory.Bounds.recovery_a_steps ~n in
-      let rng = Config.rng_for cfg ~experiment:(2000 + n) in
-      let meas =
-        Core.Recovery.measure ~domains:cfg.domains ~rng ~reps spec ~target
-          ~limit:(200 * int_of_float scale)
+      let rng = Ctx.rng ctx ~experiment:(2000 + n) in
+      let meas, metrics =
+        Core.Recovery.measure_with_metrics ~domains:(Ctx.domains ctx) ~rng
+          ~reps spec ~target ~limit:(200 * int_of_float scale)
       in
       points := (float_of_int n, meas.median) :: !points;
-      Stats.Table.add_row table
+      Ctx.row table
+        ~values:
+          (Ctx.measurement_values meas
+          @ [ ("target", float_of_int target); ("scale", scale) ])
+        ~metrics
         [
           string_of_int n;
           string_of_int target;
-          Exp_util.cell_measurement meas;
+          Ctx.cell_measurement meas;
           Printf.sprintf "%.0f" scale;
-          Exp_util.ratio_cell meas.median scale;
+          Ctx.ratio_cell meas.median scale;
         ])
-    sizes;
-  Exp_util.note_exponent table ~points:(List.rev !points) ~log_exponent:1.
+    (Ctx.sizes ctx);
+  Ctx.note_exponent table ~points:(List.rev !points) ~log_exponent:1.
     ~expected:"1 (n ln n growth)" ~what:"median vs n (after / ln n)";
-  Exp_util.output table
+  Ctx.emit ctx table
+
+let spec =
+  Experiment.Spec.v ~id:"e2"
+    ~claim:"scenario-A recovery from the worst state in O(n ln n) steps"
+    ~tags:[ "recovery"; "scenario-a"; "sim" ]
+    ~grid:
+      (Experiment.Grid.v ~axis:"n=m" ~quick:[ 128; 256; 512; 1024; 2048 ]
+         ~full:[ 128; 256; 512; 1024; 2048; 4096 ] ~reps:(11, 31) ())
+    run

@@ -9,17 +9,14 @@
 module Lv = Loadvec.Load_vector
 module Mv = Loadvec.Mutable_vector
 module Sr = Core.Scheduling_rule
+module Ctx = Experiment.Ctx
 
 let eps = 0.25
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E3"
-    ~claim:"Claim 5.3: scenario-B mixing O(n m^2); improved O~(m^2), Omega(m^2)";
-  let sizes = if cfg.full then [ 8; 16; 32; 64; 128; 192 ] else [ 8; 16; 32; 64; 128 ] in
-  let reps = if cfg.full then 31 else 15 in
+let run ctx =
+  let reps = Ctx.reps ctx in
   let table =
-    Stats.Table.create
-      ~title:"E3: coalescence of Ib-ABKU[2] vs scenario-B bounds"
+    Ctx.table ctx ~title:"E3: coalescence of Ib-ABKU[2] vs scenario-B bounds"
       ~columns:
         [
           "n=m";
@@ -39,25 +36,40 @@ let run (cfg : Config.t) =
       let improved = Theory.Bounds.scenario_b_improved ~m in
       let claim = Theory.Bounds.claim53 ~n ~m ~eps in
       let limit = 200 * int_of_float improved in
-      let rng = Config.rng_for cfg ~experiment:(3000 + n) in
-      let meas =
-        Coupling.Coalescence.measure ~domains:cfg.domains ~reps ~limit ~rng coupled ~init:(fun _g ->
+      let rng = Ctx.rng ctx ~experiment:(3000 + n) in
+      let meas, metrics =
+        Coupling.Coalescence.measure_with_metrics ~domains:(Ctx.domains ctx)
+          ~reps ~limit ~rng coupled
+          ~init:(fun _g ->
             ( Mv.of_load_vector (Lv.all_in_one ~n ~m),
               Mv.of_load_vector (Lv.uniform ~n ~m) ))
       in
       points := (float_of_int m, meas.median) :: !points;
       let nm = float_of_int (n * m) in
-      Stats.Table.add_row table
+      Ctx.row table
+        ~values:
+          (Ctx.measurement_values meas
+          @ [ ("n_m", nm); ("improved", improved); ("claim53", claim) ])
+        ~metrics
         [
           string_of_int n;
-          Exp_util.cell_measurement meas;
+          Ctx.cell_measurement meas;
           Printf.sprintf "%.0f" nm;
           Printf.sprintf "%.0f" improved;
           Printf.sprintf "%.0f" claim;
-          Exp_util.ratio_cell meas.median nm;
+          Ctx.ratio_cell meas.median nm;
         ])
-    sizes;
-  Exp_util.note_exponent table ~points:(List.rev !points) ~log_exponent:0.
+    (Ctx.sizes ctx);
+  Ctx.note_exponent table ~points:(List.rev !points) ~log_exponent:0.
     ~expected:"2 (Omega(m^2) .. O~(m^2)); Claim 5.3 alone would allow 3"
     ~what:"median vs m";
-  Exp_util.output table
+  Ctx.emit ctx table
+
+let spec =
+  Experiment.Spec.v ~id:"e3"
+    ~claim:"Claim 5.3: scenario-B mixing O(n m^2); improved O~(m^2), Omega(m^2)"
+    ~tags:[ "mixing"; "scenario-b"; "coupling"; "sim" ]
+    ~grid:
+      (Experiment.Grid.v ~axis:"n=m" ~quick:[ 8; 16; 32; 64; 128 ]
+         ~full:[ 8; 16; 32; 64; 128; 192 ] ~reps:(15, 31) ())
+    run

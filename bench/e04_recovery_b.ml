@@ -4,15 +4,13 @@
 
    Max-load first-hitting time from the all-in-one state for Ib-ABKU[2]. *)
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E4"
-    ~claim:"scenario-B recovery from the worst state in O(n^2 ln n) steps";
-  let sizes = if cfg.full then [ 64; 128; 256; 512; 1024 ] else [ 32; 64; 128; 256; 512 ] in
-  let reps = if cfg.full then 21 else 9 in
+module Ctx = Experiment.Ctx
+
+let run ctx =
+  let reps = Ctx.reps ctx in
   let d = 2 in
   let table =
-    Stats.Table.create
-      ~title:"E4: recovery of Ib-ABKU[2] to fluid max load + 1"
+    Ctx.table ctx ~title:"E4: recovery of Ib-ABKU[2] to fluid max load + 1"
       ~columns:
         [ "n=m"; "target"; "median steps [q10,q90]"; "n^2 ln n"; "ratio" ]
   in
@@ -30,24 +28,37 @@ let run (cfg : Config.t) =
         }
       in
       let scale = Theory.Bounds.recovery_b_steps ~n in
-      let rng = Config.rng_for cfg ~experiment:(4000 + n) in
-      let meas =
-        Core.Recovery.measure ~domains:cfg.domains ~rng ~reps spec ~target
-          ~limit:(50 * int_of_float scale)
+      let rng = Ctx.rng ctx ~experiment:(4000 + n) in
+      let meas, metrics =
+        Core.Recovery.measure_with_metrics ~domains:(Ctx.domains ctx) ~rng
+          ~reps spec ~target ~limit:(50 * int_of_float scale)
       in
       points := (float_of_int n, meas.median) :: !points;
-      Stats.Table.add_row table
+      Ctx.row table
+        ~values:
+          (Ctx.measurement_values meas
+          @ [ ("target", float_of_int target); ("scale", scale) ])
+        ~metrics
         [
           string_of_int n;
           string_of_int target;
-          Exp_util.cell_measurement meas;
+          Ctx.cell_measurement meas;
           Printf.sprintf "%.0f" scale;
-          Exp_util.ratio_cell meas.median scale;
+          Ctx.ratio_cell meas.median scale;
         ])
-    sizes;
-  Exp_util.note_exponent table ~points:(List.rev !points) ~log_exponent:1.
+    (Ctx.sizes ctx);
+  Ctx.note_exponent table ~points:(List.rev !points) ~log_exponent:1.
     ~expected:"2 (n^2 ln n growth)" ~what:"median vs n (after / ln n)";
-  Stats.Table.add_note table
+  Ctx.note table
     "scenario B drains the spike one ball per hit on it, and hits it with \
      probability ~1/#nonempty: quadratically slower than scenario A (E2)";
-  Exp_util.output table
+  Ctx.emit ctx table
+
+let spec =
+  Experiment.Spec.v ~id:"e4"
+    ~claim:"scenario-B recovery from the worst state in O(n^2 ln n) steps"
+    ~tags:[ "recovery"; "scenario-b"; "sim" ]
+    ~grid:
+      (Experiment.Grid.v ~axis:"n=m" ~quick:[ 32; 64; 128; 256; 512 ]
+         ~full:[ 64; 128; 256; 512; 1024 ] ~reps:(9, 21) ())
+    run

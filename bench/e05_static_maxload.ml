@@ -3,18 +3,13 @@
    ln ln n / ln d (1+o(1)) + O(m/n) for d >= 2. *)
 
 module Sr = Core.Scheduling_rule
+module Ctx = Experiment.Ctx
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E5"
-    ~claim:"Azar et al.: static max load, one choice vs d choices";
-  let sizes =
-    if cfg.full then [ 4096; 16384; 65536; 262144; 1048576 ]
-    else [ 1024; 4096; 16384; 65536; 262144 ]
-  in
-  let reps = if cfg.full then 15 else 7 in
+let run ctx =
+  let reps = Ctx.reps ctx in
   let ds = [ 1; 2; 3; 4 ] in
   let table =
-    Stats.Table.create ~title:"E5: static max load of ABKU[d], m = n"
+    Ctx.table ctx ~title:"E5: static max load of ABKU[d], m = n"
       ~columns:
         ([ "n" ]
         @ List.concat_map
@@ -24,7 +19,8 @@ let run (cfg : Config.t) =
   in
   List.iter
     (fun n ->
-      let rng = Config.rng_for cfg ~experiment:(5000 + n) in
+      let rng = Ctx.rng ctx ~experiment:(5000 + n) in
+      let values = ref [] in
       let cells =
         List.concat_map
           (fun d ->
@@ -35,12 +31,27 @@ let run (cfg : Config.t) =
               Stats.Quantile.median (Stats.Quantile.of_ints samples)
             in
             let formula = Theory.Bounds.azar_static_max_load ~n ~m:n ~d in
+            values :=
+              (Printf.sprintf "d%d_formula" d, formula)
+              :: (Printf.sprintf "d%d_median" d, median)
+              :: !values;
             [ Printf.sprintf "%.1f" median; Printf.sprintf "%.2f" formula ])
           ds
       in
-      Stats.Table.add_row table (string_of_int n :: cells))
-    sizes;
-  Stats.Table.add_note table
+      Ctx.row table ~values:(List.rev !values) (string_of_int n :: cells))
+    (Ctx.sizes ctx);
+  Ctx.note table
     "who wins: every d >= 2 beats d = 1 and the d = 1 column grows with n \
      while d >= 2 columns stay nearly flat (the ln ln n effect)";
-  Exp_util.output table
+  Ctx.emit ctx table
+
+let spec =
+  Experiment.Spec.v ~id:"e5"
+    ~claim:"Azar et al.: static max load, one choice vs d choices"
+    ~tags:[ "static"; "baseline"; "sim" ]
+    ~grid:
+      (Experiment.Grid.v ~axis:"n"
+         ~quick:[ 1024; 4096; 16384; 65536; 262144 ]
+         ~full:[ 4096; 16384; 65536; 262144; 1048576 ]
+         ~reps:(7, 15) ())
+    run

@@ -6,9 +6,10 @@
    scenarios. *)
 
 module Sr = Core.Scheduling_rule
+module Ctx = Experiment.Ctx
 
-let simulated_profile cfg ~scenario ~d ~n ~levels =
-  let rng = Config.rng_for cfg ~experiment:6000 in
+let simulated_profile ctx ~scenario ~d ~n ~levels =
+  let rng = Ctx.rng ctx ~experiment:6000 in
   let bins =
     Core.Bins.of_loads
       (Loadvec.Load_vector.to_array (Loadvec.Load_vector.uniform ~n ~m:n))
@@ -27,17 +28,15 @@ let simulated_profile cfg ~scenario ~d ~n ~levels =
   done;
   Array.map (fun x -> x /. float_of_int samples) acc
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E6"
-    ~claim:"Mitzenmacher fluid limit predicts the stationary profile";
-  let n = if cfg.full then 16384 else 4096 in
+let run ctx =
+  let n = Ctx.scale ctx ~quick:4096 ~full:16384 in
   let d = 2 and levels = 8 in
   List.iter
     (fun (scenario, fixed_point) ->
       let fluid = fixed_point () in
-      let sim = simulated_profile cfg ~scenario ~d ~n ~levels in
+      let sim = simulated_profile ctx ~scenario ~d ~n ~levels in
       let table =
-        Stats.Table.create
+        Ctx.table ctx
           ~title:
             (Printf.sprintf "E6: load fractions s_i, %s-ABKU[%d], n = m = %d"
                (match scenario with Core.Scenario.A -> "Id" | B -> "Ib")
@@ -47,7 +46,8 @@ let run (cfg : Config.t) =
       for i = 1 to levels do
         let s = sim.(i - 1) in
         let f = if i - 1 < Array.length fluid then fluid.(i - 1) else 0. in
-        Stats.Table.add_row table
+        Ctx.row table
+          ~values:[ ("simulated", s); ("fluid", f); ("abs_diff", Float.abs (s -. f)) ]
           [
             string_of_int i;
             Printf.sprintf "%.5f" s;
@@ -56,13 +56,19 @@ let run (cfg : Config.t) =
           ]
       done;
       let pred = Fluid.Mean_field.predicted_max_load ~n fluid in
-      Stats.Table.add_note table
+      Ctx.note table
         (Printf.sprintf "fluid-predicted max load: %d (used as the recovery \
                          target in E2/E4)" pred);
-      Exp_util.output table)
+      Ctx.emit ctx table)
     [
       (Core.Scenario.A,
        fun () -> Fluid.Mean_field.fixed_point_a ~d ~m_over_n:1. ~levels:40);
       (Core.Scenario.B,
        fun () -> Fluid.Mean_field.fixed_point_b ~d ~m_over_n:1. ~levels:40);
     ]
+
+let spec =
+  Experiment.Spec.v ~id:"e6"
+    ~claim:"Mitzenmacher fluid limit predicts the stationary profile"
+    ~tags:[ "fluid"; "stationary"; "sim" ]
+    run

@@ -16,19 +16,17 @@
 module Lv = Loadvec.Load_vector
 module Mv = Loadvec.Mutable_vector
 module Sr = Core.Scheduling_rule
+module Ctx = Experiment.Ctx
 
 let eps = 0.25
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E7"
-    ~claim:"exact mixing time vs coupling coalescence vs closed-form bounds";
-  let sizes = if cfg.full then [ 4; 6; 8; 10; 12; 14 ] else [ 4; 6; 8; 10; 12 ] in
-  let reps = if cfg.full then 401 else 201 in
+let run ctx =
+  let reps = Ctx.reps ctx in
   List.iter
     (fun scenario ->
       let metrics = Engine.Metrics.create () in
       let table =
-        Stats.Table.create
+        Ctx.table ctx
           ~title:
             (Printf.sprintf
                "E7: %s-ABKU[2], exact tau(%.2f) on Omega_m vs bound"
@@ -46,7 +44,7 @@ let run (cfg : Config.t) =
           let process = Core.Dynamic_process.make scenario (Sr.abku 2) ~n in
           let a =
             Markov.Exact_builder.build_mix ~eps ~max_t:1_000_000
-              ~domains:cfg.domains
+              ~domains:(Ctx.domains ctx)
               (Markov.Exact_builder.enumerated
                  (Markov.Partition_space.enumerate ~n ~m))
               ~transitions:(Core.Dynamic_process.exact_transitions process)
@@ -55,9 +53,10 @@ let run (cfg : Config.t) =
           Engine.Metrics.add_phase metrics (cell ^ " build") a.build_seconds;
           Engine.Metrics.add_phase metrics (cell ^ " mix") a.mix_seconds;
           let coupled = Core.Coupled.monotone process in
-          let rng = Config.rng_for cfg ~experiment:(7000 + n) in
-          let meas =
-            Coupling.Coalescence.measure ~domains:cfg.domains ~reps ~limit:1_000_000 ~rng coupled
+          let rng = Ctx.rng ctx ~experiment:(7000 + n) in
+          let meas, cell_metrics =
+            Coupling.Coalescence.measure_with_metrics ~domains:(Ctx.domains ctx)
+              ~reps ~limit:1_000_000 ~rng coupled
               ~init:(fun _g ->
                 ( Mv.of_load_vector (Lv.all_in_one ~n ~m),
                   Mv.of_load_vector (Lv.uniform ~n ~m) ))
@@ -79,23 +78,40 @@ let run (cfg : Config.t) =
             | Core.Scenario.B ->
                 Fluid.Mean_field.fixed_point_b ~d:2 ~m_over_n:1. ~levels:30
           in
-          Stats.Table.add_row table
+          Ctx.row table
+            ~values:
+              (Ctx.measurement_values meas
+              @ [
+                  ("state_count", float_of_int a.state_count);
+                  ("exact_tau", float_of_int a.tau);
+                  ("bound", bound);
+                  ("exact_mean_max", exact_mean_max);
+                ])
+            ~metrics:cell_metrics
             [
               string_of_int n;
               string_of_int a.state_count;
               string_of_int a.tau;
-              Exp_util.cell_measurement meas;
+              Ctx.cell_measurement meas;
               Printf.sprintf "%.0f" bound;
               Printf.sprintf "%.2f" exact_mean_max;
               string_of_int (Fluid.Mean_field.predicted_max_load ~n fluid);
             ])
-        sizes;
-      Stats.Table.add_note table
-        "soundness: exact tau <= closed-form bound on every row";
-      Exp_util.output table;
+        (Ctx.sizes ctx);
+      Ctx.note table "soundness: exact tau <= closed-form bound on every row";
+      Ctx.emit ctx table;
       Engine.Metrics.dump
         ~label:
           (Printf.sprintf "E7 %s exact-cell metrics"
              (match scenario with Core.Scenario.A -> "Id" | B -> "Ib"))
         (Engine.Metrics.snapshot metrics))
     [ Core.Scenario.A; Core.Scenario.B ]
+
+let spec =
+  Experiment.Spec.v ~id:"e7"
+    ~claim:"exact mixing time vs coupling coalescence vs closed-form bounds"
+    ~tags:[ "exact"; "mixing"; "coupling"; "soundness" ]
+    ~grid:
+      (Experiment.Grid.v ~axis:"n=m" ~quick:[ 4; 6; 8; 10; 12 ]
+         ~full:[ 4; 6; 8; 10; 12; 14 ] ~reps:(201, 401) ())
+    run

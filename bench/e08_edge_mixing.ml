@@ -7,15 +7,12 @@
    state. *)
 
 module C = Edgeorient.Class_chain
+module Ctx = Experiment.Ctx
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E8"
-    ~claim:"edge orientation: O(n^3 ln n) -> O(n^2 ln^2 n), Omega(n^2)";
-  let sizes = if cfg.full then [ 8; 16; 32; 64; 96 ] else [ 8; 16; 32; 48; 64 ] in
-  let reps = if cfg.full then 21 else 11 in
+let run ctx =
+  let reps = Ctx.reps ctx in
   let table =
-    Stats.Table.create
-      ~title:"E8: coalescence of the Section-6 edge coupling"
+    Ctx.table ctx ~title:"E8: coalescence of the Section-6 edge coupling"
       ~columns:
         [
           "n";
@@ -32,42 +29,48 @@ let run (cfg : Config.t) =
       let thm2 = Theory.Bounds.theorem2 ~n in
       let cor = Theory.Bounds.corollary64 ~n ~eps:0.25 in
       let limit = 100 * int_of_float thm2 in
-      let rng = Config.rng_for cfg ~experiment:(8000 + n) in
-      let meas =
-        Coupling.Coalescence.measure ~domains:cfg.domains ~reps ~limit ~rng coupled ~init:(fun _g ->
-            (C.adversarial ~n, C.start ~n))
+      let rng = Ctx.rng ctx ~experiment:(8000 + n) in
+      let meas, metrics =
+        Coupling.Coalescence.measure_with_metrics ~domains:(Ctx.domains ctx)
+          ~reps ~limit ~rng coupled
+          ~init:(fun _g -> (C.adversarial ~n, C.start ~n))
       in
       points := (float_of_int n, meas.median) :: !points;
-      Stats.Table.add_row table
+      Ctx.row table
+        ~values:
+          (Ctx.measurement_values meas @ [ ("thm2", thm2); ("cor64", cor) ])
+        ~metrics
         [
           string_of_int n;
-          Exp_util.cell_measurement meas;
+          Ctx.cell_measurement meas;
           Printf.sprintf "%.0f" thm2;
           Printf.sprintf "%.0f" cor;
-          Exp_util.ratio_cell meas.median thm2;
+          Ctx.ratio_cell meas.median thm2;
         ])
-    sizes;
-  Exp_util.note_exponent table ~points:(List.rev !points) ~log_exponent:0.
+    (Ctx.sizes ctx);
+  Ctx.note_exponent table ~points:(List.rev !points) ~log_exponent:0.
     ~expected:"2..2.4 (n^2 times log factors; Cor 6.4 alone would allow 3+)"
     ~what:"median vs n";
-  Exp_util.output table;
+  Ctx.emit ctx table;
   (* Exact ground truth on the enumerable state space Psi (the paper's
      Section 6 representation): tau(1/4) from the transition matrix next
      to the closed-form bounds. *)
   let exact_table =
-    Stats.Table.create ~title:"E8b: exact mixing of the edge chain on Psi"
+    Ctx.table ctx ~title:"E8b: exact mixing of the edge chain on Psi"
       ~columns:
         [
           "n"; "|Psi|"; "exact tau(1/4)"; "beta on Gamma";
           "Lemma 3.1 bound"; "Thm 2"; "Cor 6.4";
         ]
   in
-  let exact_sizes = if cfg.full then [ 4; 5; 6; 7; 8; 9 ] else [ 4; 5; 6; 7; 8 ] in
+  let exact_sizes =
+    if Ctx.full ctx then [ 4; 5; 6; 7; 8; 9 ] else [ 4; 5; 6; 7; 8 ]
+  in
   List.iter
     (fun n ->
       let a =
         Markov.Exact_builder.build_mix ~eps:0.25 ~max_t:1_000_000
-          ~domains:cfg.domains
+          ~domains:(Ctx.domains ctx)
           (Markov.Exact_builder.reachable ~root:(C.start ~n))
           ~transitions:C.exact_transitions
       in
@@ -101,7 +104,16 @@ let run (cfg : Config.t) =
         Coupling.Path_coupling.bound_contractive ~beta
           ~diameter:(Edgeorient.Path_metric.diameter metric) ~eps:0.25
       in
-      Stats.Table.add_row exact_table
+      Ctx.row exact_table
+        ~values:
+          [
+            ("state_count", float_of_int (Array.length states));
+            ("exact_tau", float_of_int tau);
+            ("beta", beta);
+            ("lemma_bound", lemma_bound);
+            ("thm2", Theory.Bounds.theorem2 ~n);
+            ("cor64", Theory.Bounds.corollary64 ~n ~eps:0.25);
+          ]
         [
           string_of_int n;
           string_of_int (Array.length states);
@@ -112,9 +124,18 @@ let run (cfg : Config.t) =
           Printf.sprintf "%.0f" (Theory.Bounds.corollary64 ~n ~eps:0.25);
         ])
     exact_sizes;
-  Stats.Table.add_note exact_table
+  Ctx.note exact_table
     "soundness anchor: exact tau is below BOTH the Lemma 3.1 bound \
      (computed from the exact worst-case Gamma contraction in the \
      Definition-6.3 metric) and the closed-form theorems; the two upper \
      bounds are not mutually ordered at such small n";
-  Exp_util.output exact_table
+  Ctx.emit ctx exact_table
+
+let spec =
+  Experiment.Spec.v ~id:"e8"
+    ~claim:"edge orientation: O(n^3 ln n) -> O(n^2 ln^2 n), Omega(n^2)"
+    ~tags:[ "edge-orientation"; "mixing"; "coupling"; "exact" ]
+    ~grid:
+      (Experiment.Grid.v ~axis:"n" ~quick:[ 8; 16; 32; 48; 64 ]
+         ~full:[ 8; 16; 32; 64; 96 ] ~reps:(11, 21) ())
+    run

@@ -4,16 +4,12 @@
    stationary unfairness itself grows like log log n (Ajtai et al.). *)
 
 module O = Edgeorient.Orientation
+module Ctx = Experiment.Ctx
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E9"
-    ~claim:"edge orientation: unfairness recovery and Theta(log log n) regime";
-  let sizes =
-    if cfg.full then [ 64; 128; 256; 512; 1024; 2048 ] else [ 64; 128; 256; 512; 1024 ]
-  in
-  let reps = if cfg.full then 21 else 9 in
+let run ctx =
+  let reps = Ctx.reps ctx in
   let table =
-    Stats.Table.create
+    Ctx.table ctx
       ~title:"E9: greedy protocol, recovery and stationary unfairness"
       ~columns:
         [
@@ -28,15 +24,15 @@ let run (cfg : Config.t) =
   let rec_points = ref [] in
   List.iter
     (fun n ->
-      let rng = Config.rng_for cfg ~experiment:(9000 + n) in
+      let rng = Ctx.rng ctx ~experiment:(9000 + n) in
       let loglog = Theory.Bounds.edge_stationary_unfairness ~n in
       let target = int_of_float (ceil loglog) + 1 in
       let scale = float_of_int n *. float_of_int n *. log (float_of_int n) in
       let limit = 50 * int_of_float scale in
       (* Recovery: the sim's probe is the unfairness, so the first
          hitting time comes straight out of the replication runner. *)
-      let meas, _metrics =
-        Engine.Runner.measure ~domains:cfg.domains ~rng ~reps ~limit
+      let meas, metrics =
+        Engine.Runner.measure ~domains:(Ctx.domains ctx) ~rng ~reps ~limit
           (fun g metrics ~limit ->
             let s = O.sim ~metrics (O.adversarial ~n) in
             Engine.Sim.first_hit s g ~pred:(fun u -> u <= target) ~limit)
@@ -48,18 +44,36 @@ let run (cfg : Config.t) =
         ~samples:300 (fun () -> Engine.Sim.probe s)
       |> List.iter (Stats.Summary.add_int summary);
       rec_points := (float_of_int n, meas.median) :: !rec_points;
-      Stats.Table.add_row table
+      Ctx.row table
+        ~values:
+          (Ctx.measurement_values meas
+          @ [
+              ("target", float_of_int target);
+              ("scale", scale);
+              ("stationary_mean_unfairness", Stats.Summary.mean summary);
+              ("loglog", loglog);
+            ])
+        ~metrics
         [
           string_of_int n;
           string_of_int target;
-          Exp_util.cell_measurement meas;
+          Ctx.cell_measurement meas;
           Printf.sprintf "%.0f" scale;
           Printf.sprintf "%.2f" (Stats.Summary.mean summary);
           Printf.sprintf "%.2f" loglog;
         ])
-    sizes;
-  Exp_util.note_exponent table ~points:(List.rev !rec_points) ~log_exponent:1.
+    (Ctx.sizes ctx);
+  Ctx.note_exponent table ~points:(List.rev !rec_points) ~log_exponent:1.
     ~expected:"2 (recovery ~ n^2 up to logs)" ~what:"recovery vs n (after / ln n)";
-  Stats.Table.add_note table
+  Ctx.note table
     "stationary unfairness column should crawl like log log n: nearly flat";
-  Exp_util.output table
+  Ctx.emit ctx table
+
+let spec =
+  Experiment.Spec.v ~id:"e9"
+    ~claim:"edge orientation: unfairness recovery and Theta(log log n) regime"
+    ~tags:[ "edge-orientation"; "recovery"; "sim" ]
+    ~grid:
+      (Experiment.Grid.v ~axis:"n" ~quick:[ 64; 128; 256; 512; 1024 ]
+         ~full:[ 64; 128; 256; 512; 1024; 2048 ] ~reps:(9, 21) ())
+    run

@@ -4,6 +4,7 @@
    max load; ABKU[d] columns are the baselines. *)
 
 module Sr = Core.Scheduling_rule
+module Ctx = Experiment.Ctx
 
 let rules () =
   [
@@ -16,13 +17,11 @@ let rules () =
     Sr.adap (Core.Adaptive.doubling ());
   ]
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E10"
-    ~claim:"ADAP(x): fewer expected probes for the same balance";
-  let n = if cfg.full then 16384 else 4096 in
+let run ctx =
+  let n = Ctx.scale ctx ~quick:4096 ~full:16384 in
   let steps = 50 * n and samples = 200 in
   let table =
-    Stats.Table.create
+    Ctx.table ctx
       ~title:(Printf.sprintf "E10: Id-* rules, n = m = %d (stationary)" n)
       ~columns:
         [
@@ -32,7 +31,7 @@ let run (cfg : Config.t) =
   in
   List.iter
     (fun rule ->
-      let rng = Config.rng_for cfg ~experiment:10_000 in
+      let rng = Ctx.rng ctx ~experiment:10_000 in
       let bins =
         Core.Bins.of_loads
           (Loadvec.Load_vector.to_array (Loadvec.Load_vector.uniform ~n ~m:n))
@@ -71,7 +70,17 @@ let run (cfg : Config.t) =
         Fluid.Mean_field.fixed_point_a_adap ~threshold ~m_over_n:1. ~levels:30
       in
       let fluid_probes = Fluid.Mean_field.expected_probes_fluid ~threshold fluid in
-      Stats.Table.add_row table
+      Ctx.row table
+        ~values:
+          [
+            ("probes_per_insert", Stats.Summary.mean probes);
+            ("exact_probes", exact);
+            ("fluid_probes", fluid_probes);
+            ("mean_max_load", Stats.Summary.mean maxes);
+            ("worst_max_load", float_of_int !worst);
+            ( "fluid_max_pred",
+              float_of_int (Fluid.Mean_field.predicted_max_load ~n fluid) );
+          ]
         [
           Sr.name rule;
           Printf.sprintf "%.3f" (Stats.Summary.mean probes);
@@ -82,7 +91,13 @@ let run (cfg : Config.t) =
           string_of_int (Fluid.Mean_field.predicted_max_load ~n fluid);
         ])
     (rules ());
-  Stats.Table.add_note table
+  Ctx.note table
     "ADAP(1;2;4) should sit near ABKU[2]'s balance at clearly fewer probes \
      than ABKU[2]'s 2.0 (it only re-probes when the candidate looks full)";
-  Exp_util.output table
+  Ctx.emit ctx table
+
+let spec =
+  Experiment.Spec.v ~id:"e10"
+    ~claim:"ADAP(x): fewer expected probes for the same balance"
+    ~tags:[ "adap"; "ablation"; "stationary"; "sim" ]
+    run

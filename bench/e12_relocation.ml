@@ -3,18 +3,17 @@
    from the all-in-one state, as a function of k. *)
 
 module Sr = Core.Scheduling_rule
+module Ctx = Experiment.Ctx
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E12"
-    ~claim:"relocations speed up recovery (Section 7 extension)";
-  let n = if cfg.full then 1024 else 256 in
-  let reps = if cfg.full then 21 else 11 in
+let run ctx =
+  let n = Ctx.scale ctx ~quick:256 ~full:1024 in
+  let reps = Ctx.scale ctx ~quick:11 ~full:21 in
   let ks = [ 0; 1; 2; 4 ] in
   let d = 2 in
   let profile = Fluid.Mean_field.fixed_point_a ~d ~m_over_n:1. ~levels:40 in
   let target = Fluid.Mean_field.predicted_max_load ~n profile + 1 in
   let table =
-    Stats.Table.create
+    Ctx.table ctx
       ~title:
         (Printf.sprintf
            "E12: Id-ABKU[2]+reloc(k), n = m = %d, recovery to max load <= %d"
@@ -25,7 +24,7 @@ let run (cfg : Config.t) =
   List.iter
     (fun k ->
       let reloc = Core.Relocation.make Core.Scenario.A (Sr.abku d) ~relocations:k ~n in
-      let rng = Config.rng_for cfg ~experiment:(12_000 + k) in
+      let rng = Ctx.rng ctx ~experiment:(12_000 + k) in
       let limit = 500 * n * (1 + int_of_float (log (float_of_int n))) in
       let times = ref [] in
       let failures = ref 0 in
@@ -45,7 +44,13 @@ let run (cfg : Config.t) =
       let xs = Array.of_list !times in
       let median = if Array.length xs = 0 then nan else Stats.Quantile.median xs in
       if k = 0 then base := median;
-      Stats.Table.add_row table
+      Ctx.row table
+        ~values:
+          [
+            ("median", median);
+            ("failures", float_of_int !failures);
+            ("speedup", if k = 0 then 1. else !base /. median);
+          ]
         [
           string_of_int k;
           (if Float.is_nan median then "(limit)"
@@ -57,7 +62,13 @@ let run (cfg : Config.t) =
            else Printf.sprintf "%.2fx" (!base /. median));
         ])
     ks;
-  Stats.Table.add_note table
+  Ctx.note table
     "speedup should grow with k and saturate: each step still inserts only \
      one new ball";
-  Exp_util.output table
+  Ctx.emit ctx table
+
+let spec =
+  Experiment.Spec.v ~id:"e12"
+    ~claim:"relocations speed up recovery (Section 7 extension)"
+    ~tags:[ "relocation"; "recovery"; "sim" ]
+    run

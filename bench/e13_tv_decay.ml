@@ -8,17 +8,16 @@
 module Lv = Loadvec.Load_vector
 module Mv = Loadvec.Mutable_vector
 module Sr = Core.Scheduling_rule
+module Ctx = Experiment.Ctx
 
 let geometric_times limit =
   let rec go t acc = if t > limit then List.rev acc else go (t * 4) (t :: acc) in
   go 1 []
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E13"
-    ~claim:"TV decay of the max-load observable vs the theorems' scales";
-  let n = if cfg.full then 128 else 64 in
+let run ctx =
+  let n = Ctx.scale ctx ~quick:64 ~full:128 in
   let m = n in
-  let reps = if cfg.full then 2000 else 500 in
+  let reps = Ctx.scale ctx ~quick:500 ~full:2000 in
   List.iter
     (fun (scenario, scale_name, scale) ->
       let process = Core.Dynamic_process.make scenario (Sr.abku 2) ~n in
@@ -28,7 +27,7 @@ let run (cfg : Config.t) =
             Core.Dynamic_process.step_in_place process g v;
             v)
       in
-      let rng = Config.rng_for cfg ~experiment:13_000 in
+      let rng = Ctx.rng ctx ~experiment:13_000 in
       let limit = 2 * int_of_float scale in
       (* Geometric grid plus the bound itself, so the table shows the TV
          exactly where the theorem promises <= eps. *)
@@ -42,7 +41,7 @@ let run (cfg : Config.t) =
           ~times ~reps ~observable:Mv.max_load
       in
       let table =
-        Stats.Table.create
+        Ctx.table ctx
           ~title:
             (Printf.sprintf "E13: TV(max load at t) for %s, n = m = %d"
                (Core.Dynamic_process.name process)
@@ -51,7 +50,8 @@ let run (cfg : Config.t) =
       in
       List.iter
         (fun (t, tv) ->
-          Stats.Table.add_row table
+          Ctx.row table
+            ~values:[ ("tv", tv) ]
             [ string_of_int t; Printf.sprintf "%.3f" tv ])
         profile;
       let at_bound =
@@ -59,15 +59,21 @@ let run (cfg : Config.t) =
       in
       (match at_bound with
       | Some (t, tv) ->
-          Stats.Table.add_note table
+          Ctx.note table
             (Printf.sprintf
                "at the bound t = %s = %d the observable TV is %.3f %s 0.25 \
                 (observable TV lower-bounds state TV, so <= is required)"
                scale_name t tv
                (if tv <= 0.25 then "<=" else "> !! VIOLATION of"))
       | None -> ());
-      Exp_util.output table)
+      Ctx.emit ctx table)
     [
       (Core.Scenario.A, "Theorem 1", Theory.Bounds.theorem1 ~m ~eps:0.25);
       (Core.Scenario.B, "m^2 ln m", Theory.Bounds.scenario_b_improved ~m);
     ]
+
+let spec =
+  Experiment.Spec.v ~id:"e13"
+    ~claim:"TV decay of the max-load observable vs the theorems' scales"
+    ~tags:[ "mixing"; "tv"; "sim" ]
+    run

@@ -11,16 +11,14 @@
    default table byte-identical across runs and domain counts. *)
 
 module Sr = Core.Scheduling_rule
+module Ctx = Experiment.Ctx
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E14"
-    ~claim:"exact TV decay is exponential; tau(eps) ~ tau_rel ln(1/eps)";
-  let sizes = if cfg.full then [ 6; 8; 10; 12; 13 ] else [ 6; 8; 10; 12 ] in
+let run ctx =
   List.iter
     (fun scenario ->
       let metrics = Engine.Metrics.create () in
       let table =
-        Stats.Table.create
+        Ctx.table ctx
           ~title:
             (Printf.sprintf "E14: %s-ABKU[2] exact decay"
                (match scenario with Core.Scenario.A -> "Id" | B -> "Ib"))
@@ -39,7 +37,7 @@ let run (cfg : Config.t) =
         (fun n ->
           let process = Core.Dynamic_process.make scenario (Sr.abku 2) ~n in
           let a =
-            Markov.Exact_builder.build_mix ~eps:0.25 ~domains:cfg.domains
+            Markov.Exact_builder.build_mix ~eps:0.25 ~domains:(Ctx.domains ctx)
               (Markov.Exact_builder.enumerated
                  (Markov.Partition_space.enumerate ~n ~m:n))
               ~transitions:(Core.Dynamic_process.exact_transitions process)
@@ -47,10 +45,10 @@ let run (cfg : Config.t) =
           let tau25 = a.tau in
           let t1 = Unix.gettimeofday () in
           let tau01 =
-            Markov.Exact.mixing_time ~eps:0.01 ~domains:cfg.domains a.chain
+            Markov.Exact.mixing_time ~eps:0.01 ~domains:(Ctx.domains ctx) a.chain
           in
           let tau_rel =
-            Markov.Exact.relaxation_estimate ~domains:cfg.domains a.chain
+            Markov.Exact.relaxation_estimate ~domains:(Ctx.domains ctx) a.chain
               ~max_t:(8 * tau01) ()
           in
           let tail_seconds = Unix.gettimeofday () -. t1 in
@@ -58,7 +56,14 @@ let run (cfg : Config.t) =
           Engine.Metrics.add_phase metrics (cell ^ " build") a.build_seconds;
           Engine.Metrics.add_phase metrics (cell ^ " mix")
             (a.mix_seconds +. tail_seconds);
-          Stats.Table.add_row table
+          Ctx.row table
+            ~values:
+              [
+                ("state_count", float_of_int a.state_count);
+                ("tau25", float_of_int tau25);
+                ("tau01", float_of_int tau01);
+                ("tau_rel", tau_rel);
+              ]
             [
               string_of_int n;
               string_of_int a.state_count;
@@ -68,15 +73,24 @@ let run (cfg : Config.t) =
               Printf.sprintf "%.2f" tau_rel;
               Printf.sprintf "%.2f" (tau_rel *. log 25.);
             ])
-        sizes;
-      Stats.Table.add_note table
+        (Ctx.sizes ctx);
+      Ctx.note table
         "tau(0.01)/tau(0.25) stays bounded (~ln(25)/ln(4) + offset): the \
          ln(eps^-1) dependence of Lemma 3.1; tau_rel*ln(25) tracks \
          tau(0.01) - tau(0.25) up to the pi_min offset";
-      Exp_util.output table;
+      Ctx.emit ctx table;
       Engine.Metrics.dump
         ~label:
           (Printf.sprintf "E14 %s exact-cell metrics"
              (match scenario with Core.Scenario.A -> "Id" | B -> "Ib"))
         (Engine.Metrics.snapshot metrics))
     [ Core.Scenario.A; Core.Scenario.B ]
+
+let spec =
+  Experiment.Spec.v ~id:"e14"
+    ~claim:"exact TV decay is exponential; tau(eps) ~ tau_rel ln(1/eps)"
+    ~tags:[ "exact"; "mixing"; "relaxation" ]
+    ~grid:
+      (Experiment.Grid.v ~axis:"n=m" ~quick:[ 6; 8; 10; 12 ]
+         ~full:[ 6; 8; 10; 12; 13 ] ())
+    run

@@ -5,15 +5,13 @@
 module Lv = Loadvec.Load_vector
 module Mv = Loadvec.Mutable_vector
 module Sr = Core.Scheduling_rule
+module Ctx = Experiment.Ctx
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E15"
-    ~claim:"Theorem 1 scales with the number of balls m, not bins n";
+let run ctx =
   let n = 64 in
-  let ratios = if cfg.full then [ 1; 2; 4; 8; 16 ] else [ 1; 2; 4; 8 ] in
-  let reps = if cfg.full then 31 else 15 in
+  let reps = Ctx.reps ctx in
   let table =
-    Stats.Table.create
+    Ctx.table ctx
       ~title:(Printf.sprintf "E15: Id-ABKU[2] coalescence at fixed n = %d" n)
       ~columns:[ "m"; "m/n"; "median coalescence [q10,q90]"; "Thm 1"; "ratio" ]
   in
@@ -24,23 +22,35 @@ let run (cfg : Config.t) =
       let process = Core.Dynamic_process.make Core.Scenario.A (Sr.abku 2) ~n in
       let coupled = Core.Coupled.monotone process in
       let bound = Theory.Bounds.theorem1 ~m ~eps:0.25 in
-      let rng = Config.rng_for cfg ~experiment:(15_000 + m) in
-      let meas =
-        Coupling.Coalescence.measure ~domains:cfg.domains ~reps ~limit:(40 * int_of_float bound) ~rng
-          coupled ~init:(fun _g ->
+      let rng = Ctx.rng ctx ~experiment:(15_000 + m) in
+      let meas, metrics =
+        Coupling.Coalescence.measure_with_metrics ~domains:(Ctx.domains ctx)
+          ~reps ~limit:(40 * int_of_float bound) ~rng coupled
+          ~init:(fun _g ->
             ( Mv.of_load_vector (Lv.all_in_one ~n ~m),
               Mv.of_load_vector (Lv.uniform ~n ~m) ))
       in
       points := (float_of_int m, meas.median) :: !points;
-      Stats.Table.add_row table
+      Ctx.row table
+        ~values:(Ctx.measurement_values meas @ [ ("bound", bound) ])
+        ~metrics
         [
           string_of_int m;
           string_of_int r;
-          Exp_util.cell_measurement meas;
+          Ctx.cell_measurement meas;
           Printf.sprintf "%.0f" bound;
-          Exp_util.ratio_cell meas.median bound;
+          Ctx.ratio_cell meas.median bound;
         ])
-    ratios;
-  Exp_util.note_exponent table ~points:(List.rev !points) ~log_exponent:1.
+    (Ctx.sizes ctx);
+  Ctx.note_exponent table ~points:(List.rev !points) ~log_exponent:1.
     ~expected:"1 (m ln m at fixed n)" ~what:"median vs m (after / ln m)";
-  Exp_util.output table
+  Ctx.emit ctx table
+
+let spec =
+  Experiment.Spec.v ~id:"e15"
+    ~claim:"Theorem 1 scales with the number of balls m, not bins n"
+    ~tags:[ "mixing"; "scenario-a"; "coupling"; "sim" ]
+    ~grid:
+      (Experiment.Grid.v ~axis:"m/n" ~quick:[ 1; 2; 4; 8 ]
+         ~full:[ 1; 2; 4; 8; 16 ] ~reps:(15, 31) ())
+    run

@@ -5,9 +5,10 @@
    table exhibits. *)
 
 module W = Core.Weighted
+module Ctx = Experiment.Ctx
 
-let median_max cfg ~key ~n ~m ~d ~dist ~reps =
-  let rng = Config.rng_for cfg ~experiment:key in
+let median_max ctx ~key ~n ~m ~d ~dist ~reps =
+  let rng = Ctx.rng ctx ~experiment:key in
   let samples =
     Array.init reps (fun _ ->
         let g = Prng.Rng.split rng in
@@ -15,11 +16,9 @@ let median_max cfg ~key ~n ~m ~d ~dist ~reps =
   in
   Stats.Quantile.median samples
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E16"
-    ~claim:"weighted jobs: two choices help light tails, not heavy tails";
-  let n = if cfg.full then 65536 else 16384 in
-  let reps = if cfg.full then 15 else 9 in
+let run ctx =
+  let n = Ctx.scale ctx ~quick:16384 ~full:65536 in
+  let reps = Ctx.scale ctx ~quick:9 ~full:15 in
   let dists =
     [
       W.Constant 1.;
@@ -29,15 +28,19 @@ let run (cfg : Config.t) =
     ]
   in
   let table =
-    Stats.Table.create
+    Ctx.table ctx
       ~title:(Printf.sprintf "E16: static weighted max load, n = m = %d" n)
       ~columns:[ "weights"; "d=1"; "d=2"; "d=4"; "d=1 / d=2" ]
   in
   List.iteri
     (fun row dist ->
-      let med d = median_max cfg ~key:(16_000 + (10 * row) + d) ~n ~m:n ~d ~dist ~reps in
+      let med d =
+        median_max ctx ~key:(16_000 + (10 * row) + d) ~n ~m:n ~d ~dist ~reps
+      in
       let m1 = med 1 and m2 = med 2 and m4 = med 4 in
-      Stats.Table.add_row table
+      Ctx.row table
+        ~values:
+          [ ("d1", m1); ("d2", m2); ("d4", m4); ("advantage", m1 /. m2) ]
         [
           W.dist_name dist;
           Printf.sprintf "%.2f" m1;
@@ -46,19 +49,25 @@ let run (cfg : Config.t) =
           Printf.sprintf "%.2f" (m1 /. m2);
         ])
     dists;
-  Stats.Table.add_note table
+  Ctx.note table
     "the d >= 2 advantage is decisive for bounded weights and fades as \
      tails get heavier: for Pareto(1.5) the single heaviest job dominates \
      the maximum (note d=4 is no better than d=2 there)";
   (* Dynamic sanity: the weighted scenario-A process is stable. *)
-  let g = Config.rng_for cfg ~experiment:16_500 in
+  let g = Ctx.rng ctx ~experiment:16_500 in
   let t = W.static_run g ~n:1024 ~m:1024 ~d:2 ~dist:(W.Exponential 1.) in
   for _ = 1 to 50 * 1024 do
     W.dynamic_step t g ~d:2 ~dist:(W.Exponential 1.)
   done;
-  Stats.Table.add_note table
+  Ctx.note table
     (Printf.sprintf
        "dynamic Id-style run (n=1024, exp weights, 50n steps): max load \
         %.2f, total weight %.0f (stable)"
        (W.max_load t) (W.total_weight t));
-  Exp_util.output table
+  Ctx.emit ctx table
+
+let spec =
+  Experiment.Spec.v ~id:"e16"
+    ~claim:"weighted jobs: two choices help light tails, not heavy tails"
+    ~tags:[ "weighted"; "static"; "sim" ]
+    run

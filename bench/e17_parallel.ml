@@ -3,19 +3,18 @@
    communication rounds and its maximum load collapses rapidly with r
    toward the sequential two-choice quality. *)
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E17"
-    ~claim:"parallel collision protocol: a few rounds beat sequential d=1";
-  let n = if cfg.full then 262144 else 65536 in
-  let reps = if cfg.full then 15 else 7 in
+module Ctx = Experiment.Ctx
+
+let run ctx =
+  let n = Ctx.scale ctx ~quick:65536 ~full:262144 in
+  let reps = Ctx.scale ctx ~quick:7 ~full:15 in
   let table =
-    Stats.Table.create
+    Ctx.table ctx
       ~title:(Printf.sprintf "E17: collision protocol, n = m = %d, d = 2" n)
-      ~columns:
-        [ "rounds"; "median max load"; "median fallback balls"; "note" ]
+      ~columns:[ "rounds"; "median max load"; "median fallback balls"; "note" ]
   in
   let seq_d1 =
-    let rng = Config.rng_for cfg ~experiment:17_100 in
+    let rng = Ctx.rng ctx ~experiment:17_100 in
     let samples =
       Core.Static_process.max_load_samples (Core.Scheduling_rule.abku 1) rng
         ~n ~m:n ~reps
@@ -23,7 +22,7 @@ let run (cfg : Config.t) =
     Stats.Quantile.median (Stats.Quantile.of_ints samples)
   in
   let seq_d2 =
-    let rng = Config.rng_for cfg ~experiment:17_200 in
+    let rng = Ctx.rng ctx ~experiment:17_200 in
     let samples =
       Core.Static_process.max_load_samples (Core.Scheduling_rule.abku 2) rng
         ~n ~m:n ~reps
@@ -32,7 +31,7 @@ let run (cfg : Config.t) =
   in
   List.iter
     (fun rounds ->
-      let rng = Config.rng_for cfg ~experiment:(17_000 + rounds) in
+      let rng = Ctx.rng ctx ~experiment:(17_000 + rounds) in
       let maxes = Stats.Summary.create () in
       let fallbacks = Stats.Summary.create () in
       for _ = 1 to reps do
@@ -41,7 +40,12 @@ let run (cfg : Config.t) =
         Stats.Summary.add_int maxes result.max_load;
         Stats.Summary.add_int fallbacks result.fallback_balls
       done;
-      Stats.Table.add_row table
+      Ctx.row table
+        ~values:
+          [
+            ("mean_max_load", Stats.Summary.mean maxes);
+            ("mean_fallback_balls", Stats.Summary.mean fallbacks);
+          ]
         [
           string_of_int rounds;
           Printf.sprintf "%.1f" (Stats.Summary.mean maxes);
@@ -49,11 +53,19 @@ let run (cfg : Config.t) =
           "";
         ])
     [ 0; 1; 2; 3; 4 ];
-  Stats.Table.add_row table
+  Ctx.row table
+    ~values:[ ("mean_max_load", seq_d1) ]
     [ "seq d=1"; Printf.sprintf "%.1f" seq_d1; "-"; "baseline" ];
-  Stats.Table.add_row table
+  Ctx.row table
+    ~values:[ ("mean_max_load", seq_d2) ]
     [ "seq d=2"; Printf.sprintf "%.1f" seq_d2; "-"; "baseline" ];
-  Stats.Table.add_note table
+  Ctx.note table
     "rounds = 0 degenerates to sequential greedy over 2 candidates; a few \
      parallel rounds already sit near the sequential two-choice quality";
-  Exp_util.output table
+  Ctx.emit ctx table
+
+let spec =
+  Experiment.Spec.v ~id:"e17"
+    ~claim:"parallel collision protocol: a few rounds beat sequential d=1"
+    ~tags:[ "parallel"; "static"; "baseline"; "sim" ]
+    run

@@ -4,20 +4,19 @@
    shave the maximum load at equal d. *)
 
 module Sr = Core.Scheduling_rule
+module Ctx = Experiment.Ctx
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E18"
-    ~claim:"Always-Go-Left vs ABKU[d]: asymmetry helps at equal d";
-  let n = if cfg.full then 262144 else 65536 in
-  let reps = if cfg.full then 15 else 9 in
+let run ctx =
+  let n = Ctx.scale ctx ~quick:65536 ~full:262144 in
+  let reps = Ctx.scale ctx ~quick:9 ~full:15 in
   let table =
-    Stats.Table.create
+    Ctx.table ctx
       ~title:(Printf.sprintf "E18: static max load, n = m = %d" n)
       ~columns:[ "d"; "ABKU[d] median"; "GoLeft[d] median"; "fraction of runs GoLeft <= ABKU" ]
   in
   List.iter
     (fun d ->
-      let rng = Config.rng_for cfg ~experiment:(18_000 + d) in
+      let rng = Ctx.rng ctx ~experiment:(18_000 + d) in
       let abku = Array.make reps 0 and gol = Array.make reps 0 in
       for k = 0 to reps - 1 do
         let g = Prng.Rng.split rng in
@@ -30,7 +29,15 @@ let run (cfg : Config.t) =
       for k = 0 to reps - 1 do
         if gol.(k) <= abku.(k) then incr wins
       done;
-      Stats.Table.add_row table
+      Ctx.row table
+        ~values:
+          [
+            ( "abku_median",
+              Stats.Quantile.median (Stats.Quantile.of_ints abku) );
+            ( "goleft_median",
+              Stats.Quantile.median (Stats.Quantile.of_ints gol) );
+            ("goleft_wins", float_of_int !wins);
+          ]
         [
           string_of_int d;
           Printf.sprintf "%.1f" (Stats.Quantile.median (Stats.Quantile.of_ints abku));
@@ -39,7 +46,7 @@ let run (cfg : Config.t) =
         ])
     [ 2; 4 ];
   (* Dynamic stationary comparison at d = 2. *)
-  let rng = Config.rng_for cfg ~experiment:18_500 in
+  let rng = Ctx.rng ctx ~experiment:18_500 in
   let nd = 4096 in
   let stationary_mean insert_step =
     let bins =
@@ -69,9 +76,15 @@ let run (cfg : Config.t) =
     stationary_mean (fun g bins ->
         Core.Go_left.dynamic_step rule Core.Scenario.A g bins)
   in
-  Stats.Table.add_note table
+  Ctx.note table
     (Printf.sprintf
        "dynamic scenario A at n = %d: stationary mean max load %.2f (ABKU[2]) \
         vs %.2f (GoLeft[2])"
        nd abku_dyn gol_dyn);
-  Exp_util.output table
+  Ctx.emit ctx table
+
+let spec =
+  Experiment.Spec.v ~id:"e18"
+    ~claim:"Always-Go-Left vs ABKU[d]: asymmetry helps at equal d"
+    ~tags:[ "go-left"; "ablation"; "static"; "sim" ]
+    run

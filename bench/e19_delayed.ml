@@ -12,15 +12,12 @@
 module Lv = Loadvec.Load_vector
 module Mv = Loadvec.Mutable_vector
 module Sr = Core.Scheduling_rule
+module Ctx = Experiment.Ctx
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E19"
-    ~claim:"delayed path coupling turns O(n m^2) into O~(m^2) for scenario B";
-  let sizes = if cfg.full then [ 8; 16; 32; 64 ] else [ 8; 16; 32 ] in
-  let reps = if cfg.full then 60 else 30 in
+let run ctx =
+  let reps = Ctx.reps ctx in
   let table =
-    Stats.Table.create
-      ~title:"E19: block contraction of the Ib-ABKU[2] coupling"
+    Ctx.table ctx ~title:"E19: block contraction of the Ib-ABKU[2] coupling"
       ~columns:
         [
           "n=m";
@@ -37,7 +34,7 @@ let run (cfg : Config.t) =
       let block = m * m / 2 in
       let process = Core.Dynamic_process.make Core.Scenario.B (Sr.abku 2) ~n in
       let coupled = Core.Coupled.monotone process in
-      let rng = Config.rng_for cfg ~experiment:(19_000 + n) in
+      let rng = Ctx.rng ctx ~experiment:(19_000 + n) in
       let beta =
         Coupling.Delayed.block_beta_estimate ~reps ~block ~rng coupled
           ~pair:(fun _g ->
@@ -51,7 +48,14 @@ let run (cfg : Config.t) =
           Coupling.Delayed.bound ~block ~beta ~diameter:(Stdlib.max 1 diameter)
             ~eps:0.25
         in
-        Stats.Table.add_row table
+        Ctx.row table
+          ~values:
+            [
+              ("block", float_of_int block);
+              ("beta", beta);
+              ("delayed", delayed);
+              ("claim53", claim);
+            ]
           [
             string_of_int n;
             string_of_int block;
@@ -62,7 +66,9 @@ let run (cfg : Config.t) =
           ]
       end
       else
-        Stats.Table.add_row table
+        Ctx.row table
+          ~values:
+            [ ("block", float_of_int block); ("beta", beta); ("claim53", claim) ]
           [
             string_of_int n;
             string_of_int block;
@@ -71,8 +77,17 @@ let run (cfg : Config.t) =
             Printf.sprintf "%.0f" claim;
             "-";
           ])
-    sizes;
-  Stats.Table.add_note table
+    (Ctx.sizes ctx);
+  Ctx.note table
     "the delayed bound grows like m^2 log m while Claim 5.3 grows like \
      n m^2 log: the improvement factor grows linearly in n";
-  Exp_util.output table
+  Ctx.emit ctx table
+
+let spec =
+  Experiment.Spec.v ~id:"e19"
+    ~claim:"delayed path coupling turns O(n m^2) into O~(m^2) for scenario B"
+    ~tags:[ "scenario-b"; "coupling"; "delayed" ]
+    ~grid:
+      (Experiment.Grid.v ~axis:"n=m" ~quick:[ 8; 16; 32 ]
+         ~full:[ 8; 16; 32; 64 ] ~reps:(30, 60) ())
+    run

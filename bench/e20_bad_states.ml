@@ -6,6 +6,7 @@
 
 module Lv = Loadvec.Load_vector
 module Sr = Core.Scheduling_rule
+module Ctx = Experiment.Ctx
 
 let initial_states n =
   [
@@ -45,16 +46,14 @@ let initial_states n =
         a);
   ]
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E20"
-    ~claim:"recovery is uniform over bad starting states (Section 1)";
-  let n = if cfg.full then 2048 else 512 in
-  let reps = if cfg.full then 31 else 15 in
+let run ctx =
+  let n = Ctx.scale ctx ~quick:512 ~full:2048 in
+  let reps = Ctx.scale ctx ~quick:15 ~full:31 in
   let d = 2 in
   let profile = Fluid.Mean_field.fixed_point_a ~d ~m_over_n:1. ~levels:40 in
   let target = Fluid.Mean_field.predicted_max_load ~n profile + 1 in
   let table =
-    Stats.Table.create
+    Ctx.table ctx
       ~title:
         (Printf.sprintf
            "E20: Id-ABKU[2] recovery to max load <= %d from various bad \
@@ -66,7 +65,7 @@ let run (cfg : Config.t) =
   let scale = Theory.Bounds.recovery_a_steps ~n in
   List.iter
     (fun (label, make_state) ->
-      let rng = Config.rng_for cfg ~experiment:(20_000 + Hashtbl.hash label) in
+      let rng = Ctx.rng ctx ~experiment:(20_000 + Hashtbl.hash label) in
       let times = ref [] in
       let initial_max = ref 0 in
       for _ = 1 to reps do
@@ -90,11 +89,24 @@ let run (cfg : Config.t) =
             (Stats.Quantile.quantile xs 0.1)
             (Stats.Quantile.quantile xs 0.9)
       in
-      Stats.Table.add_row table
+      Ctx.row table
+        ~values:
+          [
+            ("initial_max", float_of_int !initial_max);
+            ( "median",
+              if Array.length xs = 0 then nan else Stats.Quantile.median xs );
+            ("scale", scale);
+          ]
         [ label; string_of_int !initial_max; cell; Printf.sprintf "%.0f" scale ])
     (initial_states n);
-  Stats.Table.add_note table
+  Ctx.note table
     "every bad start recovers within the same O(n ln n) scale; the typical \
      start needs only O(1) steps - recovery cost is about the worst bin, \
      not the number of misplaced balls";
-  Exp_util.output table
+  Ctx.emit ctx table
+
+let spec =
+  Experiment.Spec.v ~id:"e20"
+    ~claim:"recovery is uniform over bad starting states (Section 1)"
+    ~tags:[ "recovery"; "scenario-a"; "sim" ]
+    run

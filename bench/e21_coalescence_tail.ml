@@ -9,31 +9,30 @@
 module Lv = Loadvec.Load_vector
 module Mv = Loadvec.Mutable_vector
 module Sr = Core.Scheduling_rule
+module Ctx = Experiment.Ctx
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E21"
-    ~claim:"coalescence times have geometric tails (Lemma 3.1 boosting)";
-  let n = if cfg.full then 64 else 32 in
-  let reps = if cfg.full then 2001 else 801 in
+let run ctx =
+  let n = Ctx.scale ctx ~quick:32 ~full:64 in
+  let reps = Ctx.scale ctx ~quick:801 ~full:2001 in
   let table =
-    Stats.Table.create
+    Ctx.table ctx
       ~title:
         (Printf.sprintf
            "E21: coalescence quantile ladder, n = m = %d (%d runs)" n reps)
-      ~columns:
-        [ "process"; "q50"; "q75"; "q87.5"; "q93.75"; "ladder steps" ]
+      ~columns:[ "process"; "q50"; "q75"; "q87.5"; "q93.75"; "ladder steps" ]
   in
   List.iter
     (fun scenario ->
       let process = Core.Dynamic_process.make scenario (Sr.abku 2) ~n in
       let coupled = Core.Coupled.monotone process in
       let rng =
-        Config.rng_for cfg
+        Ctx.rng ctx
           ~experiment:(21_000 + match scenario with Core.Scenario.A -> 0 | B -> 1)
       in
-      let meas =
-        Coupling.Coalescence.measure ~domains:cfg.domains ~reps
-          ~limit:10_000_000 ~rng coupled ~init:(fun _g ->
+      let meas, metrics =
+        Coupling.Coalescence.measure_with_metrics ~domains:(Ctx.domains ctx)
+          ~reps ~limit:10_000_000 ~rng coupled
+          ~init:(fun _g ->
             ( Mv.of_load_vector (Lv.all_in_one ~n ~m:n),
               Mv.of_load_vector (Lv.uniform ~n ~m:n) ))
       in
@@ -44,7 +43,10 @@ let run (cfg : Config.t) =
         Printf.sprintf "%.0f / %.0f / %.0f" (q75 -. q50) (q875 -. q75)
           (q9375 -. q875)
       in
-      Stats.Table.add_row table
+      Ctx.row table
+        ~values:
+          [ ("q50", q50); ("q75", q75); ("q875", q875); ("q9375", q9375) ]
+        ~metrics
         [
           Core.Dynamic_process.name process;
           Printf.sprintf "%.0f" q50;
@@ -54,8 +56,14 @@ let run (cfg : Config.t) =
           steps;
         ])
     [ Core.Scenario.A; Core.Scenario.B ];
-  Stats.Table.add_note table
+  Ctx.note table
     "each halving of the survival probability costs about the same number \
      of extra steps (the three ladder steps are of one magnitude, not \
      doubling): the exponential-tail structure Lemma 3.1(2) exploits";
-  Exp_util.output table
+  Ctx.emit ctx table
+
+let spec =
+  Experiment.Spec.v ~id:"e21"
+    ~claim:"coalescence times have geometric tails (Lemma 3.1 boosting)"
+    ~tags:[ "coupling"; "tail"; "sim" ]
+    run

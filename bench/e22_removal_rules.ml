@@ -11,6 +11,7 @@
 module Lv = Loadvec.Load_vector
 module Mv = Loadvec.Mutable_vector
 module Sr = Core.Scheduling_rule
+module Ctx = Experiment.Ctx
 
 let rules () =
   [
@@ -20,26 +21,23 @@ let rules () =
     Core.Removal.scenario_b;
   ]
 
-let run (cfg : Config.t) =
-  Exp_util.heading ~id:"E22"
-    ~claim:"Section 7: recovery under other removal distributions";
-  let n = if cfg.full then 512 else 256 in
-  let reps = if cfg.full then 21 else 11 in
+let run ctx =
+  let n = Ctx.scale ctx ~quick:256 ~full:512 in
+  let reps = Ctx.scale ctx ~quick:11 ~full:21 in
   let target = 4 in
   let table =
-    Stats.Table.create
+    Ctx.table ctx
       ~title:
         (Printf.sprintf
            "E22: recovery of the d=2 process to max load <= %d, n = m = %d"
            target n)
-      ~columns:
-        [ "removal rule"; "median steps [q10,q90]"; "vs scenario A" ]
+      ~columns:[ "removal rule"; "median steps [q10,q90]"; "vs scenario A" ]
   in
   let measured =
     List.map
       (fun rule ->
         let rng =
-          Config.rng_for cfg
+          Ctx.rng ctx
             ~experiment:(22_000 + Hashtbl.hash (Core.Removal.name rule))
         in
         let times =
@@ -68,7 +66,8 @@ let run (cfg : Config.t) =
   List.iter
     (fun (rule, xs) ->
       let median = Stats.Quantile.median xs in
-      Stats.Table.add_row table
+      Ctx.row table
+        ~values:[ ("median", median); ("vs_scenario_a", median /. base) ]
         [
           Core.Removal.name rule;
           Printf.sprintf "%.0f [%.0f, %.0f]" median
@@ -77,7 +76,13 @@ let run (cfg : Config.t) =
           Printf.sprintf "%.2fx" (median /. base);
         ])
     measured;
-  Stats.Table.add_note table
+  Ctx.note table
     "the coupling framework covers all four rows; only the contraction \
      rate (hence the bound) changes with the removal law";
-  Exp_util.output table
+  Ctx.emit ctx table
+
+let spec =
+  Experiment.Spec.v ~id:"e22"
+    ~claim:"Section 7: recovery under other removal distributions"
+    ~tags:[ "removal"; "recovery"; "sim" ]
+    run

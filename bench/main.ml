@@ -1,58 +1,108 @@
 (* Benchmark harness: regenerates every experiment table of DESIGN.md /
-   EXPERIMENTS.md.
+   EXPERIMENTS.md through the declarative experiment framework
+   (lib/experiment).
 
-     dune exec bench/main.exe                 # all experiments, quick sizes
-     dune exec bench/main.exe -- e1 e8        # a subset
-     dune exec bench/main.exe -- micro        # Bechamel per-step costs
-     BENCH_FULL=1 dune exec bench/main.exe    # paper-scale sweeps *)
+     dune exec bench/main.exe                      # default specs, quick sizes
+     dune exec bench/main.exe -- e1 e8             # a subset
+     dune exec bench/main.exe -- micro             # Bechamel per-step costs
+     dune exec bench/main.exe -- --list            # ids and claims
+     dune exec bench/main.exe -- --full            # paper-scale sweeps
+     dune exec bench/main.exe -- --tags recovery   # select by tag
+     dune exec bench/main.exe -- e1 --json out/    # + BENCH_RESULTS.json
 
-let experiments : (string * string * (Config.t -> unit)) list =
-  [
-    ("e1", "Theorem 1: scenario-A mixing", E01_scenario_a_mixing.run);
-    ("e2", "scenario-A recovery (Sec. 1.1)", E02_recovery_a.run);
-    ("e3", "Claim 5.3: scenario-B mixing", E03_scenario_b_mixing.run);
-    ("e4", "scenario-B recovery (Sec. 1.1)", E04_recovery_b.run);
-    ("e5", "Azar et al. static max load", E05_static_maxload.run);
-    ("e6", "fluid limit vs simulation", E06_fluid_vs_sim.run);
-    ("e7", "exact mixing vs bounds", E07_exact_vs_bounds.run);
-    ("e8", "Cor 6.4 / Thm 2: edge mixing", E08_edge_mixing.run);
-    ("e9", "edge recovery + log log n", E09_edge_recovery.run);
-    ("e10", "ADAP probe/balance ablation", E10_adap_ablation.run);
-    ("e11", "open systems (Sec. 7)", E11_open_system.run);
-    ("e12", "relocations (Sec. 7)", E12_relocation.run);
-    ("e13", "empirical TV decay", E13_tv_decay.run);
-    ("e14", "exact relaxation times", E14_relaxation.run);
-    ("e15", "Theorem 1 m-scaling", E15_m_over_n.run);
-    ("e16", "weighted jobs", E16_weighted.run);
-    ("e17", "parallel allocation", E17_parallel.run);
-    ("e18", "Go-Left ablation", E18_go_left.run);
-    ("e19", "delayed path coupling", E19_delayed.run);
-    ("e20", "recovery from bad states", E20_bad_states.run);
-    ("e21", "coalescence tail", E21_coalescence_tail.run);
-    ("e22", "other removal rules (Sec. 7)", E22_removal_rules.run);
-  ]
+   The environment variables BENCH_FULL / BENCH_SEED / BENCH_DOMAINS /
+   BENCH_CSV / BENCH_JSON still set the defaults; flags override them. *)
+
+let usage () =
+  print_string
+    "usage: main.exe [IDS] [OPTIONS]\n\
+     \n\
+     Run the paper's experiments (all default ones when no id is given).\n\
+     \n\
+     options:\n\
+     \  --list           print every experiment id with its claim and tags\n\
+     \  --full           paper-scale sweeps (BENCH_FULL=1)\n\
+     \  --seed N         root seed (BENCH_SEED, default 0xB0B)\n\
+     \  --domains N      replication fan-out width (BENCH_DOMAINS);\n\
+     \                   results are identical for any value\n\
+     \  --csv DIR        write every table as CSV into DIR (BENCH_CSV)\n\
+     \  --json DIR       write BENCH_RESULTS.json into DIR (BENCH_JSON)\n\
+     \  --tags A,B       keep only experiments carrying one of the tags\n\
+     \  -h, --help       this message\n"
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "main.exe: %s\n%!" msg;
+      exit 2)
+    fmt
+
+let split_tags s = String.split_on_char ',' s |> List.filter (( <> ) "")
 
 let () =
-  let cfg = Config.load () in
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args = List.map String.lowercase_ascii args in
-  let want_micro = List.mem "micro" args in
-  let selected =
-    List.filter (fun a -> a <> "micro") args |> function
-    | [] -> if want_micro then [] else List.map (fun (id, _, _) -> id) experiments
-    | ids -> ids
+  let specs = Experiments.Registry.all in
+  let cfg = ref (Experiment.Config.load ()) in
+  let ids = ref [] in
+  let tags = ref [] in
+  let list_only = ref false in
+  let int_value flag v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> fail "%s expects an integer, got %S" flag v
   in
-  Printf.printf
-    "Recovery Time of Dynamic Allocation Processes - experiment harness\n";
-  Printf.printf "mode: %s, seed: %d\n%!"
-    (if cfg.full then "FULL" else "quick (set BENCH_FULL=1 for paper-scale)")
-    cfg.seed;
-  List.iter
-    (fun id ->
-      match List.find_opt (fun (i, _, _) -> i = id) experiments with
-      | Some (_, _, run) -> run cfg
-      | None ->
-          Printf.eprintf "unknown experiment %S; known: %s micro\n%!" id
-            (String.concat " " (List.map (fun (i, _, _) -> i) experiments)))
-    selected;
-  if want_micro then Micro.run ()
+  (* Accept both "--flag value" and "--flag=value". *)
+  let split_eq a =
+    match String.index_opt a '=' with
+    | Some i when String.length a > 2 && a.[0] = '-' ->
+        [ String.sub a 0 i; String.sub a (i + 1) (String.length a - i - 1) ]
+    | _ -> [ a ]
+  in
+  let rec parse = function
+    | [] -> ()
+    | ("-h" | "--help") :: _ ->
+        usage ();
+        exit 0
+    | "--list" :: rest ->
+        list_only := true;
+        parse rest
+    | "--full" :: rest ->
+        cfg := { !cfg with full = true };
+        parse rest
+    | "--seed" :: v :: rest ->
+        cfg := { !cfg with seed = int_value "--seed" v };
+        parse rest
+    | "--domains" :: v :: rest ->
+        let d = int_value "--domains" v in
+        if d < 1 then fail "--domains expects a value >= 1";
+        cfg := { !cfg with domains = d };
+        parse rest
+    | "--csv" :: dir :: rest ->
+        cfg := { !cfg with csv_dir = Some dir };
+        parse rest
+    | "--json" :: dir :: rest ->
+        cfg := { !cfg with json_dir = Some dir };
+        parse rest
+    | "--tags" :: v :: rest ->
+        tags := !tags @ split_tags v;
+        parse rest
+    | [ ("--seed" | "--domains" | "--csv" | "--json" | "--tags") as flag ] ->
+        fail "%s expects a value" flag
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+        fail "unknown option %S (see --help)" arg
+    | id :: rest ->
+        ids := String.lowercase_ascii id :: !ids;
+        parse rest
+  in
+  parse (List.concat_map split_eq (List.tl (Array.to_list Sys.argv)));
+  if !list_only then begin
+    Experiment.Driver.print_list specs;
+    exit 0
+  end;
+  match
+    Experiment.Driver.select specs ~ids:(List.rev !ids) ~tags:!tags
+  with
+  | Error e ->
+      Printf.eprintf "main.exe: %s\n%!"
+        (Experiment.Driver.selection_error_message specs e);
+      exit 2
+  | Ok selected -> ignore (Experiment.Driver.run ~config:!cfg selected)

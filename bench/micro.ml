@@ -4,6 +4,7 @@
 
 open Bechamel
 open Toolkit
+module Ctx = Experiment.Ctx
 
 let make_tests () =
   let n = 1024 in
@@ -87,7 +88,7 @@ let time_budget_loop ~budget step =
    to_load_vector round-trip), while the engine sim mutates one
    preallocated buffer.  The allocation column makes the difference
    visible: the chain allocates O(n) words per step, the sim O(1). *)
-let engine_vs_chain () =
+let engine_vs_chain ctx =
   Printf.printf
     "\n#### Micro — engine sim vs Markov.Chain, Id-ABKU[2] (n=10_000)\n%!";
   let n = 10_000 in
@@ -112,24 +113,25 @@ let engine_vs_chain () =
     time_budget_loop ~budget (fun () -> Engine.Sim.step s g)
   in
   let table =
-    Stats.Table.create ~title:"engine sim vs chain"
+    Ctx.table ctx ~title:"engine sim vs chain"
       ~columns:[ "path"; "steps/sec"; "minor words/step" ]
   in
-  Stats.Table.add_row table
+  Ctx.row table
+    ~values:[ ("steps_per_sec", chain_rate); ("minor_words", chain_alloc) ]
     [
       "Markov.Chain (immutable)";
       Printf.sprintf "%.0f" chain_rate;
       Printf.sprintf "%.1f" chain_alloc;
     ];
-  Stats.Table.add_row table
+  Ctx.row table
+    ~values:[ ("steps_per_sec", sim_rate); ("minor_words", sim_alloc) ]
     [
       "Engine.Sim (in-place)";
       Printf.sprintf "%.0f" sim_rate;
       Printf.sprintf "%.1f" sim_alloc;
     ];
-  Stats.Table.add_note table
-    (Printf.sprintf "speedup: %.1fx" (sim_rate /. chain_rate));
-  Exp_util.output table
+  Ctx.note table (Printf.sprintf "speedup: %.1fx" (sim_rate /. chain_rate));
+  Ctx.emit ctx table
 
 (* Mean seconds per call of [f] under a wall-clock budget.  Calls here
    are ms-scale, so no batching: one warm call, then count whole
@@ -156,12 +158,12 @@ let time_calls ~budget f =
    cells are the largest of the pre-extension e07 grid; n=12 is the
    largest extended quick cell.  Results must agree exactly — between
    the two implementations and across domain counts. *)
-let dense_vs_sparse () =
+let dense_vs_sparse ctx =
   Printf.printf "\n#### Micro — dense vs sparse Exact.mixing_time\n%!";
   let metrics = Engine.Metrics.create () in
   let budget = 0.3 in
   let table =
-    Stats.Table.create ~title:"dense vs sparse exact mixing time"
+    Ctx.table ctx ~title:"dense vs sparse exact mixing time"
       ~columns:[ "cell"; "|Omega|"; "tau"; "dense ms"; "sparse ms"; "speedup" ]
   in
   let headline = ref 0. in
@@ -202,7 +204,14 @@ let dense_vs_sparse () =
       Engine.Metrics.add_phase metrics (name ^ " dense call") dense_s;
       Engine.Metrics.add_phase metrics (name ^ " sparse call") sparse_s;
       if is_headline then headline := dense_s /. sparse_s;
-      Stats.Table.add_row table
+      Ctx.row table
+        ~values:
+          [
+            ("state_count", float_of_int (Markov.Exact.size chain));
+            ("tau", float_of_int tau_sparse);
+            ("dense_ms", dense_s *. 1e3);
+            ("sparse_ms", sparse_s *. 1e3);
+          ]
         [
           name;
           string_of_int (Markov.Exact.size chain);
@@ -216,18 +225,18 @@ let dense_vs_sparse () =
       (Core.Scenario.B, 8, true);
       (Core.Scenario.B, 12, false);
     ];
-  Stats.Table.add_note table
+  Ctx.note table
     (Printf.sprintf
        "speedup on the largest pre-extension e07 cell (Ib n=8): %.1fx; taus \
         identical dense/sparse and for domains=1 vs 2"
        !headline);
-  Exp_util.output table;
+  Ctx.emit ctx table;
   Engine.Metrics.dump ~label:"micro dense vs sparse"
     (Engine.Metrics.snapshot metrics)
 
-let run () =
-  dense_vs_sparse ();
-  engine_vs_chain ();
+let run ctx =
+  dense_vs_sparse ctx;
+  engine_vs_chain ctx;
   Printf.printf "\n#### Micro — per-step cost (Bechamel OLS estimate)\n%!";
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
@@ -235,7 +244,7 @@ let run () =
   let instances = [ Instance.monotonic_clock ] in
   let tests = make_tests () in
   let table =
-    Stats.Table.create ~title:"per-step cost" ~columns:[ "operation"; "ns/step"; "R^2" ]
+    Ctx.table ctx ~title:"per-step cost" ~columns:[ "operation"; "ns/step"; "R^2" ]
   in
   List.iter
     (fun test ->
@@ -258,7 +267,13 @@ let run () =
             | Some r -> Printf.sprintf "%.3f" r
             | None -> "-"
           in
-          Stats.Table.add_row table [ name; estimate; r2 ])
+          Ctx.row table [ name; estimate; r2 ])
         ols)
     tests;
-  Stats.Table.print table
+  Ctx.emit ctx table
+
+let spec =
+  Experiment.Spec.v ~id:"micro"
+    ~claim:"Bechamel per-step costs and engine/exact-layer speedups"
+    ~tags:[ "micro"; "perf" ]
+    ~default:false ~auto_heading:false run

@@ -1,0 +1,30 @@
+(* Every experiment spec, in presentation order.  The driver's
+   no-argument selection takes the [default = true] specs (e1..e22);
+   [micro] opts out and runs only when named. *)
+
+let all : Experiment.Spec.t list =
+  [
+    E01_scenario_a_mixing.spec;
+    E02_recovery_a.spec;
+    E03_scenario_b_mixing.spec;
+    E04_recovery_b.spec;
+    E05_static_maxload.spec;
+    E06_fluid_vs_sim.spec;
+    E07_exact_vs_bounds.spec;
+    E08_edge_mixing.spec;
+    E09_edge_recovery.spec;
+    E10_adap_ablation.spec;
+    E11_open_system.spec;
+    E12_relocation.spec;
+    E13_tv_decay.spec;
+    E14_relaxation.spec;
+    E15_m_over_n.spec;
+    E16_weighted.spec;
+    E17_parallel.spec;
+    E18_go_left.spec;
+    E19_delayed.spec;
+    E20_bad_states.spec;
+    E21_coalescence_tail.spec;
+    E22_removal_rules.spec;
+    Micro.spec;
+  ]

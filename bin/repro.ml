@@ -459,6 +459,74 @@ let removal_cmd =
     (Cmd.info "removal" ~doc:"Recovery under a generalized removal law")
     Term.(const removal $ seed_arg $ n_arg $ m_arg $ rule_arg $ law)
 
+(* ---- bench: the experiment framework ---- *)
+
+let bench ids list_only full seed domains csv json tags =
+  let specs = Experiments.Registry.all in
+  if list_only then Experiment.Driver.print_list specs
+  else begin
+    let base = Experiment.Config.load () in
+    let cfg =
+      {
+        Experiment.Config.full = base.full || full;
+        seed = Option.value seed ~default:base.seed;
+        domains = Option.value domains ~default:base.domains;
+        csv_dir = (match csv with Some _ -> csv | None -> base.csv_dir);
+        json_dir = (match json with Some _ -> json | None -> base.json_dir);
+      }
+    in
+    let ids = List.map String.lowercase_ascii ids in
+    match Experiment.Driver.select specs ~ids ~tags with
+    | Error e ->
+        prerr_endline (Experiment.Driver.selection_error_message specs e);
+        exit 2
+    | Ok selected -> ignore (Experiment.Driver.run ~config:cfg selected)
+  end
+
+let bench_cmd =
+  let ids =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"ID"
+             ~doc:"Experiment ids to run (default: every default experiment).")
+  in
+  let list_only =
+    Arg.(value & flag
+         & info [ "list" ] ~doc:"List experiment ids, claims and tags.")
+  in
+  let full =
+    Arg.(value & flag
+         & info [ "full" ] ~doc:"Paper-scale sweeps (BENCH_FULL=1).")
+  in
+  let seed =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Root seed (default 0xB0B).")
+  in
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Replication fan-out width; results are identical for any \
+                   value.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"DIR" ~doc:"Write every table as CSV into DIR.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"DIR"
+             ~doc:"Write BENCH_RESULTS.json into DIR.")
+  in
+  let tags =
+    Arg.(value & opt (list string) []
+         & info [ "tags" ] ~docv:"TAGS"
+             ~doc:"Keep only experiments carrying one of the comma-separated \
+                   tags.")
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Run the paper's experiment suite")
+    Term.(const bench $ ids $ list_only $ full $ seed $ domains $ csv $ json
+          $ tags)
+
 (* ---- entry point ---- *)
 
 let () =
@@ -470,4 +538,5 @@ let () =
           [
             simulate_cmd; recover_cmd; couple_cmd; edge_cmd; exact_cmd;
             fluid_cmd; tv_cmd; weighted_cmd; parallel_cmd; removal_cmd;
+            bench_cmd;
           ]))

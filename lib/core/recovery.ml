@@ -25,7 +25,7 @@ let time_to_max_load ~rng spec ~target ~limit =
   let s = adversarial_sim spec in
   Engine.Sim.first_hit s rng ~pred:(fun ml -> ml <= target) ~limit
 
-let measure ?(domains = 1) ~rng ~reps spec ~target ~limit =
+let measure_with_metrics ?(domains = 1) ~rng ~reps spec ~target ~limit =
   if reps <= 0 then invalid_arg "Recovery.measure: reps must be positive";
   let m, metrics =
     Engine.Runner.measure ~domains ~rng ~reps ~limit
@@ -35,7 +35,10 @@ let measure ?(domains = 1) ~rng ~reps spec ~target ~limit =
   in
   if Engine.Metrics.dump_enabled () then
     Engine.Metrics.dump ~label:"recovery" metrics;
-  m
+  (m, metrics)
+
+let measure ?domains ~rng ~reps spec ~target ~limit =
+  fst (measure_with_metrics ?domains ~rng ~reps spec ~target ~limit)
 
 let trajectory ~rng spec ~every ~points =
   if every <= 0 || points < 0 then invalid_arg "Recovery.trajectory";

@@ -20,6 +20,14 @@ val time_to_max_load :
   rng:Prng.Rng.t -> spec -> target:int -> limit:int -> int option
 (** Steps from the adversarial state until [max_load <= target]. *)
 
+val measure_with_metrics :
+  ?domains:int ->
+  rng:Prng.Rng.t -> reps:int -> spec -> target:int -> limit:int ->
+  Coupling.Coalescence.measurement * Engine.Metrics.snapshot
+(** Like {!measure}, additionally returning the aggregated engine
+    counters of the fan-out (stored per-cell in the JSON result sink by
+    the experiment framework). *)
+
 val measure :
   ?domains:int ->
   rng:Prng.Rng.t -> reps:int -> spec -> target:int -> limit:int ->

@@ -22,7 +22,7 @@ type measurement = Engine.Runner.measurement = {
    order of the historical bespoke loop (split all reps up front, then
    init and step each), so measurements are bit-identical to it for any
    domain count. *)
-let measure ?(domains = 1) ~reps ~limit ~rng c ~init =
+let measure_with_metrics ?(domains = 1) ~reps ~limit ~rng c ~init =
   if reps <= 0 then invalid_arg "Coalescence.measure: reps must be positive";
   let m, metrics =
     Engine.Runner.measure ~domains ~rng ~reps ~limit
@@ -33,7 +33,10 @@ let measure ?(domains = 1) ~reps ~limit ~rng c ~init =
   in
   if Engine.Metrics.dump_enabled () then
     Engine.Metrics.dump ~label:"coalescence" metrics;
-  m
+  (m, metrics)
+
+let measure ?domains ~reps ~limit ~rng c ~init =
+  fst (measure_with_metrics ?domains ~reps ~limit ~rng c ~init)
 
 let trace_distance c g x y ~every ~limit =
   if every <= 0 || limit < 0 then invalid_arg "Coalescence.trace_distance";

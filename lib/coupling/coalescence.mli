@@ -28,6 +28,18 @@ type measurement = Engine.Runner.measurement = {
 (** Re-exported from {!Engine.Runner} so engine and coupling results are
     interchangeable. *)
 
+val measure_with_metrics :
+  ?domains:int ->
+  reps:int ->
+  limit:int ->
+  rng:Prng.Rng.t ->
+  'state Coupled_chain.t ->
+  init:(Prng.Rng.t -> 'state * 'state) ->
+  measurement * Engine.Metrics.snapshot
+(** Like {!measure}, additionally returning the aggregated engine
+    counters of the fan-out (the experiment framework stores them
+    per-cell in the JSON result sink). *)
+
 val measure :
   ?domains:int ->
   reps:int ->

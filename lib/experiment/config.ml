@@ -1,0 +1,56 @@
+(* Run configuration for the experiment harness.  Environment variables
+   give the historical defaults (BENCH_FULL=1 enlarges every sweep to
+   paper scale, BENCH_SEED overrides the root seed, BENCH_DOMAINS the
+   fan-out width, BENCH_CSV / BENCH_JSON name sink directories); the CLI
+   flags of [bench/main.exe] and [repro bench] override them. *)
+
+type t = {
+  full : bool;  (** Paper-scale sweeps (minutes to hours) instead of quick. *)
+  seed : int;  (** Root seed; every experiment derives independent streams. *)
+  domains : int;  (** Replication fan-out width (results are identical for any value). *)
+  csv_dir : string option;  (** Dump every table as CSV into this directory. *)
+  json_dir : string option;  (** Write [BENCH_RESULTS.json] into this directory. *)
+}
+
+let default =
+  { full = false; seed = 0xB0B; domains = 1; csv_dir = None; json_dir = None }
+
+let env_flag name =
+  match Sys.getenv_opt name with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let load () =
+  let seed =
+    match Sys.getenv_opt "BENCH_SEED" with
+    | Some s -> ( match int_of_string_opt s with Some v -> v | None -> 0xB0B)
+    | None -> 0xB0B
+  in
+  let domains =
+    match Sys.getenv_opt "BENCH_DOMAINS" with
+    | Some s -> (
+        match int_of_string_opt s with Some v when v >= 1 -> v | _ -> 1)
+    | None -> 1
+  in
+  {
+    full = env_flag "BENCH_FULL";
+    seed;
+    domains;
+    csv_dir = Sys.getenv_opt "BENCH_CSV";
+    json_dir = Sys.getenv_opt "BENCH_JSON";
+  }
+
+let mode_name cfg = if cfg.full then "FULL" else "quick"
+
+(* The harness banner string predates the framework; keep it verbatim. *)
+let mode_description cfg =
+  if cfg.full then "FULL" else "quick (set BENCH_FULL=1 for paper-scale)"
+
+let rng cfg = Prng.Rng.create ~seed:cfg.seed ()
+
+(* Every experiment derives an independent stream so that adding or
+   reordering experiments does not perturb the others. *)
+let rng_for cfg ~experiment =
+  let g = Prng.Rng.create ~seed:(cfg.seed + (0x9E37 * experiment)) () in
+  ignore (Prng.Rng.bits64 g);
+  g

@@ -1,0 +1,31 @@
+(** Run configuration for the experiment harness. *)
+
+type t = {
+  full : bool;  (** Paper-scale sweeps instead of quick sizes. *)
+  seed : int;  (** Root seed. *)
+  domains : int;  (** Replication fan-out width; results are identical for any value. *)
+  csv_dir : string option;  (** Dump every table as CSV into this directory. *)
+  json_dir : string option;  (** Write [BENCH_RESULTS.json] into this directory. *)
+}
+
+val default : t
+(** Quick mode, seed [0xB0B], one domain, no file sinks. *)
+
+val load : unit -> t
+(** [default] overridden by the historical environment variables
+    [BENCH_FULL], [BENCH_SEED], [BENCH_DOMAINS], [BENCH_CSV],
+    [BENCH_JSON]. *)
+
+val mode_name : t -> string
+(** ["quick"] or ["FULL"] — for result provenance. *)
+
+val mode_description : t -> string
+(** The harness banner's mode string (kept byte-identical to the
+    pre-framework harness). *)
+
+val rng : t -> Prng.Rng.t
+(** The root generator. *)
+
+val rng_for : t -> experiment:int -> Prng.Rng.t
+(** An independent stream per experiment key, so adding or reordering
+    experiments does not perturb the others. *)

@@ -1,0 +1,125 @@
+(* Orchestration: select specs, run them under one configuration,
+   and route results to the sinks.  The stdout stream (banner, headings,
+   aligned tables) is byte-identical to the pre-framework harness in
+   default mode. *)
+
+let results_file = "BENCH_RESULTS.json"
+
+type selection_error =
+  | Unknown_ids of string list
+  | Empty_selection  (* tag filter matched nothing *)
+
+let known_ids specs =
+  String.concat " " (List.map (fun (s : Spec.t) -> s.id) specs)
+
+let selection_error_message specs = function
+  | Unknown_ids ids ->
+      Printf.sprintf "unknown experiment%s %s; known: %s"
+        (if List.length ids > 1 then "s" else "")
+        (String.concat " " (List.map (Printf.sprintf "%S") ids))
+        (known_ids specs)
+  | Empty_selection -> "no experiment matches the tag filter"
+
+(* Resolve ids (in the order given) and apply the tag filter; [ids = []]
+   selects every default spec. *)
+let select specs ~ids ~tags =
+  let base, unknown =
+    match ids with
+    | [] -> (List.filter (fun (s : Spec.t) -> s.default) specs, [])
+    | ids ->
+        List.fold_left
+          (fun (sel, unk) id ->
+            match
+              List.find_opt (fun (s : Spec.t) -> s.id = id) specs
+            with
+            | Some s -> (s :: sel, unk)
+            | None -> (sel, id :: unk))
+          ([], []) ids
+        |> fun (sel, unk) -> (List.rev sel, List.rev unk)
+  in
+  if unknown <> [] then Error (Unknown_ids unknown)
+  else
+    let selected =
+      match tags with
+      | [] -> base
+      | tags ->
+          List.filter
+            (fun (s : Spec.t) -> List.exists (fun t -> Spec.has_tag s t) tags)
+            base
+    in
+    if selected = [] then Error Empty_selection else Ok selected
+
+let print_list specs =
+  List.iter
+    (fun (s : Spec.t) ->
+      Printf.printf "%-6s %s%s\n" s.id s.claim
+        (match s.tags with
+        | [] -> ""
+        | tags -> Printf.sprintf "  [%s]" (String.concat " " tags)))
+    specs
+
+let print_banner config =
+  Printf.printf
+    "Recovery Time of Dynamic Allocation Processes - experiment harness\n";
+  Printf.printf "mode: %s, seed: %d\n%!"
+    (Config.mode_description config)
+    config.Config.seed
+
+let results_json ~config outcomes =
+  Json.Obj
+    [
+      ("schema", Json.String "repro.bench-results/1");
+      ( "config",
+        Json.Obj
+          [
+            ("mode", Json.String (Config.mode_name config));
+            ("seed", Json.Int config.Config.seed);
+            ("domains", Json.Int config.Config.domains);
+          ] );
+      ( "experiments",
+        Json.List
+          (List.map
+             (fun (ctx, seconds) -> Ctx.to_json ctx ~wall_seconds:seconds)
+             outcomes) );
+    ]
+
+let write_results ~dir doc =
+  Util.mkdir_p dir;
+  let path = Filename.concat dir results_file in
+  Util.write_file path (Json.to_string doc ^ "\n");
+  path
+
+(* Run the specs in order under [config]: banner, then per spec the
+   heading and body, then the JSON document (written to
+   [config.json_dir] when set).  Returns the document. *)
+let run ?(banner = true) ~config specs =
+  if banner then print_banner config;
+  let outcomes =
+    List.map
+      (fun (s : Spec.t) ->
+        if s.auto_heading then
+          Printf.printf "\n#### %s — %s\n%!" (String.uppercase_ascii s.id)
+            s.claim;
+        let ctx =
+          Ctx.make ~config ~id:s.id ~claim:s.claim ~tags:s.tags ~grid:s.grid
+        in
+        let t0 = Unix.gettimeofday () in
+        s.run ctx;
+        (ctx, Unix.gettimeofday () -. t0))
+      specs
+  in
+  let doc = results_json ~config outcomes in
+  (match config.Config.json_dir with
+  | None -> ()
+  | Some dir -> ignore (write_results ~dir doc));
+  doc
+
+(* Object keys under which the JSON document stores wall-clock times:
+   stripping them must make two runs of the same seed comparable
+   byte-for-byte regardless of domain count or machine speed. *)
+let timing_keys = [ "wall_seconds"; "phase_seconds" ]
+
+(* "domains" is execution provenance, not a result: the runner splits
+   generators before fan-out, so any width yields the same records. *)
+let deterministic_view doc =
+  Json.strip_keys ~keys:("domains" :: timing_keys) doc

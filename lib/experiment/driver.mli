@@ -1,0 +1,45 @@
+(** Orchestration: selection, execution, sinks.
+
+    The stdout stream (banner, headings, aligned tables) is
+    byte-identical to the pre-framework harness in default mode; the
+    JSON document adds the machine-readable view. *)
+
+val results_file : string
+(** ["BENCH_RESULTS.json"]. *)
+
+type selection_error =
+  | Unknown_ids of string list
+  | Empty_selection
+
+val selection_error_message : Spec.t list -> selection_error -> string
+
+val select :
+  Spec.t list ->
+  ids:string list ->
+  tags:string list ->
+  (Spec.t list, selection_error) result
+(** Resolve [ids] (in the order given; [[]] means every spec with
+    [default = true]) and then keep only specs carrying at least one of
+    [tags] ([[]] keeps all). *)
+
+val print_list : Spec.t list -> unit
+(** One line per spec: id, claim, tags. *)
+
+val print_banner : Config.t -> unit
+
+val run : ?banner:bool -> config:Config.t -> Spec.t list -> Json.t
+(** Run the specs in order: banner (unless [~banner:false]), per-spec
+    heading and body, then the JSON results document — returned, and
+    also written to [config.json_dir]/[results_file] when that is set. *)
+
+val results_json : config:Config.t -> (Ctx.t * float) list -> Json.t
+val write_results : dir:string -> Json.t -> string
+(** Returns the path written. *)
+
+val timing_keys : string list
+(** JSON object keys holding wall-clock times. *)
+
+val deterministic_view : Json.t -> Json.t
+(** The document with {!timing_keys} and the ["domains"] provenance
+    field stripped: two runs with the same seed must agree on this view
+    regardless of domain count or machine speed. *)

@@ -1,0 +1,17 @@
+(* The quick/full sweep axis of an experiment spec: the sizes iterated
+   over and the replication count, in both modes. *)
+
+type t = {
+  axis : string;  (* display name of the swept quantity, e.g. "n=m" *)
+  quick : int list;
+  full : int list;
+  reps_quick : int;  (* 0 when the experiment has no per-cell reps *)
+  reps_full : int;
+}
+
+let v ?reps ~axis ~quick ~full () =
+  let reps_quick, reps_full = match reps with Some r -> r | None -> (0, 0) in
+  { axis; quick; full; reps_quick; reps_full }
+
+let sizes t ~full = if full then t.full else t.quick
+let reps t ~full = if full then t.reps_full else t.reps_quick

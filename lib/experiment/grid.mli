@@ -1,0 +1,17 @@
+(** The quick/full sweep axis of an experiment spec. *)
+
+type t = {
+  axis : string;  (** Display name of the swept quantity, e.g. ["n=m"]. *)
+  quick : int list;
+  full : int list;
+  reps_quick : int;  (** [0] when the experiment has no per-cell reps. *)
+  reps_full : int;
+}
+
+val v :
+  ?reps:int * int -> axis:string -> quick:int list -> full:int list -> unit -> t
+(** [reps] is [(quick, full)]; omitted means the experiment has no
+    per-cell replication count. *)
+
+val sizes : t -> full:bool -> int list
+val reps : t -> full:bool -> int

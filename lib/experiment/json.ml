@@ -1,0 +1,100 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* Shortest decimal representation that round-trips; non-finite floats
+   have no JSON encoding and collapse to null. *)
+let float_repr x =
+  let s = Printf.sprintf "%.15g" x in
+  let s = if float_of_string s = x then s else Printf.sprintf "%.17g" x in
+  if String.contains s '.' || String.contains s 'e' || String.contains s 'E'
+  then s
+  else s ^ ".0"
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec write buf ~indent ~level v =
+  let pad n = if indent > 0 then Buffer.add_string buf (String.make (n * indent) ' ') in
+  let nl () = if indent > 0 then Buffer.add_char buf '\n' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float x ->
+      if Float.is_finite x then Buffer.add_string buf (float_repr x)
+      else Buffer.add_string buf "null"
+  | String s -> escape_string buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List xs ->
+      Buffer.add_char buf '[';
+      nl ();
+      List.iteri
+        (fun i x ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (level + 1);
+          write buf ~indent ~level:(level + 1) x)
+        xs;
+      nl ();
+      pad level;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      nl ();
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (level + 1);
+          escape_string buf k;
+          Buffer.add_string buf (if indent > 0 then ": " else ":");
+          write buf ~indent ~level:(level + 1) x)
+        kvs;
+      nl ();
+      pad level;
+      Buffer.add_char buf '}'
+
+let to_string ?(indent = 2) v =
+  let buf = Buffer.create 4096 in
+  write buf ~indent ~level:0 v;
+  Buffer.contents buf
+
+let rec strip_keys ~keys = function
+  | Obj kvs ->
+      Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if List.mem k keys then None else Some (k, strip_keys ~keys v))
+           kvs)
+  | List xs -> List (List.map (strip_keys ~keys) xs)
+  | v -> v
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None

@@ -1,0 +1,31 @@
+(** Minimal JSON values and serializer for the experiment result sink.
+
+    Kept dependency-free on purpose: the container image pins the
+    toolchain, so the bench harness cannot assume yojson.  Only what the
+    [BENCH_RESULTS.json] sink needs: construction, deterministic
+    serialization, and key stripping for determinism comparisons. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Serialize. [indent] spaces per level (default 2); [~indent:0] is
+    compact one-line output.  Non-finite floats serialize as [null]
+    (JSON has no encoding for them); finite floats use the shortest
+    representation that round-trips through [float_of_string]. *)
+
+val strip_keys : keys:string list -> t -> t
+(** Recursively drop every object field whose name is in [keys].  Used
+    to remove wall-clock fields before determinism comparisons. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on other constructors. *)
+
+val float_repr : float -> string
+(** The serializer's representation of a finite float. *)

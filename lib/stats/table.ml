@@ -38,15 +38,30 @@ let pp fmt t =
 let print t = pp Format.std_formatter t
 
 let csv_cell s =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 
-let to_csv t =
+let to_csv ?(notes = false) t =
   let line cells = String.concat "," (List.map csv_cell cells) in
-  String.concat "\n" (line t.columns :: List.rev_map line t.rows) ^ "\n"
+  (* Notes become trailing records marked "note" in the first field,
+     padded to the header arity so every record has the same number of
+     fields (RFC 4180).  Off by default: the historical CSV layout has
+     no note rows. *)
+  let note_rows =
+    if not notes then []
+    else
+      let pad = List.init (Stdlib.max 0 (List.length t.columns - 2)) (fun _ -> "") in
+      List.rev_map (fun n -> "note" :: n :: pad) t.notes
+  in
+  String.concat "\n"
+    ((line t.columns :: List.rev_map line t.rows) @ List.map line note_rows)
+  ^ "\n"
 
 let title t = t.title
+let columns t = t.columns
+let rows t = List.rev t.rows
+let notes t = List.rev t.notes
 
 let cell_int = string_of_int
 

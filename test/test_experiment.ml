@@ -1,0 +1,234 @@
+(* Tests for the declarative experiment framework (lib/experiment):
+   filesystem helpers shared by the sinks, the JSON value layer, the
+   BENCH_RESULTS.json sink, and the cross-domain determinism contract. *)
+
+let fresh_tmp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "repro_expfw_%d_%d" (Unix.getpid ()) !counter)
+    in
+    (* A previous crashed run may have left it behind. *)
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+    dir
+
+(* --- Util ------------------------------------------------------------ *)
+
+let test_mkdir_p_nested () =
+  let root = fresh_tmp_dir () in
+  let deep = List.fold_left Filename.concat root [ "a"; "b"; "c" ] in
+  Experiment.Util.mkdir_p deep;
+  Alcotest.(check bool) "deep path exists" true (Sys.is_directory deep);
+  (* Idempotent on an existing tree. *)
+  Experiment.Util.mkdir_p deep;
+  Alcotest.(check bool) "still exists" true (Sys.is_directory deep)
+
+let test_mkdir_p_race () =
+  (* Four domains race to create the same fresh nested path; the lost
+     races must be swallowed, not surfaced as Sys_error. *)
+  let root = fresh_tmp_dir () in
+  let deep = List.fold_left Filename.concat root [ "x"; "y"; "z" ] in
+  let worker () =
+    try
+      Experiment.Util.mkdir_p deep;
+      None
+    with exn -> Some (Printexc.to_string exn)
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  let errors = List.filter_map Domain.join domains in
+  Alcotest.(check (list string)) "no domain raised" [] errors;
+  Alcotest.(check bool) "path exists" true (Sys.is_directory deep)
+
+let test_mkdir_p_file_conflict () =
+  let root = fresh_tmp_dir () in
+  Experiment.Util.mkdir_p root;
+  let file = Filename.concat root "plain" in
+  Experiment.Util.write_file file "not a directory\n";
+  let raised =
+    try
+      Experiment.Util.mkdir_p (Filename.concat file "sub");
+      false
+    with Sys_error _ -> true
+  in
+  Alcotest.(check bool) "child of a regular file raises Sys_error" true raised
+
+let test_write_file () =
+  let root = fresh_tmp_dir () in
+  Experiment.Util.mkdir_p root;
+  let path = Filename.concat root "out.txt" in
+  Experiment.Util.write_file path "first";
+  Experiment.Util.write_file path "second";
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "truncates on rewrite" "second" contents
+
+let test_sanitize_component () =
+  Alcotest.(check string)
+    "keeps [A-Za-z0-9_-]" "AZaz09_-"
+    (Experiment.Util.sanitize_component "AZaz09_-");
+  Alcotest.(check string)
+    "replaces the rest" "E1__n__recovery_steps_"
+    (Experiment.Util.sanitize_component "E1: n, recovery steps.");
+  Alcotest.(check string)
+    "slash is not a path escape" "a_b"
+    (Experiment.Util.sanitize_component "a/b")
+
+(* --- Json ------------------------------------------------------------ *)
+
+let test_json_escaping () =
+  let j = Experiment.Json.String "a\"b\\c\nd\re\tf\bg\x0ch\x01i" in
+  Alcotest.(check string)
+    "control characters escaped"
+    "\"a\\\"b\\\\c\\nd\\re\\tf\\bg\\fh\\u0001i\""
+    (Experiment.Json.to_string ~indent:0 j)
+
+let test_json_layout () =
+  let j =
+    Experiment.Json.Obj
+      [
+        ("a", Experiment.Json.Int 1);
+        ("b", Experiment.Json.List [ Experiment.Json.Bool true; Experiment.Json.Null ]);
+      ]
+  in
+  Alcotest.(check string)
+    "compact" "{\"a\":1,\"b\":[true,null]}"
+    (Experiment.Json.to_string ~indent:0 j);
+  Alcotest.(check string)
+    "pretty"
+    "{\n  \"a\": 1,\n  \"b\": [\n    true,\n    null\n  ]\n}"
+    (Experiment.Json.to_string j)
+
+let test_json_floats () =
+  let repr f = Experiment.Json.to_string ~indent:0 (Experiment.Json.Float f) in
+  Alcotest.(check string) "integral gets a point" "2.0" (repr 2.0);
+  Alcotest.(check string) "nan is null" "null" (repr Float.nan);
+  Alcotest.(check string) "inf is null" "null" (repr Float.infinity);
+  (* Round-trip: the printed representation parses back exactly. *)
+  List.iter
+    (fun f ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "round-trip %h" f)
+        f
+        (float_of_string (Experiment.Json.float_repr f)))
+    [ 0.1; 1.0 /. 3.0; 1e-300; 6.02214076e23; -2.5 ]
+
+let test_json_strip_member () =
+  let open Experiment.Json in
+  let doc =
+    Obj
+      [
+        ("keep", Int 1);
+        ("wall_seconds", Float 1.5);
+        ( "nested",
+          List [ Obj [ ("phase_seconds", Float 0.1); ("steps", Int 7) ] ] );
+      ]
+  in
+  let stripped = strip_keys ~keys:[ "wall_seconds"; "phase_seconds" ] doc in
+  Alcotest.(check string)
+    "timing keys removed at every depth"
+    "{\"keep\":1,\"nested\":[{\"steps\":7}]}"
+    (to_string ~indent:0 stripped);
+  Alcotest.(check bool) "member hit" true (member "keep" doc <> None);
+  Alcotest.(check bool) "member miss" true (member "gone" doc = None);
+  Alcotest.(check bool) "member on non-obj" true (member "x" (Int 3) = None)
+
+(* --- Driver / sinks -------------------------------------------------- *)
+
+(* A tiny synthetic spec so sink tests do not pay for a real
+   experiment's measurement loop. *)
+let toy_spec =
+  Experiment.Spec.v ~id:"toy" ~claim:"synthetic sink test"
+    ~tags:[ "test" ] ~auto_heading:false
+    (fun ctx ->
+      let t =
+        Experiment.Ctx.table ctx ~title:"Toy table" ~columns:[ "n"; "v" ]
+      in
+      Experiment.Ctx.row ~values:[ ("v", 1.5) ] t [ "1"; "1.5" ];
+      Experiment.Ctx.note t "toy note";
+      Experiment.Ctx.emit ctx t)
+
+let test_json_sink_writes_file () =
+  let dir = fresh_tmp_dir () in
+  let config =
+    { Experiment.Config.default with json_dir = Some dir; seed = 42 }
+  in
+  let doc = Experiment.Driver.run ~banner:false ~config [ toy_spec ] in
+  let path = Filename.concat dir Experiment.Driver.results_file in
+  Alcotest.(check bool) "BENCH_RESULTS.json written" true (Sys.file_exists path);
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    "schema marker present" true
+    (contains contents "repro.bench-results/1");
+  Alcotest.(check string)
+    "file matches the returned document"
+    (Experiment.Json.to_string doc ^ "\n")
+    contents
+
+let test_selection () =
+  let specs = Experiments.Registry.all in
+  (match Experiment.Driver.select specs ~ids:[ "e1"; "nope"; "bogus" ] ~tags:[] with
+  | Error (Experiment.Driver.Unknown_ids bad) ->
+      Alcotest.(check (list string)) "unknown ids reported" [ "nope"; "bogus" ] bad
+  | _ -> Alcotest.fail "expected Unknown_ids");
+  (match Experiment.Driver.select specs ~ids:[] ~tags:[ "no-such-tag" ] with
+  | Error Experiment.Driver.Empty_selection -> ()
+  | _ -> Alcotest.fail "expected Empty_selection");
+  match Experiment.Driver.select specs ~ids:[ "e8"; "e1" ] ~tags:[] with
+  | Ok [ a; b ] ->
+      Alcotest.(check string) "order preserved" "e8" a.Experiment.Spec.id;
+      Alcotest.(check string) "order preserved" "e1" b.Experiment.Spec.id
+  | _ -> Alcotest.fail "expected two specs in the given order"
+
+let test_registry_complete () =
+  let ids = List.map (fun s -> s.Experiment.Spec.id) Experiments.Registry.all in
+  let expected = List.init 22 (fun i -> Printf.sprintf "e%d" (i + 1)) @ [ "micro" ] in
+  Alcotest.(check (list string)) "all 22 experiments plus micro" expected ids;
+  let defaults =
+    List.filter (fun s -> s.Experiment.Spec.default) Experiments.Registry.all
+  in
+  Alcotest.(check int) "micro is opt-in" 22 (List.length defaults)
+
+(* The framework's core determinism contract: the same seed yields the
+   same JSON result records whatever the domain fan-out, once
+   wall-clock fields are stripped. *)
+let test_determinism_across_domains () =
+  let e1 =
+    List.find (fun s -> s.Experiment.Spec.id = "e1") Experiments.Registry.all
+  in
+  let run domains =
+    let config = { Experiment.Config.default with domains } in
+    let doc = Experiment.Driver.run ~banner:false ~config [ e1 ] in
+    Experiment.Json.to_string (Experiment.Driver.deterministic_view doc)
+  in
+  Alcotest.(check string)
+    "domains=1 and domains=4 agree on the deterministic view"
+    (run 1) (run 4)
+
+let suite =
+  [
+    ("mkdir_p nested", test_mkdir_p_nested);
+    ("mkdir_p race", test_mkdir_p_race);
+    ("mkdir_p file conflict", test_mkdir_p_file_conflict);
+    ("write_file", test_write_file);
+    ("sanitize component", test_sanitize_component);
+    ("json escaping", test_json_escaping);
+    ("json layout", test_json_layout);
+    ("json floats", test_json_floats);
+    ("json strip/member", test_json_strip_member);
+    ("json sink file", test_json_sink_writes_file);
+    ("selection", test_selection);
+    ("registry complete", test_registry_complete);
+    ("determinism across domains", test_determinism_across_domains);
+  ]
+  |> List.map (fun (name, f) -> (name, `Quick, f))

@@ -22,4 +22,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("removal+adap-fluid", Test_fluid_adap.suite);
       ("path-metric", Test_path_metric.suite);
+      ("experiment", Test_experiment.suite);
     ]

@@ -182,6 +182,111 @@ let test_table_csv () =
     (Stats.Table.to_csv t);
   Alcotest.(check string) "title accessor" "T" (Stats.Table.title t)
 
+(* Minimal RFC 4180 parser (LF-separated records, double-quote escaping)
+   for the round-trip tests below. *)
+let parse_csv s =
+  let records = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let n = String.length s in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_record () =
+    flush_field ();
+    records := List.rev !fields :: !records;
+    fields := []
+  in
+  let i = ref 0 in
+  while !i < n do
+    match s.[!i] with
+    | '"' ->
+        incr i;
+        let closed = ref false in
+        while not !closed do
+          if !i >= n then failwith "parse_csv: unterminated quote";
+          if s.[!i] = '"' then
+            if !i + 1 < n && s.[!i + 1] = '"' then begin
+              Buffer.add_char buf '"';
+              i := !i + 2
+            end
+            else begin
+              closed := true;
+              incr i
+            end
+          else begin
+            Buffer.add_char buf s.[!i];
+            incr i
+          end
+        done
+    | ',' ->
+        flush_field ();
+        incr i
+    | '\n' ->
+        flush_record ();
+        incr i
+    | c ->
+        Buffer.add_char buf c;
+        incr i
+  done;
+  if Buffer.length buf > 0 || !fields <> [] then flush_record ();
+  List.rev !records
+
+let test_table_csv_roundtrip () =
+  let rows =
+    [
+      [ "a,b"; "say \"hi\""; "line1\nline2" ];
+      [ "cr\rcell"; ",\",\n"; "plain" ];
+      [ ""; "\"\""; "trailing," ];
+    ]
+  in
+  let t = Stats.Table.create ~title:"RT" ~columns:[ "x"; "y"; "z" ] in
+  List.iter (Stats.Table.add_row t) rows;
+  let parsed = parse_csv (Stats.Table.to_csv t) in
+  Alcotest.(check (list (list string)))
+    "header + rows survive RFC 4180"
+    ([ "x"; "y"; "z" ] :: rows)
+    parsed
+
+let test_table_csv_notes () =
+  let t = Stats.Table.create ~title:"N" ~columns:[ "a"; "b"; "c"; "d" ] in
+  Stats.Table.add_row t [ "1"; "2"; "3"; "4" ];
+  let note = "commas, \"quotes\" and\nnewlines" in
+  Stats.Table.add_note t note;
+  (* Default layout omits notes (historical CSV bytes). *)
+  Alcotest.(check (list (list string)))
+    "notes omitted by default"
+    [ [ "a"; "b"; "c"; "d" ]; [ "1"; "2"; "3"; "4" ] ]
+    (parse_csv (Stats.Table.to_csv t));
+  (* With ~notes:true each note is a padded trailing record. *)
+  Alcotest.(check (list (list string)))
+    "note record padded to arity"
+    [ [ "a"; "b"; "c"; "d" ]; [ "1"; "2"; "3"; "4" ];
+      [ "note"; note; ""; "" ] ]
+    (parse_csv (Stats.Table.to_csv ~notes:true t));
+  (* Narrow tables must not raise when padding the note record. *)
+  let narrow = Stats.Table.create ~title:"N1" ~columns:[ "only" ] in
+  Stats.Table.add_note narrow "n";
+  Alcotest.(check (list (list string)))
+    "one-column note"
+    [ [ "only" ]; [ "note"; "n" ] ]
+    (parse_csv (Stats.Table.to_csv ~notes:true narrow))
+
+let test_table_accessors () =
+  let t = Stats.Table.create ~title:"A" ~columns:[ "c1"; "c2" ] in
+  Stats.Table.add_row t [ "r1a"; "r1b" ];
+  Stats.Table.add_row t [ "r2a"; "r2b" ];
+  Stats.Table.add_note t "first";
+  Stats.Table.add_note t "second";
+  Alcotest.(check (list string)) "columns" [ "c1"; "c2" ] (Stats.Table.columns t);
+  Alcotest.(check (list (list string)))
+    "rows in insertion order"
+    [ [ "r1a"; "r1b" ]; [ "r2a"; "r2b" ] ]
+    (Stats.Table.rows t);
+  Alcotest.(check (list string))
+    "notes in insertion order" [ "first"; "second" ] (Stats.Table.notes t)
+
 let test_table_cells () =
   Alcotest.(check string) "int" "42" (Stats.Table.cell_int 42);
   Alcotest.(check string) "float" "3.14" (Stats.Table.cell_float 3.14159);
@@ -244,6 +349,9 @@ let suite =
       ("table", test_table);
       ("table cells", test_table_cells);
       ("table csv", test_table_csv);
+      ("table csv roundtrip", test_table_csv_roundtrip);
+      ("table csv notes", test_table_csv_notes);
+      ("table accessors", test_table_accessors);
     ]
   @ List.map QCheck_alcotest.to_alcotest
       [ qcheck_quantile_monotone; qcheck_mean_within_bounds;
