@@ -1,0 +1,84 @@
+(* Validate a Chrome/Perfetto trace-event file written by --trace.
+
+     dune exec bench/check_trace.exe -- t.json
+
+   Checks the structural contract the Perfetto UI relies on: an object
+   with a "traceEvents" array whose entries carry name / ph / ts / pid /
+   tid with the right types, complete ("X") events a duration, and
+   counter ("C") events a numeric value argument.  Exits non-zero with a
+   message on the first violation, so CI can gate on it. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "check_trace: %s\n%!" msg;
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = try open_in_bin path with Sys_error e -> fail "%s" e in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+open Experiment
+
+let number = function
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | Some (Json.Float x) -> Some x
+  | _ -> None
+
+let check_event i ev =
+  let ctx fmt = Printf.ksprintf (fun s -> s) fmt in
+  let get k = Json.member k ev in
+  (match get "name" with
+  | Some (Json.String s) when s <> "" -> ()
+  | _ -> fail "%s" (ctx "event %d: missing or empty \"name\"" i));
+  let ph =
+    match get "ph" with
+    | Some (Json.String ("X" | "i" | "C" as p)) -> p
+    | Some (Json.String p) ->
+        fail "%s" (ctx "event %d: unexpected phase %S" i p)
+    | _ -> fail "%s" (ctx "event %d: missing \"ph\"" i)
+  in
+  (match number (get "ts") with
+  | Some ts when ts >= 0. -> ()
+  | Some _ -> fail "%s" (ctx "event %d: negative \"ts\"" i)
+  | None -> fail "%s" (ctx "event %d: missing numeric \"ts\"" i));
+  (match get "pid" with
+  | Some (Json.Int _) -> ()
+  | _ -> fail "%s" (ctx "event %d: missing integer \"pid\"" i));
+  (match get "tid" with
+  | Some (Json.Int _) -> ()
+  | _ -> fail "%s" (ctx "event %d: missing integer \"tid\"" i));
+  (match ph with
+  | "X" -> (
+      match number (get "dur") with
+      | Some d when d >= 0. -> ()
+      | _ -> fail "%s" (ctx "event %d: \"X\" event needs a \"dur\" >= 0" i))
+  | "C" -> (
+      match number (Option.bind (get "args") (Json.member "value")) with
+      | Some _ -> ()
+      | None ->
+          fail "%s" (ctx "event %d: \"C\" event needs args.value" i))
+  | _ -> ())
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ -> fail "usage: check_trace.exe TRACE.json"
+  in
+  let doc =
+    match Json.of_string (read_file path) with
+    | Ok doc -> doc
+    | Error msg -> fail "%s: invalid JSON: %s" path msg
+  in
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.List evs) -> evs
+    | _ -> fail "%s: no \"traceEvents\" array" path
+  in
+  if events = [] then fail "%s: empty trace" path;
+  List.iteri check_event events;
+  Printf.printf "%s: OK, %d events\n" path (List.length events)

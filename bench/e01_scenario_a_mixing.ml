@@ -28,7 +28,7 @@ let run ctx =
             [ "n=m"; "median coalescence [q10,q90]"; "Thm 1 bound"; "ratio" ]
       in
       let points = ref [] in
-      List.iter
+      Ctx.iter_cells ctx
         (fun n ->
           let m = n in
           let process = Core.Dynamic_process.make Core.Scenario.A rule ~n in
@@ -52,8 +52,7 @@ let run ctx =
               Ctx.cell_measurement meas;
               Printf.sprintf "%.0f" bound;
               Ctx.ratio_cell meas.median bound;
-            ])
-        (Ctx.sizes ctx);
+            ]);
       Ctx.note_exponent table ~points:(List.rev !points) ~log_exponent:1.
         ~expected:"1 (m ln m growth)" ~what:"median vs m (after / ln m)";
       Ctx.note table

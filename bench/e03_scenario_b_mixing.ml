@@ -28,7 +28,7 @@ let run ctx =
         ]
   in
   let points = ref [] in
-  List.iter
+  Ctx.iter_cells ctx
     (fun n ->
       let m = n in
       let process = Core.Dynamic_process.make Core.Scenario.B (Sr.abku 2) ~n in
@@ -58,8 +58,7 @@ let run ctx =
           Printf.sprintf "%.0f" improved;
           Printf.sprintf "%.0f" claim;
           Ctx.ratio_cell meas.median nm;
-        ])
-    (Ctx.sizes ctx);
+        ]);
   Ctx.note_exponent table ~points:(List.rev !points) ~log_exponent:0.
     ~expected:"2 (Omega(m^2) .. O~(m^2)); Claim 5.3 alone would allow 3"
     ~what:"median vs m";

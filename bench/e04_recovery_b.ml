@@ -15,7 +15,7 @@ let run ctx =
         [ "n=m"; "target"; "median steps [q10,q90]"; "n^2 ln n"; "ratio" ]
   in
   let points = ref [] in
-  List.iter
+  Ctx.iter_cells ctx
     (fun n ->
       let profile = Fluid.Mean_field.fixed_point_b ~d ~m_over_n:1. ~levels:40 in
       let target = Fluid.Mean_field.predicted_max_load ~n profile + 1 in
@@ -45,8 +45,7 @@ let run ctx =
           Ctx.cell_measurement meas;
           Printf.sprintf "%.0f" scale;
           Ctx.ratio_cell meas.median scale;
-        ])
-    (Ctx.sizes ctx);
+        ]);
   Ctx.note_exponent table ~points:(List.rev !points) ~log_exponent:1.
     ~expected:"2 (n^2 ln n growth)" ~what:"median vs n (after / ln n)";
   Ctx.note table

@@ -17,7 +17,7 @@ let run ctx =
               [ Printf.sprintf "d=%d measured" d; Printf.sprintf "d=%d formula" d ])
             ds)
   in
-  List.iter
+  Ctx.iter_cells ctx
     (fun n ->
       let rng = Ctx.rng ctx ~experiment:(5000 + n) in
       let values = ref [] in
@@ -38,8 +38,7 @@ let run ctx =
             [ Printf.sprintf "%.1f" median; Printf.sprintf "%.2f" formula ])
           ds
       in
-      Ctx.row table ~values:(List.rev !values) (string_of_int n :: cells))
-    (Ctx.sizes ctx);
+      Ctx.row table ~values:(List.rev !values) (string_of_int n :: cells));
   Ctx.note table
     "who wins: every d >= 2 beats d = 1 and the d = 1 column grows with n \
      while d >= 2 columns stay nearly flat (the ln ln n effect)";

@@ -38,7 +38,7 @@ let run ctx =
               "E[max load] exact"; "fluid pred";
             ]
       in
-      List.iter
+      Ctx.iter_cells ctx
         (fun n ->
           let m = n in
           let process = Core.Dynamic_process.make scenario (Sr.abku 2) ~n in
@@ -96,8 +96,7 @@ let run ctx =
               Printf.sprintf "%.0f" bound;
               Printf.sprintf "%.2f" exact_mean_max;
               string_of_int (Fluid.Mean_field.predicted_max_load ~n fluid);
-            ])
-        (Ctx.sizes ctx);
+            ]);
       Ctx.note table "soundness: exact tau <= closed-form bound on every row";
       Ctx.emit ctx table;
       Engine.Metrics.dump

@@ -23,7 +23,7 @@ let run ctx =
         ]
   in
   let points = ref [] in
-  List.iter
+  Ctx.iter_cells ctx
     (fun n ->
       let coupled = C.coupled () in
       let thm2 = Theory.Bounds.theorem2 ~n in
@@ -46,8 +46,7 @@ let run ctx =
           Printf.sprintf "%.0f" thm2;
           Printf.sprintf "%.0f" cor;
           Ctx.ratio_cell meas.median thm2;
-        ])
-    (Ctx.sizes ctx);
+        ]);
   Ctx.note_exponent table ~points:(List.rev !points) ~log_exponent:0.
     ~expected:"2..2.4 (n^2 times log factors; Cor 6.4 alone would allow 3+)"
     ~what:"median vs n";

@@ -22,7 +22,7 @@ let run ctx =
         ]
   in
   let rec_points = ref [] in
-  List.iter
+  Ctx.iter_cells ctx
     (fun n ->
       let rng = Ctx.rng ctx ~experiment:(9000 + n) in
       let loglog = Theory.Bounds.edge_stationary_unfairness ~n in
@@ -61,8 +61,7 @@ let run ctx =
           Printf.sprintf "%.0f" scale;
           Printf.sprintf "%.2f" (Stats.Summary.mean summary);
           Printf.sprintf "%.2f" loglog;
-        ])
-    (Ctx.sizes ctx);
+        ]);
   Ctx.note_exponent table ~points:(List.rev !rec_points) ~log_exponent:1.
     ~expected:"2 (recovery ~ n^2 up to logs)" ~what:"recovery vs n (after / ln n)";
   Ctx.note table

@@ -17,7 +17,7 @@ let run ctx =
       ~columns:[ "n"; "median coalescence [q10,q90]"; "failures" ]
   in
   let points = ref [] in
-  List.iter
+  Ctx.iter_cells ctx
     (fun n ->
       let p = Core.Open_process.make (Sr.abku 2) ~n in
       let coupled = Core.Open_process.coupled p in
@@ -41,8 +41,7 @@ let run ctx =
           string_of_int n;
           Ctx.cell_measurement meas;
           string_of_int meas.failures;
-        ])
-    (Ctx.sizes ctx);
+        ]);
   Ctx.note_exponent table ~points:(List.rev !points) ~log_exponent:0.
     ~expected:"~2, with a heavy upper tail (the population gap must \
                random-walk to zero before the profiles can merge)"

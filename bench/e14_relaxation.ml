@@ -33,7 +33,7 @@ let run ctx =
               "tau_rel*ln(25)";
             ]
       in
-      List.iter
+      Ctx.iter_cells ctx
         (fun n ->
           let process = Core.Dynamic_process.make scenario (Sr.abku 2) ~n in
           let a =
@@ -72,8 +72,7 @@ let run ctx =
               Printf.sprintf "%.2f" (float_of_int tau01 /. float_of_int tau25);
               Printf.sprintf "%.2f" tau_rel;
               Printf.sprintf "%.2f" (tau_rel *. log 25.);
-            ])
-        (Ctx.sizes ctx);
+            ]);
       Ctx.note table
         "tau(0.01)/tau(0.25) stays bounded (~ln(25)/ln(4) + offset): the \
          ln(eps^-1) dependence of Lemma 3.1; tau_rel*ln(25) tracks \

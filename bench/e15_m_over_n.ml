@@ -16,7 +16,7 @@ let run ctx =
       ~columns:[ "m"; "m/n"; "median coalescence [q10,q90]"; "Thm 1"; "ratio" ]
   in
   let points = ref [] in
-  List.iter
+  Ctx.iter_cells ctx
     (fun r ->
       let m = r * n in
       let process = Core.Dynamic_process.make Core.Scenario.A (Sr.abku 2) ~n in
@@ -40,8 +40,7 @@ let run ctx =
           Ctx.cell_measurement meas;
           Printf.sprintf "%.0f" bound;
           Ctx.ratio_cell meas.median bound;
-        ])
-    (Ctx.sizes ctx);
+        ]);
   Ctx.note_exponent table ~points:(List.rev !points) ~log_exponent:1.
     ~expected:"1 (m ln m at fixed n)" ~what:"median vs m (after / ln m)";
   Ctx.emit ctx table

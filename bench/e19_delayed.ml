@@ -28,7 +28,7 @@ let run ctx =
           "improvement";
         ]
   in
-  List.iter
+  Ctx.iter_cells ctx
     (fun n ->
       let m = n in
       let block = m * m / 2 in
@@ -76,8 +76,7 @@ let run ctx =
             "-";
             Printf.sprintf "%.0f" claim;
             "-";
-          ])
-    (Ctx.sizes ctx);
+          ]);
   Ctx.note table
     "the delayed bound grows like m^2 log m while Claim 5.3 grows like \
      n m^2 log: the improvement factor grows linearly in n";

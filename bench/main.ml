@@ -21,12 +21,16 @@ let usage () =
      \n\
      options:\n\
      \  --list           print every experiment id with its claim and tags\n\
+     \                   (honours --tags; add -v for grid sizes and reps)\n\
+     \  -v, --verbose    with --list: show each spec's quick/full grid\n\
      \  --full           paper-scale sweeps (BENCH_FULL=1)\n\
      \  --seed N         root seed (BENCH_SEED, default 0xB0B)\n\
      \  --domains N      replication fan-out width (BENCH_DOMAINS);\n\
      \                   results are identical for any value\n\
      \  --csv DIR        write every table as CSV into DIR (BENCH_CSV)\n\
      \  --json DIR       write BENCH_RESULTS.json into DIR (BENCH_JSON)\n\
+     \  --trace FILE     write a Chrome/Perfetto trace of the run to FILE\n\
+     \                   (REPRO_TRACE); open in https://ui.perfetto.dev\n\
      \  --tags A,B       keep only experiments carrying one of the tags\n\
      \  -h, --help       this message\n"
 
@@ -45,6 +49,7 @@ let () =
   let ids = ref [] in
   let tags = ref [] in
   let list_only = ref false in
+  let verbose = ref false in
   let int_value flag v =
     match int_of_string_opt v with
     | Some n -> n
@@ -64,6 +69,12 @@ let () =
         exit 0
     | "--list" :: rest ->
         list_only := true;
+        parse rest
+    | ("-v" | "--verbose") :: rest ->
+        verbose := true;
+        parse rest
+    | "--trace" :: file :: rest ->
+        cfg := { !cfg with trace = Some file };
         parse rest
     | "--full" :: rest ->
         cfg := { !cfg with full = true };
@@ -85,7 +96,8 @@ let () =
     | "--tags" :: v :: rest ->
         tags := !tags @ split_tags v;
         parse rest
-    | [ ("--seed" | "--domains" | "--csv" | "--json" | "--tags") as flag ] ->
+    | [ ("--seed" | "--domains" | "--csv" | "--json" | "--tags" | "--trace") as
+        flag ] ->
         fail "%s expects a value" flag
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
         fail "unknown option %S (see --help)" arg
@@ -95,7 +107,20 @@ let () =
   in
   parse (List.concat_map split_eq (List.tl (Array.to_list Sys.argv)));
   if !list_only then begin
-    Experiment.Driver.print_list specs;
+    let listed =
+      match !tags with
+      | [] -> specs
+      | tags ->
+          List.filter
+            (fun (s : Experiment.Spec.t) ->
+              List.exists (fun t -> Experiment.Spec.has_tag s t) tags)
+            specs
+    in
+    if listed = [] then
+      fail "%s"
+        (Experiment.Driver.selection_error_message specs
+           Experiment.Driver.Empty_selection);
+    Experiment.Driver.print_list ~verbose:!verbose listed;
     exit 0
   end;
   match

@@ -461,7 +461,7 @@ let removal_cmd =
 
 (* ---- bench: the experiment framework ---- *)
 
-let bench ids list_only full seed domains csv json tags =
+let bench ids list_only full seed domains csv json trace tags =
   let specs = Experiments.Registry.all in
   if list_only then Experiment.Driver.print_list specs
   else begin
@@ -473,6 +473,7 @@ let bench ids list_only full seed domains csv json tags =
         domains = Option.value domains ~default:base.domains;
         csv_dir = (match csv with Some _ -> csv | None -> base.csv_dir);
         json_dir = (match json with Some _ -> json | None -> base.json_dir);
+        trace = (match trace with Some _ -> trace | None -> base.trace);
       }
     in
     let ids = List.map String.lowercase_ascii ids in
@@ -516,6 +517,12 @@ let bench_cmd =
          & info [ "json" ] ~docv:"DIR"
              ~doc:"Write BENCH_RESULTS.json into DIR.")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome/Perfetto trace of the run to FILE \
+                   (REPRO_TRACE); open in https://ui.perfetto.dev.")
+  in
   let tags =
     Arg.(value & opt (list string) []
          & info [ "tags" ] ~docv:"TAGS"
@@ -525,7 +532,7 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"Run the paper's experiment suite")
     Term.(const bench $ ids $ list_only $ full $ seed $ domains $ csv $ json
-          $ tags)
+          $ trace $ tags)
 
 (* ---- entry point ---- *)
 

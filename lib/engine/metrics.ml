@@ -25,9 +25,17 @@ let create () : t =
 
 let add_step (m : t) = m.steps <- m.steps + 1
 
+let steps (m : t) = m.steps
+
+(* Probes per insertion is one of the paper's headline distributions
+   (ADAP vs ABKU[d]); every adapter report feeds the shared telemetry
+   histogram when tracing is on. *)
+let probes_hist = Obs.Histogram.make "engine.probes_per_insertion"
+
 let add_probes (m : t) k =
   if k < 0 then invalid_arg "Metrics.add_probes: negative count";
-  m.probes <- m.probes + k
+  m.probes <- m.probes + k;
+  Obs.Histogram.observe probes_hist k
 
 let add_draws (m : t) k =
   if k < 0 then invalid_arg "Metrics.add_draws: negative count";
@@ -39,9 +47,18 @@ let add_phase (m : t) name seconds =
   let prev = match Hashtbl.find_opt m.phases name with Some s -> s | None -> 0. in
   Hashtbl.replace m.phases name (prev +. seconds)
 
+(* Phase timing rides on the obs primitives: the monotonic clock (an
+   NTP adjustment under Unix.gettimeofday could record a negative or
+   inflated duration; deltas are additionally clamped at zero), and a
+   span of the same name so traced runs see every phase. *)
 let time m name f =
-  let t0 = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () -> add_phase m name (Unix.gettimeofday () -. t0)) f
+  let sp = Obs.begin_span name in
+  let t0 = Obs.Clock.now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      add_phase m name (Obs.Clock.seconds_since t0);
+      Obs.end_span sp)
+    f
 
 let reset (m : t) =
   m.steps <- 0;
@@ -85,14 +102,21 @@ let merge (a : snapshot) (b : snapshot) =
   }
 
 (* [diff before after]: counters accumulated between the two snapshots.
-   The watermark is not differentiable; the later one is reported. *)
+   The watermark is not differentiable; the later one is reported.
+   Phase keys only in [before] are already fully elapsed — their delta
+   is zero, which the clamp also guarantees (the historical argument
+   order yielded before - after: the raw positive [before] value for
+   such keys, and a negated delta for shared ones). *)
 let diff (before : snapshot) (after : snapshot) =
   {
     steps = after.steps - before.steps;
     probes = after.probes - before.probes;
     rng_draws = after.rng_draws - before.rng_draws;
     watermark = after.watermark;
-    phases = combine_phases (fun b a -> a -. b) after.phases before.phases;
+    phases =
+      combine_phases
+        (fun after_s before_s -> Float.max 0. (after_s -. before_s))
+        after.phases before.phases;
   }
 
 let run_seconds (s : snapshot) =

@@ -38,8 +38,14 @@ val add_step : t -> unit
 (** Count one transition.  {!Sim.make} calls this; adapters normally do
     not. *)
 
+val steps : t -> int
+(** Transitions counted so far (cheap; {!Sim} uses it to sample trace
+    events without snapshotting). *)
+
 val add_probes : t -> int -> unit
-(** @raise Invalid_argument on a negative count. *)
+(** Also feeds the ["engine.probes_per_insertion"] telemetry histogram
+    when {!Obs.enabled}.
+    @raise Invalid_argument on a negative count. *)
 
 val add_draws : t -> int -> unit
 (** @raise Invalid_argument on a negative count. *)
@@ -52,8 +58,10 @@ val add_phase : t -> string -> float -> unit
 (** Add seconds to a named phase directly. *)
 
 val time : t -> string -> (unit -> 'a) -> 'a
-(** [time m phase f] runs [f] and adds its wall-clock duration to
-    [phase] (also on exception). *)
+(** [time m phase f] runs [f] and adds its duration to [phase] (also on
+    exception).  Durations come from the monotonic {!Obs.Clock} and are
+    clamped at zero; when tracing is enabled the phase is also recorded
+    as an {!Obs} span of the same name. *)
 
 val snapshot : t -> snapshot
 
@@ -66,7 +74,9 @@ val merge : snapshot -> snapshot -> snapshot
 
 val diff : snapshot -> snapshot -> snapshot
 (** [diff before after]: what accumulated between the two snapshots.
-    The watermark is not differentiable; [after]'s is reported. *)
+    The watermark is not differentiable; [after]'s is reported.
+    Per-phase deltas are clamped at zero; a phase key present only in
+    [before] is already elapsed and contributes zero. *)
 
 val to_table : ?title:string -> snapshot -> Stats.Table.t
 (** Counters plus the derived probes/step, draws/step and steps/sec rows

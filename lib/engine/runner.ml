@@ -4,13 +4,18 @@ let run ?(domains = 1) ~rng ~reps f =
   if reps <= 0 then invalid_arg "Runner.run: reps must be positive";
   (* Split all generators before the fan-out so the outcome does not
      depend on the domain count. *)
-  let gens = Array.init reps (fun _ -> Prng.Rng.split rng) in
+  let gens = Array.init reps (fun i -> (i, Prng.Rng.split rng)) in
+  (* Each repetition records its trace under its own task track, so the
+     merged trace is identical for any domain count. *)
+  let base = if Obs.enabled () then Obs.task_base ~count:reps else 0 in
   let outs =
     Parallel.map_array ~domains
-      (fun g ->
-        let m = Metrics.create () in
-        let r = Metrics.time m "run" (fun () -> f g m) in
-        (r, Metrics.snapshot m))
+      (fun (i, g) ->
+        Obs.in_task (base + i) (fun () ->
+            Obs.with_span "runner.rep" (fun () ->
+                let m = Metrics.create () in
+                let r = Metrics.time m "run" (fun () -> f g m) in
+                (r, Metrics.snapshot m))))
       gens
   in
   {
@@ -28,11 +33,20 @@ type measurement = {
   q90 : float;
 }
 
+(* First-hitting times (coalescence, recovery) are the paper's central
+   distributions; aggregate them in a telemetry histogram when tracing
+   is on. *)
+let hit_hist = Obs.Histogram.make "runner.first_hit_steps"
+
 let summarize outcomes =
   let times = ref [] in
   let failures = ref 0 in
   Array.iter
-    (function Some t -> times := t :: !times | None -> incr failures)
+    (function
+      | Some t ->
+          times := t :: !times;
+          Obs.Histogram.observe hit_hist t
+      | None -> incr failures)
     outcomes;
   let times = Array.of_list (List.rev !times) in
   if Array.length times = 0 then

@@ -6,15 +6,37 @@ type 'obs t = {
   metrics : Metrics.t;
 }
 
+(* Sampled trace events: every [sample_mask + 1]-th step of a traced
+   run emits one "sim.step" span plus a point on the "sim.watermark"
+   timeline and a histogram observation of the cheap observable.  The
+   sampling test costs one extra branch on the Obs flag per step when
+   tracing is off. *)
+let sample_mask = 1023
+let watermark_hist = Obs.Histogram.make "sim.watermark"
+
+let traced_step metrics probe step g =
+  let sp = Obs.begin_span "sim.step" in
+  step g;
+  Metrics.add_step metrics;
+  let level = probe () in
+  Metrics.watermark metrics level;
+  Obs.end_span ~args:[ ("step", Obs.Int (Metrics.steps metrics)) ] sp;
+  Obs.counter_sample "sim.watermark" level;
+  Obs.Histogram.observe watermark_hist level
+
 let make ?metrics ?(watermark = true) ~step ~observe ~reset ~probe () =
   let metrics =
     match metrics with Some m -> m | None -> Metrics.create ()
   in
   let step =
     if watermark then (fun g ->
-      step g;
-      Metrics.add_step metrics;
-      Metrics.watermark metrics (probe ()))
+      if Obs.enabled () && Metrics.steps metrics land sample_mask = 0 then
+        traced_step metrics probe step g
+      else begin
+        step g;
+        Metrics.add_step metrics;
+        Metrics.watermark metrics (probe ())
+      end)
     else (fun g ->
       step g;
       Metrics.add_step metrics)

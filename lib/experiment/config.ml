@@ -10,10 +10,18 @@ type t = {
   domains : int;  (** Replication fan-out width (results are identical for any value). *)
   csv_dir : string option;  (** Dump every table as CSV into this directory. *)
   json_dir : string option;  (** Write [BENCH_RESULTS.json] into this directory. *)
+  trace : string option;  (** Write a Chrome/Perfetto trace of the run here. *)
 }
 
 let default =
-  { full = false; seed = 0xB0B; domains = 1; csv_dir = None; json_dir = None }
+  {
+    full = false;
+    seed = 0xB0B;
+    domains = 1;
+    csv_dir = None;
+    json_dir = None;
+    trace = None;
+  }
 
 let env_flag name =
   match Sys.getenv_opt name with
@@ -38,6 +46,7 @@ let load () =
     domains;
     csv_dir = Sys.getenv_opt "BENCH_CSV";
     json_dir = Sys.getenv_opt "BENCH_JSON";
+    trace = Sys.getenv_opt "REPRO_TRACE";
   }
 
 let mode_name cfg = if cfg.full then "FULL" else "quick"

@@ -6,15 +6,16 @@ type t = {
   domains : int;  (** Replication fan-out width; results are identical for any value. *)
   csv_dir : string option;  (** Dump every table as CSV into this directory. *)
   json_dir : string option;  (** Write [BENCH_RESULTS.json] into this directory. *)
+  trace : string option;  (** Write a Chrome/Perfetto trace of the run here. *)
 }
 
 val default : t
-(** Quick mode, seed [0xB0B], one domain, no file sinks. *)
+(** Quick mode, seed [0xB0B], one domain, no file sinks, no trace. *)
 
 val load : unit -> t
 (** [default] overridden by the historical environment variables
     [BENCH_FULL], [BENCH_SEED], [BENCH_DOMAINS], [BENCH_CSV],
-    [BENCH_JSON]. *)
+    [BENCH_JSON], plus [REPRO_TRACE] naming a trace output file. *)
 
 val mode_name : t -> string
 (** ["quick"] or ["FULL"] — for result provenance. *)

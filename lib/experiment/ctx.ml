@@ -30,11 +30,12 @@ type t = {
   claim : string;
   tags : string list;
   grid : Grid.t option;
+  start_ns : int64;  (* monotonic experiment start, for the heartbeat *)
   mutable emitted : tbl list;  (* reversed *)
 }
 
 let make ~config ~id ~claim ~tags ~grid =
-  { config; id; claim; tags; grid; emitted = [] }
+  { config; id; claim; tags; grid; start_ns = Obs.Clock.now_ns (); emitted = [] }
 
 let config t = t.config
 let id t = t.id
@@ -56,6 +57,31 @@ let reps t =
   | None -> invalid_arg (t.id ^ ": spec declares no grid")
 
 let scale t ~quick ~full:f = if full t then f else quick
+
+(* Full-mode sweeps run for minutes; a heartbeat on stderr shows which
+   grid cell is in flight.  Interactive runs only: silent whenever
+   stdout (or stderr) is redirected, so logged and golden-diffed output
+   is untouched. *)
+let heartbeat_wanted t =
+  full t && Unix.isatty Unix.stdout && Unix.isatty Unix.stderr
+
+let iter_cells t f =
+  let all = sizes t in
+  let total = List.length all in
+  let hb = heartbeat_wanted t in
+  List.iteri
+    (fun i n ->
+      let sp =
+        if Obs.enabled () then
+          Obs.begin_span "experiment.cell"
+            ~args:[ ("id", Obs.Str t.id); ("size", Obs.Int n) ]
+        else Obs.null_span
+      in
+      Fun.protect ~finally:(fun () -> Obs.end_span sp) (fun () -> f n);
+      if hb then
+        Printf.eprintf "[%s %d/%d cells, %.0fs elapsed]\n%!" t.id (i + 1) total
+          (Obs.Clock.seconds_since t.start_ns))
+    all
 
 (* ---- tables ---- *)
 

@@ -46,6 +46,15 @@ val reps : t -> int
 val scale : t -> quick:'a -> full:'a -> 'a
 (** Pick a mode-dependent parameter that is not part of the grid. *)
 
+val iter_cells : t -> (int -> unit) -> unit
+(** Run the body once per grid size, in order — the instrumented
+    equivalent of [List.iter body (sizes t)].  Each cell runs under an
+    ["experiment.cell"] trace span, and full-mode interactive runs (both
+    stdout and stderr on a TTY) get a per-cell progress heartbeat on
+    stderr, e.g. [[e07 3/12 cells, 42s elapsed]].  Redirected output —
+    including the golden-diffed default mode — sees no extra bytes.
+    @raise Invalid_argument if the spec declares no grid. *)
+
 (** {1 Result tables} *)
 
 val table : t -> title:string -> columns:string list -> tbl

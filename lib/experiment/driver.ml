@@ -49,13 +49,27 @@ let select specs ~ids ~tags =
     in
     if selected = [] then Error Empty_selection else Ok selected
 
-let print_list specs =
+let print_list ?(verbose = false) specs =
   List.iter
     (fun (s : Spec.t) ->
       Printf.printf "%-6s %s%s\n" s.id s.claim
         (match s.tags with
         | [] -> ""
-        | tags -> Printf.sprintf "  [%s]" (String.concat " " tags)))
+        | tags -> Printf.sprintf "  [%s]" (String.concat " " tags));
+      if verbose then
+        match s.grid with
+        | None -> Printf.printf "       grid: none\n"
+        | Some g ->
+            let sizes full = Grid.sizes g ~full in
+            let cells full = List.length (sizes full) in
+            let reps_str full =
+              let r = Grid.reps g ~full in
+              if r <= 0 then "" else Printf.sprintf " x %d reps" r
+            in
+            let fmt ns = String.concat " " (List.map string_of_int ns) in
+            Printf.printf "       %s: quick %d cells [%s]%s; full %d cells [%s]%s\n"
+              g.Grid.axis (cells false) (fmt (sizes false)) (reps_str false)
+              (cells true) (fmt (sizes true)) (reps_str true))
     specs
 
 let print_banner config =
@@ -65,10 +79,46 @@ let print_banner config =
     (Config.mode_description config)
     config.Config.seed
 
+(* Aggregate telemetry for the results document: every counter and
+   histogram that recorded something during the run.  Populated only
+   while tracing is enabled (the [tracing] field says which), and
+   influenced by probe scheduling — the deterministic view strips the
+   whole section. *)
+let telemetry_json () =
+  let hist_json (s : Obs.Hist.snapshot) =
+    Json.Obj
+      [
+        ("count", Json.Int s.count);
+        ("sum", Json.Int s.sum);
+        ("max", Json.Int s.max);
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (lo, hi, c) ->
+                 Json.Obj
+                   [
+                     ("lo", Json.Int lo);
+                     ("hi", Json.Int hi);
+                     ("count", Json.Int c);
+                   ])
+               s.buckets) );
+      ]
+  in
+  Json.Obj
+    [
+      ("tracing", Json.Bool (Obs.enabled ()));
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Obs.counters ()))
+      );
+      ( "histograms",
+        Json.Obj (List.map (fun (k, s) -> (k, hist_json s)) (Obs.histograms ()))
+      );
+    ]
+
 let results_json ~config outcomes =
   Json.Obj
     [
-      ("schema", Json.String "repro.bench-results/1");
+      ("schema", Json.String "repro.bench-results/2");
       ( "config",
         Json.Obj
           [
@@ -81,6 +131,7 @@ let results_json ~config outcomes =
           (List.map
              (fun (ctx, seconds) -> Ctx.to_json ctx ~wall_seconds:seconds)
              outcomes) );
+      ("telemetry", telemetry_json ());
     ]
 
 let write_results ~dir doc =
@@ -91,8 +142,10 @@ let write_results ~dir doc =
 
 (* Run the specs in order under [config]: banner, then per spec the
    heading and body, then the JSON document (written to
-   [config.json_dir] when set).  Returns the document. *)
+   [config.json_dir] when set) and the trace file (when requested).
+   Returns the document. *)
 let run ?(banner = true) ~config specs =
+  if config.Config.trace <> None then Obs.enable ();
   if banner then print_banner config;
   let outcomes =
     List.map
@@ -103,15 +156,32 @@ let run ?(banner = true) ~config specs =
         let ctx =
           Ctx.make ~config ~id:s.id ~claim:s.claim ~tags:s.tags ~grid:s.grid
         in
-        let t0 = Unix.gettimeofday () in
-        s.run ctx;
-        (ctx, Unix.gettimeofday () -. t0))
+        let sp =
+          if Obs.enabled () then
+            Obs.begin_span "experiment" ~args:[ ("id", Obs.Str s.id) ]
+          else Obs.null_span
+        in
+        let t0 = Obs.Clock.now_ns () in
+        let finish () =
+          let seconds = Obs.Clock.seconds_since t0 in
+          Obs.end_span sp;
+          seconds
+        in
+        (match s.run ctx with
+        | () -> ()
+        | exception e ->
+            ignore (finish ());
+            raise e);
+        (ctx, finish ()))
       specs
   in
   let doc = results_json ~config outcomes in
   (match config.Config.json_dir with
   | None -> ()
   | Some dir -> ignore (write_results ~dir doc));
+  (match config.Config.trace with
+  | None -> ()
+  | Some path -> Obs.write_trace ~path);
   doc
 
 (* Object keys under which the JSON document stores wall-clock times:
@@ -120,6 +190,8 @@ let run ?(banner = true) ~config specs =
 let timing_keys = [ "wall_seconds"; "phase_seconds" ]
 
 (* "domains" is execution provenance, not a result: the runner splits
-   generators before fan-out, so any width yields the same records. *)
+   generators before fan-out, so any width yields the same records.
+   "telemetry" goes too — it is empty unless tracing is on, and the
+   exact layer's probe counts depend on the shared-bound schedule. *)
 let deterministic_view doc =
-  Json.strip_keys ~keys:("domains" :: timing_keys) doc
+  Json.strip_keys ~keys:("domains" :: "telemetry" :: timing_keys) doc

@@ -22,15 +22,20 @@ val select :
     [default = true]) and then keep only specs carrying at least one of
     [tags] ([[]] keeps all). *)
 
-val print_list : Spec.t list -> unit
-(** One line per spec: id, claim, tags. *)
+val print_list : ?verbose:bool -> Spec.t list -> unit
+(** One line per spec: id, claim, tags.  With [~verbose:true], a second
+    line per spec shows the grid axis with the quick and full cell
+    counts, sizes and replication counts. *)
 
 val print_banner : Config.t -> unit
 
 val run : ?banner:bool -> config:Config.t -> Spec.t list -> Json.t
 (** Run the specs in order: banner (unless [~banner:false]), per-spec
     heading and body, then the JSON results document — returned, and
-    also written to [config.json_dir]/[results_file] when that is set. *)
+    also written to [config.json_dir]/[results_file] when that is set.
+    When [config.trace] is set, tracing ({!Obs.enable}) is switched on
+    before the first spec and the merged trace is written there after
+    the last. *)
 
 val results_json : config:Config.t -> (Ctx.t * float) list -> Json.t
 val write_results : dir:string -> Json.t -> string

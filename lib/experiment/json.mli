@@ -29,3 +29,9 @@ val member : string -> t -> t option
 
 val float_repr : float -> string
 (** The serializer's representation of a finite float. *)
+
+val of_string : string -> (t, string) result
+(** Parse standard JSON text (the inverse of [to_string]).  Number
+    literals without a fraction or exponent that fit in a native [int]
+    parse as [Int]; everything else numeric parses as [Float].  [Error]
+    carries a message with the byte offset of the failure. *)

@@ -104,7 +104,7 @@ let power_stationary ~tol ~max_iter ~n step =
     if converged then result := Some !dist;
     incr iter
   done;
-  Option.get !result
+  (Option.get !result, !iter)
 
 (* Shared cached π: reused when it was computed at a tolerance at least
    as tight as the requested one. *)
@@ -112,10 +112,17 @@ let stationary_cached ?(tol = 1e-12) ?(max_iter = 1_000_000) c =
   match c.pi with
   | Some (pi, cached_tol) when cached_tol <= tol -> pi
   | _ ->
-      let pi =
+      let sp =
+        if Obs.enabled () then
+          Obs.begin_span "exact.stationary"
+            ~args:[ ("states", Obs.Int (size c)) ]
+        else Obs.null_span
+      in
+      let pi, iters =
         power_stationary ~tol ~max_iter ~n:(size c) (fun ~src ~dst ->
             Sparse.spmv_into c.sparse ~src ~dst)
       in
+      Obs.end_span ~args:[ ("iterations", Obs.Int iters) ] sp;
       c.pi <- Some (pi, tol);
       pi
 
@@ -254,6 +261,21 @@ let search_crossing c ~pi ~eps ~max_t ~tau_hat start =
     done;
     tv_to_pi pi !w1
   in
+  (* Traced probe: one span per doubling/bisection step carrying the
+     probed time and the resulting TV distance.  [kind] distinguishes the
+     two search phases in the trace view. *)
+  let probe kind target =
+    if not (Obs.enabled ()) then probe target
+    else begin
+      let sp =
+        Obs.begin_span kind
+          ~args:[ ("start", Obs.Int start); ("target", Obs.Int target) ]
+      in
+      let tv = probe target in
+      Obs.end_span ~args:[ ("tv", Obs.Float tv) ] sp;
+      tv
+    end
+  in
   let commit target =
     let tmp = !base in
     base := !w1;
@@ -261,21 +283,33 @@ let search_crossing c ~pi ~eps ~max_t ~tau_hat start =
     t_base := target
   in
   let guess = min (Atomic.get tau_hat) max_t in
+  let prune_sp =
+    if Obs.enabled () then
+      Obs.begin_span "exact.prune"
+        ~args:[ ("start", Obs.Int start); ("guess", Obs.Int guess) ]
+    else Obs.null_span
+  in
   (* Pruning probe, stepping toward [guess] but checking the (monotone)
      per-start TV after every product: a start that crosses ε at some
      s ≤ guess is certified under the shared bound after only s steps
      instead of always paying the full [guess]. *)
   Sparse.spmv_into c.sparse ~src:!base ~dst:!w1;
   let t = ref 1 in
-  let crossed = ref (tv_to_pi pi !w1 <= eps) in
+  let last_tv = ref (tv_to_pi pi !w1) in
+  let crossed = ref (!last_tv <= eps) in
   while (not !crossed) && !t < guess do
     Sparse.spmv_into c.sparse ~src:!w1 ~dst:!w2;
     let tmp = !w1 in
     w1 := !w2;
     w2 := tmp;
     incr t;
-    crossed := tv_to_pi pi !w1 <= eps
+    last_tv := tv_to_pi pi !w1;
+    crossed := !last_tv <= eps
   done;
+  if Obs.enabled () then
+    Obs.end_span
+      ~args:[ ("t", Obs.Int !t); ("tv", Obs.Float !last_tv) ]
+      prune_sp;
   if !crossed then !t (* τ_x = t ≤ guess ≤ answer: cannot raise it *)
   else if guess >= max_t then
     failwith "Exact.mixing_time: not mixed within max_t"
@@ -285,7 +319,7 @@ let search_crossing c ~pi ~eps ~max_t ~tau_hat start =
     let hi = ref 0 in
     while !hi = 0 do
       let target = min (2 * !lo) max_t in
-      if probe target <= eps then hi := target
+      if probe "exact.double" target <= eps then hi := target
       else if target >= max_t then
         failwith "Exact.mixing_time: not mixed within max_t"
       else begin
@@ -295,7 +329,7 @@ let search_crossing c ~pi ~eps ~max_t ~tau_hat start =
     done;
     while !hi - !lo > 1 do
       let mid = !lo + ((!hi - !lo) / 2) in
-      if probe mid <= eps then hi := mid
+      if probe "exact.bisect" mid <= eps then hi := mid
       else begin
         commit mid;
         lo := mid
@@ -309,7 +343,7 @@ let search_crossing c ~pi ~eps ~max_t ~tau_hat start =
     !hi
   end
 
-let mixing_time ?(eps = 0.25) ?(max_t = 100_000) ?domains c =
+let mixing_time_impl ~eps ~max_t ?domains c =
   let pi = stationary_cached c in
   let n = size c in
   (* TV of the point mass at [start] against π. *)
@@ -338,13 +372,38 @@ let mixing_time ?(eps = 0.25) ?(max_t = 100_000) ?domains c =
       |> Array.of_list
     in
     let tau_hat = Atomic.make 1 in
+    (* Reserve one trace track per surviving start before the fan-out so
+       the merged trace groups each start's probes together regardless
+       of which domain ran it.  (The probe *schedule* still depends on
+       the shared pruning bound, so span counts may vary across runs;
+       the final τ does not.) *)
+    let track0 =
+      if Obs.enabled () then Obs.task_base ~count:(Array.length order) else 0
+    in
     let crossings =
       Parallel.map_array ?domains
-        (search_crossing c ~pi ~eps ~max_t ~tau_hat)
-        order
+        (fun (k, start) ->
+          Obs.in_task (track0 + k) (fun () ->
+              search_crossing c ~pi ~eps ~max_t ~tau_hat start))
+        (Array.mapi (fun k start -> (k, start)) order)
     in
     Array.fold_left max 1 crossings
   end
+
+let mixing_time ?(eps = 0.25) ?(max_t = 100_000) ?domains c =
+  let sp =
+    if Obs.enabled () then
+      Obs.begin_span "exact.mixing_time"
+        ~args:[ ("states", Obs.Int (size c)); ("eps", Obs.Float eps) ]
+    else Obs.null_span
+  in
+  match mixing_time_impl ~eps ~max_t ?domains c with
+  | tau ->
+      Obs.end_span ~args:[ ("tau", Obs.Int tau) ] sp;
+      tau
+  | exception e ->
+      Obs.end_span sp;
+      raise e
 
 (* Historical dense implementations, kept as the reference the sparse
    paths are benchmarked and property-tested against. *)

@@ -41,15 +41,19 @@ type 'state analysis = {
 }
 
 let build_mix ?eps ?max_t ?domains source ~transitions =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_ns () in
+  let sp = Obs.begin_span "exact.build" in
   let chain = build source ~transitions in
-  let t1 = Unix.gettimeofday () in
+  Obs.end_span ~args:[ ("states", Obs.Int (Exact.size chain)) ] sp;
+  let t1 = Obs.Clock.now_ns () in
+  let sp = Obs.begin_span "exact.mix" in
   let tau = Exact.mixing_time ?eps ?max_t ?domains chain in
-  let t2 = Unix.gettimeofday () in
+  Obs.end_span ~args:[ ("tau", Obs.Int tau) ] sp;
+  let t2 = Obs.Clock.now_ns () in
   {
     chain;
     state_count = Exact.size chain;
     tau;
-    build_seconds = t1 -. t0;
-    mix_seconds = t2 -. t1;
+    build_seconds = Obs.Clock.seconds_of_ns (Int64.sub t1 t0);
+    mix_seconds = Obs.Clock.seconds_of_ns (Int64.sub t2 t1);
   }

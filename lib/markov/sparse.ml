@@ -10,6 +10,12 @@ let rows t = t.rows
 let cols t = t.cols
 let nnz t = Array.length t.values
 
+(* Telemetry (recorded only while Obs is enabled): how many spmv
+   products a pipeline issues, and the per-row cost profile (nnz per
+   row is the work one input coordinate costs in spmv). *)
+let spmv_counter = Obs.Counter.make "sparse.spmv_calls"
+let row_nnz_hist = Obs.Histogram.make "sparse.row_nnz"
+
 let of_rows ~rows ~cols f =
   if rows <= 0 || cols <= 0 then invalid_arg "Sparse.of_rows: non-positive size";
   (* Per row: sort by column, merge duplicates, drop explicit zeros. *)
@@ -50,6 +56,10 @@ let of_rows ~rows ~cols f =
         values.(row_ptr.(i) + k) <- v)
       entries.(i)
   done;
+  if Obs.enabled () then
+    for i = 0 to rows - 1 do
+      Obs.Histogram.observe row_nnz_hist (row_ptr.(i + 1) - row_ptr.(i))
+    done;
   { rows; cols; row_ptr; col_idx; values }
 
 let of_triplets ~rows ~cols triplets =
@@ -110,6 +120,7 @@ let is_stochastic ?(tol = 1e-9) t =
 let spmv_into t ~src ~dst =
   if Array.length src <> t.rows || Array.length dst <> t.cols then
     invalid_arg "Sparse.spmv: dimension mismatch";
+  Obs.Counter.incr spmv_counter;
   let rp = t.row_ptr and ci = t.col_idx and vs = t.values in
   Array.fill dst 0 t.cols 0.;
   for i = 0 to t.rows - 1 do

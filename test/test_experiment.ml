@@ -136,6 +136,48 @@ let test_json_strip_member () =
   Alcotest.(check bool) "member miss" true (member "gone" doc = None);
   Alcotest.(check bool) "member on non-obj" true (member "x" (Int 3) = None)
 
+let test_json_parse () =
+  let open Experiment.Json in
+  let ok s =
+    match of_string s with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "%S should parse: %s" s msg
+  in
+  Alcotest.(check bool)
+    "scalars" true
+    (ok "  null " = Null
+    && ok "true" = Bool true
+    && ok "-42" = Int (-42)
+    && ok "2.5e2" = Float 250.
+    && ok "\"a\\u0041\\n\"" = String "aA\n");
+  Alcotest.(check bool)
+    "containers" true
+    (ok "[1, [], {\"k\": false}]" = List [ Int 1; List []; Obj [ ("k", Bool false) ] ]);
+  (* Inverse pair: serialize-then-parse is the identity, at any indent. *)
+  let doc =
+    Obj
+      [
+        ("s", String "quote\"back\\slash\twide \xe2\x9c\x93");
+        ("xs", List [ Int 0; Float 0.1; Null; Bool true ]);
+        ("empty", Obj []);
+      ]
+  in
+  Alcotest.(check bool) "round-trip pretty" true (ok (to_string doc) = doc);
+  Alcotest.(check bool)
+    "round-trip compact" true
+    (ok (to_string ~indent:0 doc) = doc);
+  (* Surrogate pairs decode to UTF-8. *)
+  Alcotest.(check bool)
+    "surrogate pair" true
+    (ok "\"\\ud83d\\ude00\"" = String "\xf0\x9f\x98\x80");
+  let rejects s =
+    match of_string s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool)
+    "malformed inputs rejected" true
+    (List.for_all rejects
+       [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"\\ud83d\""; "\"unterminated" ])
+
 (* --- Driver / sinks -------------------------------------------------- *)
 
 (* A tiny synthetic spec so sink tests do not pay for a real
@@ -169,11 +211,24 @@ let test_json_sink_writes_file () =
   in
   Alcotest.(check bool)
     "schema marker present" true
-    (contains contents "repro.bench-results/1");
+    (contains contents "repro.bench-results/2");
   Alcotest.(check string)
     "file matches the returned document"
     (Experiment.Json.to_string doc ^ "\n")
-    contents
+    contents;
+  (* The v2 telemetry section exists even in an untraced run (with
+     tracing reported off) and disappears from the deterministic view. *)
+  (match Experiment.Json.member "telemetry" doc with
+  | Some tele -> (
+      match Experiment.Json.member "tracing" tele with
+      | Some (Experiment.Json.Bool false) -> ()
+      | _ -> Alcotest.fail "telemetry.tracing should be false here")
+  | None -> Alcotest.fail "v2 document lacks the telemetry section");
+  Alcotest.(check bool)
+    "deterministic view strips telemetry" true
+    (Experiment.Json.member "telemetry"
+       (Experiment.Driver.deterministic_view doc)
+    = None)
 
 let test_selection () =
   let specs = Experiments.Registry.all in
@@ -226,6 +281,7 @@ let suite =
     ("json layout", test_json_layout);
     ("json floats", test_json_floats);
     ("json strip/member", test_json_strip_member);
+    ("json parse", test_json_parse);
     ("json sink file", test_json_sink_writes_file);
     ("selection", test_selection);
     ("registry complete", test_registry_complete);

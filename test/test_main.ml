@@ -6,6 +6,7 @@ let () =
       ("loadvec", Test_loadvec.suite);
       ("markov", Test_markov.suite);
       ("engine", Test_engine.suite);
+      ("obs", Test_obs.suite);
       ("coupling", Test_coupling.suite);
       ("core.rules", Test_core_rules.suite);
       ("core.process", Test_core_process.suite);

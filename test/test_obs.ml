@@ -1,0 +1,283 @@
+(* Tracing/telemetry subsystem: clock monotonicity, histogram
+   bucketing, the disabled-path no-op contract, the Perfetto trace-event
+   export (validated by parsing it back), and the determinism of the
+   multi-domain trace merge. *)
+
+module Json = Experiment.Json
+
+(* Every test runs against the global Obs state; wrap so a failing test
+   cannot leave tracing enabled for the rest of the binary. *)
+let isolated f () =
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+let test_clock () =
+  let t0 = Obs.Clock.now_ns () in
+  let x = ref 0 in
+  for i = 1 to 10_000 do
+    x := !x + i
+  done;
+  ignore (Sys.opaque_identity !x);
+  let t1 = Obs.Clock.now_ns () in
+  Alcotest.(check bool) "clock advances" true (Int64.compare t1 t0 >= 0);
+  Alcotest.(check bool)
+    "ns_since clamps to zero" true
+    (Int64.compare (Obs.Clock.ns_since (Int64.add t1 1_000_000_000L)) 0L = 0);
+  Alcotest.(check bool)
+    "seconds_since is non-negative" true
+    (Obs.Clock.seconds_since t0 >= 0.)
+
+let test_hist_buckets () =
+  Alcotest.(check int) "<=0 goes to bucket 0" 0 (Obs.Hist.bucket_of 0);
+  Alcotest.(check int) "negative goes to bucket 0" 0 (Obs.Hist.bucket_of (-5));
+  Alcotest.(check int) "1 is the first 1-bit value" 1 (Obs.Hist.bucket_of 1);
+  Alcotest.(check int) "2 opens bucket 2" 2 (Obs.Hist.bucket_of 2);
+  Alcotest.(check int) "3 closes bucket 2" 2 (Obs.Hist.bucket_of 3);
+  Alcotest.(check int) "4 opens bucket 3" 3 (Obs.Hist.bucket_of 4);
+  Alcotest.(check int) "1023 is a 10-bit value" 10 (Obs.Hist.bucket_of 1023);
+  Alcotest.(check int) "1024 is an 11-bit value" 11 (Obs.Hist.bucket_of 1024);
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.observe h) [ 1; 2; 3; 100; 0 ];
+  let s = Obs.Hist.snapshot h in
+  Alcotest.(check int) "count" 5 s.Obs.Hist.count;
+  Alcotest.(check int) "sum" 106 s.Obs.Hist.sum;
+  Alcotest.(check int) "max" 100 s.Obs.Hist.max;
+  Alcotest.(check (float 1e-9)) "mean" 21.2 (Obs.Hist.mean s);
+  Alcotest.(check (list (triple int int int)))
+    "non-empty buckets in value order"
+    [ (0, 0, 1); (1, 1, 1); (2, 3, 2); (64, 127, 1) ]
+    s.Obs.Hist.buckets;
+  Obs.Hist.reset h;
+  Alcotest.(check int) "reset clears" 0 (Obs.Hist.snapshot h).Obs.Hist.count
+
+let test_disabled_no_op () =
+  Alcotest.(check bool) "disabled by default" false (Obs.enabled ());
+  let c = Obs.Counter.make "test.disabled_counter" in
+  let h = Obs.Histogram.make "test.disabled_hist" in
+  Obs.Counter.add c 5;
+  Obs.Histogram.observe h 42;
+  let sp = Obs.begin_span "test.disabled" ~args:[ ("k", Obs.Int 1) ] in
+  Obs.end_span sp;
+  Obs.with_span "test.disabled2" (fun () -> ());
+  Obs.instant "test.disabled3";
+  Obs.counter_sample "test.disabled4" 9;
+  Alcotest.(check int) "counter untouched" 0 (Obs.Counter.value c);
+  Alcotest.(check int)
+    "histogram untouched" 0
+    (Obs.Histogram.snapshot h).Obs.Hist.count;
+  Alcotest.(check int) "no events buffered" 0 (List.length (Obs.events ()));
+  Alcotest.(check bool)
+    "null_span matches a disabled begin_span" true
+    (sp = Obs.null_span)
+
+let test_counters_and_histograms_view () =
+  Obs.enable ();
+  let c = Obs.Counter.make "test.view_counter" in
+  let h = Obs.Histogram.make "test.view_hist" in
+  let silent = Obs.Counter.make "test.view_silent" in
+  ignore silent;
+  Obs.Counter.incr c;
+  Obs.Counter.add c 2;
+  Obs.Histogram.observe h 7;
+  Alcotest.(check int) "counter accumulates" 3 (Obs.Counter.value c);
+  Alcotest.(check bool)
+    "view lists the active counter" true
+    (List.mem_assoc "test.view_counter" (Obs.counters ()));
+  Alcotest.(check bool)
+    "view omits silent instruments" false
+    (List.mem_assoc "test.view_silent" (Obs.counters ()));
+  Alcotest.(check bool)
+    "view lists the active histogram" true
+    (List.mem_assoc "test.view_hist" (Obs.histograms ()));
+  Obs.reset ();
+  Alcotest.(check int) "reset zeroes counters" 0 (Obs.Counter.value c);
+  Alcotest.(check bool)
+    "reset empties the views" true
+    (not (List.mem_assoc "test.view_counter" (Obs.counters ())))
+
+let test_nested_span_ordering () =
+  Obs.enable ();
+  Obs.with_span "outer" (fun () ->
+      Obs.with_span "inner" (fun () -> ());
+      Obs.instant "marker");
+  let evs = Obs.events () in
+  let names = List.map (fun (e : Obs.event) -> e.Obs.name) evs in
+  (* The outer span begins first, so its seq is lowest even though it is
+     recorded (ends) last. *)
+  Alcotest.(check (list string))
+    "begin order, not end order"
+    [ "outer"; "inner"; "marker" ]
+    names;
+  let seqs = List.map (fun (e : Obs.event) -> e.Obs.seq) evs in
+  Alcotest.(check (list int)) "sequential seqs" [ 0; 1; 2 ] seqs;
+  let outer = List.hd evs in
+  let inner = List.nth evs 1 in
+  Alcotest.(check bool)
+    "outer duration covers inner" true
+    (Int64.compare outer.Obs.dur_ns inner.Obs.dur_ns >= 0)
+
+let member_exn name doc =
+  match Json.member name doc with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %S" name
+
+let test_trace_json_round_trip () =
+  Obs.enable ();
+  Obs.with_span "alpha"
+    ~args:[ ("n", Obs.Int 64); ("note", Obs.Str "quote\"me") ]
+    (fun () -> ());
+  let sp = Obs.begin_span "beta" in
+  Obs.end_span ~args:[ ("tv", Obs.Float 0.125) ] sp;
+  Obs.instant "gamma";
+  Obs.counter_sample "load" 17;
+  let doc =
+    match Json.of_string (Obs.trace_json ()) with
+    | Ok doc -> doc
+    | Error msg -> Alcotest.failf "trace does not parse: %s" msg
+  in
+  Alcotest.(check string)
+    "display unit" "ms"
+    (match member_exn "displayTimeUnit" doc with
+    | Json.String s -> s
+    | _ -> "?");
+  let events =
+    match member_exn "traceEvents" doc with
+    | Json.List evs -> evs
+    | _ -> Alcotest.fail "traceEvents is not an array"
+  in
+  Alcotest.(check int) "one event per record" 4 (List.length events);
+  let number = function
+    | Json.Int i -> float_of_int i
+    | Json.Float x -> x
+    | _ -> Alcotest.fail "expected a number"
+  in
+  List.iter
+    (fun ev ->
+      (match member_exn "ph" ev with
+      | Json.String ("X" | "i" | "C") -> ()
+      | _ -> Alcotest.fail "unexpected phase");
+      Alcotest.(check bool) "ts >= 0" true (number (member_exn "ts" ev) >= 0.);
+      Alcotest.(check int) "pid is 1" 1
+        (match member_exn "pid" ev with Json.Int i -> i | _ -> -1);
+      match member_exn "tid" ev with
+      | Json.Int _ -> ()
+      | _ -> Alcotest.fail "tid is not an integer")
+    events;
+  let find name =
+    List.find
+      (fun ev ->
+        match Json.member "name" ev with
+        | Some (Json.String s) -> s = name
+        | _ -> false)
+      events
+  in
+  let alpha = find "alpha" in
+  Alcotest.(check bool) "complete events carry dur" true
+    (Json.member "dur" alpha <> None);
+  (match Json.member "n" (member_exn "args" alpha) with
+  | Some (Json.Int 64) -> ()
+  | _ -> Alcotest.fail "begin-side int arg lost");
+  (match Json.member "note" (member_exn "args" alpha) with
+  | Some (Json.String "quote\"me") -> ()
+  | _ -> Alcotest.fail "string arg not escaped/recovered");
+  (match Json.member "tv" (member_exn "args" (find "beta")) with
+  | Some (Json.Float tv) -> Alcotest.(check (float 1e-12)) "end-side float arg" 0.125 tv
+  | _ -> Alcotest.fail "end-side arg lost");
+  (match member_exn "ph" (find "gamma") with
+  | Json.String "i" -> ()
+  | _ -> Alcotest.fail "instant phase");
+  match (member_exn "ph" (find "load"), Json.member "value" (member_exn "args" (find "load"))) with
+  | Json.String "C", Some (Json.Int 17) -> ()
+  | _ -> Alcotest.fail "counter sample phase/value"
+
+(* The satellite contract: the same fan-out traced at different domain
+   counts yields the same trace once timestamps are stripped, because
+   events merge on the deterministic (track, seq) key. *)
+let traced_fanout ~domains =
+  Obs.reset ();
+  Obs.enable ();
+  let rng = Prng.Rng.create ~seed:0xD15C () in
+  let r =
+    Engine.Runner.run ~domains ~rng ~reps:6 (fun g m ->
+        Obs.with_span "work" (fun () ->
+            Engine.Metrics.add_step m;
+            if Prng.Rng.bool g then Some 1 else None))
+  in
+  ignore r.Engine.Runner.observations;
+  let evs = Obs.events () in
+  let stripped =
+    List.map
+      (fun (e : Obs.event) ->
+        (e.Obs.name, e.Obs.ph, e.Obs.track, e.Obs.seq, e.Obs.args))
+      evs
+  in
+  let hist = Obs.Histogram.snapshot (Obs.Histogram.make "runner.first_hit_steps") in
+  Obs.disable ();
+  (stripped, hist)
+
+let test_domain_count_invariance () =
+  let one, hist1 = traced_fanout ~domains:1 in
+  let four, hist4 = traced_fanout ~domains:4 in
+  Alcotest.(check int)
+    "same event count" (List.length one) (List.length four);
+  Alcotest.(check bool)
+    "identical after timestamp stripping" true (one = four);
+  Alcotest.(check int)
+    "telemetry histograms agree" hist1.Obs.Hist.count hist4.Obs.Hist.count;
+  Alcotest.(check bool) "trace is non-trivial" true (List.length one >= 12)
+
+let test_write_trace_file () =
+  Obs.enable ();
+  Obs.with_span "filed" (fun () -> ());
+  let path = Filename.temp_file "obs_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.write_trace ~path;
+      let ic = open_in_bin path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Json.of_string text with
+      | Ok doc ->
+          Alcotest.(check bool)
+            "file holds a traceEvents object" true
+            (Json.member "traceEvents" doc <> None)
+      | Error msg -> Alcotest.failf "written trace does not parse: %s" msg)
+
+let test_task_tracks () =
+  Obs.enable ();
+  let base = Obs.task_base ~count:3 in
+  let base' = Obs.task_base ~count:2 in
+  Alcotest.(check int) "bases do not overlap" (base + 3) base';
+  Obs.in_task (base + 1) (fun () -> Obs.instant "tasked");
+  Obs.instant "untasked";
+  let evs = Obs.events () in
+  let track_of name =
+    (List.find (fun (e : Obs.event) -> e.Obs.name = name) evs).Obs.track
+  in
+  Alcotest.(check int) "tasked event on its track" (base + 1)
+    (track_of "tasked");
+  Alcotest.(check int) "untasked event back on track 0" 0
+    (track_of "untasked")
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick (isolated f))
+    [
+      ("monotonic clock", test_clock);
+      ("histogram bucketing", test_hist_buckets);
+      ("disabled path records nothing", test_disabled_no_op);
+      ("counter/histogram views", test_counters_and_histograms_view);
+      ("nested span ordering", test_nested_span_ordering);
+      ("trace JSON round-trip", test_trace_json_round_trip);
+      ("domain-count invariance", test_domain_count_invariance);
+      ("write_trace file", test_write_trace_file);
+      ("task track reservation", test_task_tracks);
+    ]
