@@ -1,0 +1,65 @@
+(* E23: statistical conformance of the simulators against their exact
+   chains and the paper's bounds (lib/validate).  Quick mode runs the
+   two-subject CI catalog; full mode the whole matrix.  The complete
+   typed report is attached to the JSON sink under
+   extra.conformance_report; the table shows one row per check. *)
+
+module Ctx = Experiment.Ctx
+
+let alpha = 0.01
+
+let run ctx =
+  let quick = not (Ctx.full ctx) in
+  let subjects =
+    if quick then Validate.Subject.quick_catalog ()
+    else Validate.Subject.full_catalog ()
+  in
+  let report =
+    Validate.Conformance.run ~domains:(Ctx.domains ctx) ~quick ~alpha
+      ~seed:(Ctx.seed ctx) subjects
+  in
+  let table =
+    Ctx.table ctx
+      ~title:(Printf.sprintf "E23: simulator conformance (alpha = %g)" alpha)
+      ~columns:[ "subject"; "check"; "verdict"; "samples"; "p"; "TV corr" ]
+  in
+  List.iter
+    (fun (s : Validate.Conformance.subject_report) ->
+      List.iter
+        (fun (c : Validate.Conformance.check) ->
+          let p, tv =
+            match c.Validate.Conformance.outcome with
+            | Some o ->
+                ( Printf.sprintf "%.3f" o.Validate.Sequential.p_value,
+                  Printf.sprintf "%.4f" o.Validate.Sequential.tv_corrected )
+            | None ->
+                ( "-",
+                  match
+                    List.assoc_opt "tv_at_bound" c.Validate.Conformance.stats
+                  with
+                  | Some tv -> Printf.sprintf "%.4f" tv
+                  | None -> "-" )
+          in
+          Ctx.row ~values:c.Validate.Conformance.stats table
+            [
+              s.Validate.Conformance.subject;
+              c.Validate.Conformance.check;
+              Validate.Sequential.verdict_name c.Validate.Conformance.verdict;
+              string_of_int c.Validate.Conformance.samples;
+              p;
+              tv;
+            ])
+        s.Validate.Conformance.checks)
+    report.Validate.Conformance.subjects;
+  Ctx.note table
+    (Printf.sprintf "overall: %s over %d subjects"
+       (Validate.Sequential.verdict_name report.Validate.Conformance.verdict)
+       (List.length report.Validate.Conformance.subjects));
+  Ctx.emit ctx table;
+  Ctx.set_extra ctx "conformance_report" (Validate.Report.to_json report)
+
+let spec =
+  Experiment.Spec.v ~id:"e23"
+    ~claim:"Simulators conform to their exact chains and the paper's bounds"
+    ~tags:[ "validate"; "exact"; "soundness" ]
+    ~default:false run

@@ -1,6 +1,6 @@
 (* Every experiment spec, in presentation order.  The driver's
    no-argument selection takes the [default = true] specs (e1..e22);
-   [micro] opts out and runs only when named. *)
+   [e23] and [micro] opt out and run only when named. *)
 
 let all : Experiment.Spec.t list =
   [
@@ -26,5 +26,6 @@ let all : Experiment.Spec.t list =
     E20_bad_states.spec;
     E21_coalescence_tail.spec;
     E22_removal_rules.spec;
+    E23_conformance.spec;
     Micro.spec;
   ]

@@ -534,6 +534,102 @@ let bench_cmd =
     Term.(const bench $ ids $ list_only $ full $ seed $ domains $ csv $ json
           $ trace $ tags)
 
+(* ---- validate: statistical conformance (lib/validate) ---- *)
+
+let contains_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  if nl = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to hl - nl do
+      if (not !found) && String.sub haystack i nl = needle then found := true
+    done;
+    !found
+  end
+
+let validate quick alpha seed domains json only list_only =
+  let subjects =
+    if quick then Validate.Subject.quick_catalog ()
+    else Validate.Subject.full_catalog ()
+  in
+  if list_only then
+    List.iter
+      (fun s ->
+        Printf.printf "%-30s %s, %d states\n" (Validate.Subject.name s)
+          (Validate.Subject.family s)
+          (Validate.Subject.state_count s))
+      subjects
+  else begin
+    let subjects =
+      match only with
+      | [] -> subjects
+      | pats ->
+          List.filter
+            (fun s ->
+              let name = String.lowercase_ascii (Validate.Subject.name s) in
+              List.exists
+                (fun p ->
+                  contains_substring ~needle:(String.lowercase_ascii p) name)
+                pats)
+            subjects
+    in
+    if subjects = [] then begin
+      prerr_endline "repro validate: no subject matches --only";
+      exit 2
+    end;
+    let report = Validate.Conformance.run ~domains ~quick ~alpha ~seed subjects in
+    Validate.Report.print report;
+    (match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Experiment.Json.to_string (Validate.Report.to_json report));
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "report written to %s\n" path);
+    exit (Validate.Report.exit_code report)
+  end
+
+let validate_cmd =
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"Run the small CI catalog (one balls-into-bins subject, one \
+                   edge orientation) with cheaper sequential budgets.")
+  in
+  let alpha =
+    Arg.(value & opt float 0.01
+         & info [ "alpha" ] ~docv:"ALPHA"
+             ~doc:"False-FAIL budget per conformance check.")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Sampling fan-out width; the report is identical for any \
+                   value.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the typed conformance report as JSON to FILE.")
+  in
+  let only =
+    Arg.(value & opt_all string []
+         & info [ "only" ] ~docv:"SUBSTR"
+             ~doc:"Keep only subjects whose name contains SUBSTR \
+                   (case-insensitive, repeatable).")
+  in
+  let list_only =
+    Arg.(value & flag
+         & info [ "list" ] ~doc:"List the catalog subjects and exit.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Certify simulators against exact chains and paper bounds")
+    Term.(const validate $ quick $ alpha $ seed_arg $ domains $ json $ only
+          $ list_only)
+
 (* ---- entry point ---- *)
 
 let () =
@@ -545,5 +641,5 @@ let () =
           [
             simulate_cmd; recover_cmd; couple_cmd; edge_cmd; exact_cmd;
             fluid_cmd; tv_cmd; weighted_cmd; parallel_cmd; removal_cmd;
-            bench_cmd;
+            bench_cmd; validate_cmd;
           ]))

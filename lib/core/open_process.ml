@@ -77,6 +77,36 @@ let sim ?metrics t v =
     ~probe:(fun () -> Mv.max_load v)
     ()
 
+let exact_transitions t lv =
+  let module Lv = Loadvec.Load_vector in
+  if Lv.dim lv <> t.n then
+    invalid_arg "Open_process.exact_transitions: dimension mismatch";
+  (match t.capacity with
+  | Some c when Lv.total lv > c ->
+      invalid_arg "Open_process.exact_transitions: state above capacity"
+  | _ -> ());
+  let p = t.insert_probability in
+  let loads = Lv.to_array lv in
+  let insert_part =
+    if below_capacity t (Lv.total lv) then
+      Scheduling_rule.rank_distribution t.rule ~loads
+      |> Array.to_seqi
+      |> Seq.filter_map (fun (r, pr) ->
+             if pr > 0. then Some (Lv.oplus lv r, p *. pr) else None)
+      |> List.of_seq
+    else [ (lv, p) ]
+  in
+  let remove_part =
+    if Lv.total lv > 0 then
+      Scenario.removal_distribution Scenario.A ~loads
+      |> Array.to_seqi
+      |> Seq.filter_map (fun (r, pr) ->
+             if pr > 0. then Some (Lv.ominus lv r, (1. -. p) *. pr) else None)
+      |> List.of_seq
+    else [ (lv, 1. -. p) ]
+  in
+  insert_part @ remove_part
+
 let coupled t =
   let step g x y =
     let coin = Prng.Rng.float g in

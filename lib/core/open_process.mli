@@ -46,3 +46,15 @@ val sim :
 (** {!step_normalized} as an in-place engine stepper on the given state
     buffer (adopted and mutated).
     @raise Invalid_argument on a dimension mismatch. *)
+
+val exact_transitions :
+  t -> Loadvec.Load_vector.t -> (Loadvec.Load_vector.t * float) list
+(** Exact one-step law of {!step_normalized} from a normalized state:
+    with probability [insert_probability] an insertion (a no-op at
+    capacity), otherwise a scenario-A removal (a no-op on the empty
+    state).  Probabilities sum to 1; duplicate successors may appear and
+    are merged by {!Markov.Exact.build}.  With a capacity the state
+    space — all vectors with at most [capacity] balls — is finite, so the
+    open system becomes exactly analysable (paper, Section 7).
+    @raise Invalid_argument on a dimension mismatch or a state above
+    capacity. *)

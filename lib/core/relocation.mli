@@ -26,3 +26,15 @@ val sim : ?metrics:Engine.Metrics.t -> t -> Bins.t -> int array Engine.Sim.t
     @raise Invalid_argument if the bins were not created with [n] bins. *)
 
 val relocation_attempts : t -> int
+
+val exact_transitions : t -> int array -> (int array * float) list
+(** Exact one-step law of {!step} on per-bin load arrays (the state the
+    {!sim} adapter observes): removal per the scenario, an ABKU[d]
+    insertion (enumerating the [n^d] probe tuples with the stepper's
+    first-strict-minimum tie-breaking), then the configured number of
+    relocation attempts, each enumerated the same way with the
+    deterministic lowest-index fullest source bin.  Duplicate successors
+    are merged; probabilities sum to 1.
+    @raise Invalid_argument for an ADAP rule (its probe count is
+    unbounded, so the tuple enumeration does not terminate), a dimension
+    mismatch, a negative load, or a state with no balls. *)

@@ -32,10 +32,20 @@ type t = {
   grid : Grid.t option;
   start_ns : int64;  (* monotonic experiment start, for the heartbeat *)
   mutable emitted : tbl list;  (* reversed *)
+  mutable extras : (string * Json.t) list;  (* reversed *)
 }
 
 let make ~config ~id ~claim ~tags ~grid =
-  { config; id; claim; tags; grid; start_ns = Obs.Clock.now_ns (); emitted = [] }
+  {
+    config;
+    id;
+    claim;
+    tags;
+    grid;
+    start_ns = Obs.Clock.now_ns ();
+    emitted = [];
+    extras = [];
+  }
 
 let config t = t.config
 let id t = t.id
@@ -93,6 +103,11 @@ let row ?(values = []) ?metrics tbl cells =
   tbl.records <- { cells; values; metrics } :: tbl.records
 
 let note tbl s = Stats.Table.add_note tbl.table s
+
+(* Attached documents (e.g. e23's conformance report) ride into the JSON
+   sink next to the tables; last set wins per key. *)
+let set_extra t key json =
+  t.extras <- (key, json) :: List.remove_assoc key t.extras
 
 (* Fit a power law to (size, median) points, optionally dividing out a
    polylog factor first, and attach the result to the table as a note.
@@ -231,11 +246,15 @@ let to_json t ~wall_seconds =
           ]
   in
   Json.Obj
-    [
-      ("id", Json.String t.id);
+    ([
+       ("id", Json.String t.id);
       ("claim", Json.String t.claim);
       ("tags", Json.List (List.map (fun s -> Json.String s) t.tags));
       ("grid", grid);
       ("wall_seconds", Json.Float wall_seconds);
       ("tables", Json.List (List.rev_map tbl_json t.emitted));
     ]
+    @
+    match t.extras with
+    | [] -> []
+    | extras -> [ ("extra", Json.Obj (List.rev extras)) ])

@@ -87,6 +87,11 @@ val emit : t -> tbl -> unit
 (** Print the table and hand it to the configured file sinks.  Call
     exactly once per table, after its last row/note. *)
 
+val set_extra : t -> string -> Json.t -> unit
+(** Attach a JSON document to the experiment's entry in the results
+    sink, under ["extra"][key] — e.g. e23 attaches its full conformance
+    report.  Setting a key again replaces it.  Stdout is untouched. *)
+
 (** {1 Cell formatting helpers} *)
 
 val cell_measurement : Engine.Runner.measurement -> string

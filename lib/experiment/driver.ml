@@ -118,7 +118,7 @@ let telemetry_json () =
 let results_json ~config outcomes =
   Json.Obj
     [
-      ("schema", Json.String "repro.bench-results/2");
+      ("schema", Json.String "repro.bench-results/3");
       ( "config",
         Json.Obj
           [

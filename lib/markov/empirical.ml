@@ -1,28 +1,22 @@
-let counts_of sample =
+(* Counting and the plug-in TV distance are delegated to the shared
+   count layer (Stats.Freq) introduced with the lib/validate conformance
+   subsystem; this module keeps its historical interface and error
+   messages and adds only the chain-driving glue. *)
+
+let counts_of what sample =
   if Array.length sample = 0 then
-    invalid_arg "Empirical.tv_between_samples: empty sample";
-  let max_v =
-    Array.fold_left
-      (fun acc v ->
-        if v < 0 then invalid_arg "Empirical.tv_between_samples: negative value";
-        Stdlib.max acc v)
-      0 sample
-  in
-  let counts = Array.make (max_v + 1) 0 in
-  Array.iter (fun v -> counts.(v) <- counts.(v) + 1) sample;
-  counts
+    invalid_arg (Printf.sprintf "Empirical.%s: empty sample" what);
+  Array.iter
+    (fun v ->
+      if v < 0 then
+        invalid_arg (Printf.sprintf "Empirical.%s: negative value" what))
+    sample;
+  Stats.Freq.of_values sample
 
 let tv_between_samples a b =
-  let ca = counts_of a and cb = counts_of b in
-  let na = float_of_int (Array.length a) and nb = float_of_int (Array.length b) in
-  let levels = Stdlib.max (Array.length ca) (Array.length cb) in
-  let acc = ref 0. in
-  for v = 0 to levels - 1 do
-    let pa = if v < Array.length ca then float_of_int ca.(v) /. na else 0. in
-    let pb = if v < Array.length cb then float_of_int cb.(v) /. nb else 0. in
-    acc := !acc +. Float.abs (pa -. pb)
-  done;
-  !acc /. 2.
+  let ca = counts_of "tv_between_samples" a
+  and cb = counts_of "tv_between_samples" b in
+  Stats.Freq.tv ca cb
 
 let observable_tv chain ~rng ~x0 ~y0 ~t ~reps ~observable =
   if reps <= 0 then invalid_arg "Empirical.observable_tv: reps must be positive";

@@ -1,0 +1,76 @@
+type t = { counts : int array; mutable total : int }
+
+let create ~size =
+  if size <= 0 then invalid_arg "Freq.create: size must be positive";
+  { counts = Array.make size 0; total = 0 }
+
+let size t = Array.length t.counts
+let total t = t.total
+
+let observe t i =
+  if i < 0 || i >= Array.length t.counts then invalid_arg "Freq.observe: bad cell";
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let add t i k =
+  if i < 0 || i >= Array.length t.counts then invalid_arg "Freq.add: bad cell";
+  if k < 0 then invalid_arg "Freq.add: negative count";
+  t.counts.(i) <- t.counts.(i) + k;
+  t.total <- t.total + k
+
+let get t i =
+  if i < 0 || i >= Array.length t.counts then invalid_arg "Freq.get: bad cell";
+  t.counts.(i)
+
+let counts t = Array.copy t.counts
+
+let merge_into ~dst src =
+  if Array.length dst.counts <> Array.length src.counts then
+    invalid_arg "Freq.merge_into: size mismatch";
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.total <- dst.total + src.total
+
+let of_values sample =
+  if Array.length sample = 0 then invalid_arg "Freq.of_values: empty sample";
+  let max_v =
+    Array.fold_left
+      (fun acc v ->
+        if v < 0 then invalid_arg "Freq.of_values: negative value";
+        Stdlib.max acc v)
+      0 sample
+  in
+  let t = create ~size:(max_v + 1) in
+  Array.iter (fun v -> observe t v) sample;
+  t
+
+let freqs t =
+  if t.total = 0 then invalid_arg "Freq.freqs: no observations";
+  let n = float_of_int t.total in
+  Array.map (fun c -> float_of_int c /. n) t.counts
+
+let tv a b =
+  if a.total = 0 || b.total = 0 then invalid_arg "Freq.tv: empty sample";
+  let na = float_of_int a.total and nb = float_of_int b.total in
+  let cells = Stdlib.max (Array.length a.counts) (Array.length b.counts) in
+  let acc = ref 0. in
+  for i = 0 to cells - 1 do
+    let pa =
+      if i < Array.length a.counts then float_of_int a.counts.(i) /. na else 0.
+    in
+    let pb =
+      if i < Array.length b.counts then float_of_int b.counts.(i) /. nb else 0.
+    in
+    acc := !acc +. Float.abs (pa -. pb)
+  done;
+  !acc /. 2.
+
+let tv_against t q =
+  if Array.length q <> Array.length t.counts then
+    invalid_arg "Freq.tv_against: length mismatch";
+  if t.total = 0 then invalid_arg "Freq.tv_against: no observations";
+  let n = float_of_int t.total in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i c -> acc := !acc +. Float.abs ((float_of_int c /. n) -. q.(i)))
+    t.counts;
+  !acc /. 2.

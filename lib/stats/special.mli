@@ -1,0 +1,28 @@
+(** Special functions backing the goodness-of-fit p-values.
+
+    Only what the conformance tests need: the log-gamma function and the
+    regularized incomplete gamma function, from which the chi-square
+    survival function follows.  Pure OCaml (the toolchain image carries
+    no scientific library), accurate to ~1e-12 over the ranges the tests
+    use — far beyond what a pass/fail decision at alpha >= 1e-4
+    requires. *)
+
+val log_gamma : float -> float
+(** [log_gamma x] is ln Γ(x) for [x > 0] (Lanczos approximation).
+    @raise Invalid_argument if [x <= 0]. *)
+
+val gamma_p : a:float -> x:float -> float
+(** Lower regularized incomplete gamma [P(a, x) = γ(a,x)/Γ(a)] for
+    [a > 0], [x >= 0]: series expansion for [x < a + 1], continued
+    fraction otherwise.
+    @raise Invalid_argument if [a <= 0] or [x < 0]. *)
+
+val gamma_q : a:float -> x:float -> float
+(** Upper regularized incomplete gamma [Q(a, x) = 1 − P(a, x)], computed
+    directly (not via subtraction) where that is better conditioned. *)
+
+val chi_square_sf : df:int -> float -> float
+(** [chi_square_sf ~df x] is the survival function
+    [P(X >= x)] of a chi-square distribution with [df] degrees of
+    freedom — the p-value of a goodness-of-fit statistic.
+    @raise Invalid_argument if [df < 1] or [x < 0]. *)

@@ -1,0 +1,92 @@
+type verdict = Pass | Fail | Inconclusive
+
+let verdict_name = function
+  | Pass -> "PASS"
+  | Fail -> "FAIL"
+  | Inconclusive -> "INCONCLUSIVE"
+
+let worst a b =
+  match (a, b) with
+  | Fail, _ | _, Fail -> Fail
+  | Inconclusive, _ | _, Inconclusive -> Inconclusive
+  | Pass, Pass -> Pass
+
+type config = {
+  alpha : float;
+  batch : int;
+  max_batches : int;
+  tv_pass : float;
+  min_expected : float;
+  ci_replicates : int;
+}
+
+let config ?(batch = 2000) ?(max_batches = 8) ?(tv_pass = 0.05)
+    ?(min_expected = 5.) ?(ci_replicates = 200) ~alpha () =
+  if not (alpha > 0. && alpha < 1.) then
+    invalid_arg "Sequential.config: alpha must be in (0,1)";
+  if batch <= 0 || max_batches <= 0 || ci_replicates <= 0 then
+    invalid_arg "Sequential.config: counts must be positive";
+  if not (tv_pass > 0.) then
+    invalid_arg "Sequential.config: tv_pass must be positive";
+  { alpha; batch; max_batches; tv_pass; min_expected; ci_replicates }
+
+type outcome = {
+  verdict : verdict;
+  samples : int;
+  looks : int;
+  escapes : int;
+  p_value : float;
+  statistic : float;
+  df : int;
+  tv_plugin : float;
+  tv_corrected : float;
+  ci : float * float;
+  alpha_adjusted : float;
+}
+
+let looks_counter = Obs.Counter.make "validate.looks"
+
+let test cfg ~rng ~expected ~sample =
+  let size = Array.length expected in
+  let freq = Stats.Freq.create ~size in
+  let escapes = ref 0 in
+  let alpha_adjusted = cfg.alpha /. float_of_int cfg.max_batches in
+  let finish ~look ~verdict ~(gof : Estimators.gof) =
+    {
+      verdict;
+      samples = Stats.Freq.total freq + !escapes;
+      looks = look;
+      escapes = !escapes;
+      p_value = gof.Estimators.p_value;
+      statistic = gof.Estimators.statistic;
+      df = gof.Estimators.df;
+      tv_plugin = Estimators.plugin_tv freq ~expected;
+      tv_corrected = Estimators.bias_corrected_tv freq ~expected;
+      ci =
+        Estimators.tv_ci ~replicates:cfg.ci_replicates ~rng freq ~expected;
+      alpha_adjusted;
+    }
+  in
+  let rec look k =
+    Obs.Counter.incr looks_counter;
+    let batch = sample cfg.batch in
+    Stats.Freq.merge_into ~dst:freq batch.Space.freq;
+    escapes := !escapes + batch.Space.escapes;
+    let gof = Estimators.g_test ~min_expected:cfg.min_expected freq ~expected in
+    if !escapes > 0 || gof.Estimators.p_value < alpha_adjusted then
+      finish ~look:k ~verdict:Fail ~gof
+    else if k >= cfg.max_batches then
+      let tvc = Estimators.bias_corrected_tv freq ~expected in
+      finish ~look:k
+        ~verdict:(if tvc <= cfg.tv_pass then Pass else Inconclusive)
+        ~gof
+    else
+      let tvc = Estimators.bias_corrected_tv freq ~expected in
+      if
+        2 * k >= cfg.max_batches
+        && gof.Estimators.p_value >= cfg.alpha
+        && tvc <= cfg.tv_pass /. 2.
+      then finish ~look:k ~verdict:Pass ~gof
+      else look (k + 1)
+  in
+  look 1

@@ -1,0 +1,78 @@
+(** Sequential conformance testing at a fixed confidence level.
+
+    A conformance check does not know in advance how many samples it
+    needs: a grossly wrong law fails on the first batch, a subtly wrong
+    one needs many.  The tester grows the sample in batches and looks at
+    the data after each batch — a fixed-confidence sequential scheme in
+    the SPRT spirit, with the multiple looks paid for by a Bonferroni
+    split of the failure budget: each of the at most [max_batches] looks
+    rejects only below [alpha / max_batches], so the overall false-FAIL
+    rate under the null stays below [alpha] regardless of when the test
+    stops.
+
+    Verdicts are three-valued.  {e Fail} means the goodness-of-fit test
+    rejected (or the simulator escaped the state space); {e Pass} means
+    the test never rejected {e and} the bias-corrected TV distance ended
+    below the practical-equivalence threshold [tv_pass]; {e Inconclusive}
+    means no rejection but a distance estimate too large to certify —
+    more samples would be needed to tell noise from defect. *)
+
+type verdict = Pass | Fail | Inconclusive
+
+val verdict_name : verdict -> string
+(** ["PASS"], ["FAIL"], ["INCONCLUSIVE"]. *)
+
+val worst : verdict -> verdict -> verdict
+(** Severity order [Fail > Inconclusive > Pass]. *)
+
+type config = {
+  alpha : float;  (** Overall false-FAIL budget of the check. *)
+  batch : int;  (** Observations added per look. *)
+  max_batches : int;
+  tv_pass : float;  (** Corrected-TV practical-equivalence bound. *)
+  min_expected : float;  (** GOF pooling threshold. *)
+  ci_replicates : int;  (** Bootstrap replicates for the reported CI. *)
+}
+
+val config :
+  ?batch:int ->
+  ?max_batches:int ->
+  ?tv_pass:float ->
+  ?min_expected:float ->
+  ?ci_replicates:int ->
+  alpha:float ->
+  unit ->
+  config
+(** Defaults: [batch = 2000], [max_batches = 8], [tv_pass = 0.05],
+    [min_expected = 5.], [ci_replicates = 200].
+    @raise Invalid_argument if [alpha] is outside (0,1) or a count is
+    not positive. *)
+
+type outcome = {
+  verdict : verdict;
+  samples : int;  (** Total observations consumed. *)
+  looks : int;  (** Looks taken before stopping. *)
+  escapes : int;  (** Observations outside the state space. *)
+  p_value : float;  (** G-test p-value at the deciding look. *)
+  statistic : float;
+  df : int;
+  tv_plugin : float;
+  tv_corrected : float;
+  ci : float * float;  (** Bootstrap CI of the plug-in TV. *)
+  alpha_adjusted : float;  (** The per-look rejection threshold. *)
+}
+
+val test :
+  config ->
+  rng:Prng.Rng.t ->
+  expected:float array ->
+  sample:(int -> Space.counts) ->
+  outcome
+(** [test cfg ~rng ~expected ~sample] grows the sample by
+    [sample cfg.batch] per look and stops at the first decisive look.
+    A look fails on any escape or a G-test p-value below
+    [alpha / max_batches].  An early Pass is taken once at least half
+    the looks have been spent, the unadjusted p-value is unsuspicious
+    ([>= alpha]) and the corrected TV is below [tv_pass / 2]; otherwise
+    the verdict at the final look is Pass or Inconclusive by the
+    [tv_pass] comparison. *)

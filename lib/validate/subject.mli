@@ -1,0 +1,62 @@
+(** Conformance subjects: a simulator paired with its exact chain.
+
+    A subject packages everything one conformance run needs about a
+    process: the enumerated state space, the exact one-step law on it,
+    a factory for fresh independent simulators observing states in that
+    space, a (typically adversarial) start state, and — where the paper
+    states one — the closed-form mixing/recovery-time bound its measured
+    TV decay is checked against.  The state type is existentially packed
+    so heterogeneous catalogs (load vectors, class-count vectors,
+    per-bin arrays) run through one harness. *)
+
+type 'state spec = {
+  name : string;
+  family : string;  (** ["balls"], ["edge"], ["open"] or ["relocation"]. *)
+  states : 'state array;
+  transitions : 'state -> ('state * float) list;
+  fresh_sim : unit -> 'state Engine.Sim.t;
+  (** Each call returns an independent simulator (fresh buffers), safe
+      to use concurrently with other fresh instances. *)
+  start : 'state;
+  bound : (string * float) option;
+  (** Paper bound on τ(¼) from [start], as (label, steps). *)
+}
+
+type t = P : 'state spec -> t
+
+val name : t -> string
+val family : t -> string
+val state_count : t -> int
+
+(** {1 Constructors} *)
+
+val balls :
+  Core.Scenario.t -> Core.Scheduling_rule.t -> n:int -> m:int -> t
+(** A closed dynamic allocation process over Ω_m (state space
+    {!Markov.Partition_space.enumerate}), starting from all-in-one-bin.
+    Scenario A carries the Theorem 1 bound; scenario B with an ABKU rule
+    the Claim 5.3 bound. *)
+
+val edge : n:int -> t
+(** The Section 6 edge-orientation class chain, state space reachable
+    from the adversarial state, bound Corollary 6.4. *)
+
+val open_system : n:int -> capacity:int -> t
+(** A capacity-bounded open system (ABKU[2] insertions at probability
+    ½), state space reachable from empty, starting full-in-one-bin. *)
+
+val relocation :
+  Core.Scenario.t -> d:int -> relocations:int -> n:int -> m:int -> t
+(** A relocation process on per-bin load arrays, state space reachable
+    from all-in-bin-0. *)
+
+(** {1 Catalogs} *)
+
+val quick_catalog : unit -> t list
+(** Two cheap subjects (one balls-into-bins, one edge orientation) for
+    CI and [--quick] runs. *)
+
+val full_catalog : unit -> t list
+(** The full conformance matrix: Id/Ib × ABKU/ADAP closed processes,
+    the edge class chain, a capacity-bounded open system and a
+    relocation process — 8 subjects on small (n, m). *)

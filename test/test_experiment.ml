@@ -211,7 +211,7 @@ let test_json_sink_writes_file () =
   in
   Alcotest.(check bool)
     "schema marker present" true
-    (contains contents "repro.bench-results/2");
+    (contains contents "repro.bench-results/3");
   Alcotest.(check string)
     "file matches the returned document"
     (Experiment.Json.to_string doc ^ "\n")
@@ -247,12 +247,47 @@ let test_selection () =
 
 let test_registry_complete () =
   let ids = List.map (fun s -> s.Experiment.Spec.id) Experiments.Registry.all in
-  let expected = List.init 22 (fun i -> Printf.sprintf "e%d" (i + 1)) @ [ "micro" ] in
-  Alcotest.(check (list string)) "all 22 experiments plus micro" expected ids;
+  let expected =
+    List.init 23 (fun i -> Printf.sprintf "e%d" (i + 1)) @ [ "micro" ]
+  in
+  Alcotest.(check (list string)) "all 23 experiments plus micro" expected ids;
   let defaults =
     List.filter (fun s -> s.Experiment.Spec.default) Experiments.Registry.all
   in
-  Alcotest.(check int) "micro is opt-in" 22 (List.length defaults)
+  Alcotest.(check int) "e23 and micro are opt-in" 22 (List.length defaults)
+
+(* Regression: the --tags filter applies before the run, so the JSON
+   sink only ever sees the selected specs — the document must agree with
+   the filtered stdout, not list every registered experiment. *)
+let test_tags_filter_reaches_json_sink () =
+  let mk id tags =
+    Experiment.Spec.v ~id ~claim:"tag filter test" ~tags ~auto_heading:false
+      (fun ctx ->
+        let t =
+          Experiment.Ctx.table ctx ~title:("tbl-" ^ id) ~columns:[ "n" ]
+        in
+        Experiment.Ctx.row t [ "1" ];
+        Experiment.Ctx.emit ctx t)
+  in
+  let specs = [ mk "t1" [ "keep" ]; mk "t2" [ "drop" ] ] in
+  match Experiment.Driver.select specs ~ids:[] ~tags:[ "keep" ] with
+  | Error _ -> Alcotest.fail "selection should succeed"
+  | Ok selected ->
+      let config = Experiment.Config.default in
+      let doc = Experiment.Driver.run ~banner:false ~config selected in
+      let ids =
+        match Experiment.Json.member "experiments" doc with
+        | Some (Experiment.Json.List es) ->
+            List.filter_map
+              (fun e ->
+                match Experiment.Json.member "id" e with
+                | Some (Experiment.Json.String id) -> Some id
+                | _ -> None)
+              es
+        | _ -> Alcotest.fail "document lacks the experiments list"
+      in
+      Alcotest.(check (list string))
+        "JSON sink holds exactly the tag-selected specs" [ "t1" ] ids
 
 (* The framework's core determinism contract: the same seed yields the
    same JSON result records whatever the domain fan-out, once
@@ -285,6 +320,7 @@ let suite =
     ("json sink file", test_json_sink_writes_file);
     ("selection", test_selection);
     ("registry complete", test_registry_complete);
+    ("tags filter reaches json sink", test_tags_filter_reaches_json_sink);
     ("determinism across domains", test_determinism_across_domains);
   ]
   |> List.map (fun (name, f) -> (name, `Quick, f))

@@ -24,4 +24,5 @@ let () =
       ("removal+adap-fluid", Test_fluid_adap.suite);
       ("path-metric", Test_path_metric.suite);
       ("experiment", Test_experiment.suite);
+      ("validate", Test_validate.suite);
     ]

@@ -325,9 +325,96 @@ let qcheck_merge_matches_whole =
       && (Stats.Summary.count w < 2
          || feq ~tol:1e-6 (Stats.Summary.variance m) (Stats.Summary.variance w)))
 
+(* ---- Special (gamma / chi-square) ---------------------------------- *)
+
+let test_special_log_gamma () =
+  let check name expected x =
+    Alcotest.(check (float 1e-10)) name expected (Stats.Special.log_gamma x)
+  in
+  check "ln Gamma(1) = 0" 0. 1.;
+  check "ln Gamma(5) = ln 24" (log 24.) 5.;
+  check "ln Gamma(0.5) = ln sqrt(pi)" (0.5 *. log Float.pi) 0.5;
+  check "ln Gamma(10.5)" 13.940_625_219_403_76 10.5;
+  Alcotest.check_raises "nonpositive argument"
+    (Invalid_argument "Special.log_gamma: need x > 0") (fun () ->
+      ignore (Stats.Special.log_gamma 0.))
+
+let test_special_gamma_inc () =
+  (* P(0.5, x) = erf(sqrt x); erf 1 is a standard constant. *)
+  Alcotest.(check (float 1e-10))
+    "P(0.5, 1) = erf 1" 0.842_700_792_949_714_9
+    (Stats.Special.gamma_p ~a:0.5 ~x:1.);
+  (* P(1, x) = 1 - e^{-x}, both below and above the a+1 diagonal. *)
+  List.iter
+    (fun x ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "P(1, %g)" x)
+        (1. -. exp (-.x))
+        (Stats.Special.gamma_p ~a:1. ~x);
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "P + Q = 1 at %g" x)
+        1.
+        (Stats.Special.gamma_p ~a:1. ~x +. Stats.Special.gamma_q ~a:1. ~x))
+    [ 0.; 0.3; 1.; 5.; 40. ];
+  Alcotest.(check (float 1e-12)) "P(a, 0) = 0" 0. (Stats.Special.gamma_p ~a:3. ~x:0.)
+
+let test_special_chi_square () =
+  (* df = 2 has the closed form sf(x) = e^{-x/2}. *)
+  List.iter
+    (fun x ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "df=2 closed form at %g" x)
+        (exp (-.x /. 2.))
+        (Stats.Special.chi_square_sf ~df:2 x))
+    [ 0.; 0.5; 2.; 5.991; 20. ];
+  (* Textbook 5% critical values. *)
+  Alcotest.(check (float 1e-4)) "df=1" 0.05 (Stats.Special.chi_square_sf ~df:1 3.8415);
+  Alcotest.(check (float 1e-4)) "df=5" 0.05 (Stats.Special.chi_square_sf ~df:5 11.0705);
+  Alcotest.(check (float 1e-4)) "df=10" 0.05 (Stats.Special.chi_square_sf ~df:10 18.307);
+  Alcotest.check_raises "df < 1"
+    (Invalid_argument "Special.chi_square_sf: need df >= 1") (fun () ->
+      ignore (Stats.Special.chi_square_sf ~df:0 1.))
+
+(* ---- Freq ----------------------------------------------------------- *)
+
+let test_freq_counts () =
+  let f = Stats.Freq.create ~size:4 in
+  Alcotest.(check int) "empty total" 0 (Stats.Freq.total f);
+  Stats.Freq.observe f 1;
+  Stats.Freq.observe f 1;
+  Stats.Freq.add f 3 2;
+  Alcotest.(check int) "total" 4 (Stats.Freq.total f);
+  Alcotest.(check (array int)) "counts" [| 0; 2; 0; 2 |] (Stats.Freq.counts f);
+  Alcotest.(check (array (float 1e-12)))
+    "freqs" [| 0.; 0.5; 0.; 0.5 |] (Stats.Freq.freqs f);
+  let g = Stats.Freq.of_values [| 0; 3; 3; 0 |] in
+  Stats.Freq.merge_into ~dst:f g;
+  Alcotest.(check int) "merged total" 8 (Stats.Freq.total f);
+  Alcotest.(check (array int)) "merged counts" [| 2; 2; 0; 4 |] (Stats.Freq.counts f);
+  Alcotest.check_raises "bad cell" (Invalid_argument "Freq.observe: bad cell")
+    (fun () -> Stats.Freq.observe f 4)
+
+let test_freq_tv () =
+  let a = Stats.Freq.of_values [| 0; 0; 1; 1 |] in
+  let b = Stats.Freq.of_values [| 0; 0; 0; 0 |] in
+  (* a = (1/2, 1/2), b = (1); padded TV = 1/2. *)
+  Alcotest.(check (float 1e-12)) "padded tv" 0.5 (Stats.Freq.tv a b);
+  Alcotest.(check (float 1e-12)) "tv self" 0. (Stats.Freq.tv a a);
+  Alcotest.(check (float 1e-12))
+    "tv against exact law" 0.25
+    (Stats.Freq.tv_against a [| 0.75; 0.25 |]);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Freq.tv_against: length mismatch") (fun () ->
+      ignore (Stats.Freq.tv_against a [| 1. |]))
+
 let suite =
   List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
     [
+      ("special log_gamma", test_special_log_gamma);
+      ("special incomplete gamma", test_special_gamma_inc);
+      ("special chi-square sf", test_special_chi_square);
+      ("freq counts", test_freq_counts);
+      ("freq tv", test_freq_tv);
       ("summary basic", test_summary_basic);
       ("summary empty", test_summary_empty);
       ("summary single", test_summary_single);
