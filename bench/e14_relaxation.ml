@@ -8,10 +8,18 @@
    Cells run through the sparse exact layer (Markov.Exact_builder);
    |Omega| is reported in the table and per-cell wall-clock through
    Engine.Metrics phases (dump with BENCH_METRICS=1), keeping the
-   default table byte-identical across runs and domain counts. *)
+   default table byte-identical across runs and domain counts.  The
+   blocked streaming build plus designated extremal starts (see e07)
+   extend the full-mode scenario-A grid to n = m = 30 (|Omega| =
+   5604). *)
 
 module Sr = Core.Scheduling_rule
 module Ctx = Experiment.Ctx
+
+(* Same designated-start rule as e07: above this |Omega| the searches
+   run from the extremal pair only (monotone-coupling domination). *)
+let all_starts_ceiling = 2000
+let scenario_b_ceiling = 13
 
 let run ctx =
   List.iter
@@ -33,23 +41,52 @@ let run ctx =
               "tau_rel*ln(25)";
             ]
       in
+      let scen_tag =
+        match scenario with Core.Scenario.A -> "id" | B -> "ib"
+      in
       Ctx.iter_cells ctx
         (fun n ->
+          if scenario = Core.Scenario.B && n > scenario_b_ceiling then ()
+          else begin
           let process = Core.Dynamic_process.make scenario (Sr.abku 2) ~n in
+          let designated =
+            Markov.Partition_space.count ~n ~m:n > all_starts_ceiling
+          in
+          let start_states =
+            if designated then
+              Some
+                [|
+                  Loadvec.Load_vector.all_in_one ~n ~m:n;
+                  Loadvec.Load_vector.uniform ~n ~m:n;
+                |]
+            else None
+          in
+          let checkpoint =
+            Option.map Markov.Exact_checkpoint.file_sink
+              (Ctx.checkpoint_path ctx
+                 ~name:(Printf.sprintf "%s_n%02d" scen_tag n))
+          in
           let a =
             Markov.Exact_builder.build_mix ~eps:0.25 ~domains:(Ctx.domains ctx)
+              ?starts:start_states ?checkpoint
               (Markov.Exact_builder.enumerated
                  (Markov.Partition_space.enumerate ~n ~m:n))
               ~transitions:(Core.Dynamic_process.exact_transitions process)
           in
+          let starts =
+            Option.map
+              (Array.map (fun v -> Markov.Exact.index a.chain v))
+              start_states
+          in
           let tau25 = a.tau in
           let t1 = Unix.gettimeofday () in
           let tau01 =
-            Markov.Exact.mixing_time ~eps:0.01 ~domains:(Ctx.domains ctx) a.chain
+            Markov.Exact.mixing_time ~eps:0.01 ~domains:(Ctx.domains ctx)
+              ?starts a.chain
           in
           let tau_rel =
-            Markov.Exact.relaxation_estimate ~domains:(Ctx.domains ctx) a.chain
-              ~max_t:(8 * tau01) ()
+            Markov.Exact.relaxation_estimate ~domains:(Ctx.domains ctx) ?starts
+              a.chain ~max_t:(8 * tau01) ()
           in
           let tail_seconds = Unix.gettimeofday () -. t1 in
           let cell = Printf.sprintf "cell n=%02d |Omega|=%d" n a.state_count in
@@ -72,7 +109,8 @@ let run ctx =
               Printf.sprintf "%.2f" (float_of_int tau01 /. float_of_int tau25);
               Printf.sprintf "%.2f" tau_rel;
               Printf.sprintf "%.2f" (tau_rel *. log 25.);
-            ]);
+            ]
+          end);
       Ctx.note table
         "tau(0.01)/tau(0.25) stays bounded (~ln(25)/ln(4) + offset): the \
          ln(eps^-1) dependence of Lemma 3.1; tau_rel*ln(25) tracks \
@@ -91,5 +129,5 @@ let spec =
     ~tags:[ "exact"; "mixing"; "relaxation" ]
     ~grid:
       (Experiment.Grid.v ~axis:"n=m" ~quick:[ 6; 8; 10; 12 ]
-         ~full:[ 6; 8; 10; 12; 13 ] ())
+         ~full:[ 6; 8; 10; 12; 13; 20; 30 ] ())
     run

@@ -31,6 +31,11 @@ let usage () =
      \  --json DIR       write BENCH_RESULTS.json into DIR (BENCH_JSON)\n\
      \  --trace FILE     write a Chrome/Perfetto trace of the run to FILE\n\
      \                   (REPRO_TRACE); open in https://ui.perfetto.dev\n\
+     \  --checkpoint DIR snapshot long exact-analysis runs into DIR\n\
+     \                   (BENCH_CHECKPOINT) so a killed run can resume\n\
+     \  --resume         resume from snapshots left in the checkpoint dir\n\
+     \                   (BENCH_RESUME); without it stale snapshots are\n\
+     \                   deleted and the run starts fresh\n\
      \  --tags A,B       keep only experiments carrying one of the tags\n\
      \  -h, --help       this message\n"
 
@@ -93,11 +98,17 @@ let () =
     | "--json" :: dir :: rest ->
         cfg := { !cfg with json_dir = Some dir };
         parse rest
+    | "--checkpoint" :: dir :: rest ->
+        cfg := { !cfg with checkpoint_dir = Some dir };
+        parse rest
+    | "--resume" :: rest ->
+        cfg := { !cfg with resume = true };
+        parse rest
     | "--tags" :: v :: rest ->
         tags := !tags @ split_tags v;
         parse rest
-    | [ ("--seed" | "--domains" | "--csv" | "--json" | "--tags" | "--trace") as
-        flag ] ->
+    | [ ("--seed" | "--domains" | "--csv" | "--json" | "--tags" | "--trace"
+        | "--checkpoint") as flag ] ->
         fail "%s expects a value" flag
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
         fail "unknown option %S (see --help)" arg

@@ -242,21 +242,59 @@ let edge_cmd =
 
 (* ---- exact ---- *)
 
-let exact n m scenario rule eps =
+let exact n m scenario rule eps domains block_rows spill checkpoint resume
+    max_states starts_mode =
   let m = resolve_m n m in
-  if Markov.Partition_space.count ~n ~m > 5000 then
-    prerr_endline "state space too large for exact analysis (> 5000 states)"
+  let count = Markov.Partition_space.count ~n ~m in
+  if count > max_states then
+    Printf.eprintf
+      "state space too large for exact analysis (%d > %d states; raise \
+       --max-states)\n"
+      count max_states
   else begin
     let process = Core.Dynamic_process.make scenario rule ~n in
     let states = Markov.Partition_space.enumerate ~n ~m in
     let chain =
-      Markov.Exact.build ~states
+      Markov.Exact_builder.build ?block_rows ?spill
+        (Markov.Exact_builder.enumerated states)
         ~transitions:(Core.Dynamic_process.exact_transitions process)
     in
-    Printf.printf "%s on Omega_%d with %d bins: %d states\n"
+    Printf.printf "%s on Omega_%d with %d bins: %d states, %d transitions\n"
       (Core.Dynamic_process.name process)
-      m n (Array.length states);
-    let tau = Markov.Exact.mixing_time ~eps ~max_t:10_000_000 chain in
+      m n (Array.length states)
+      (Markov.Blocked_csr.nnz (Markov.Exact.blocked chain));
+    (* Above a few thousand states the all-starts search is the
+       dominant cost; monotone-coupling domination makes the extremal
+       starts (one full bin, balanced) the interesting ones. *)
+    let extremal = starts_mode = "extremal"
+                   || (starts_mode = "auto" && count > 5000) in
+    let starts =
+      if not extremal then None
+      else
+        Some
+          (Array.map
+             (fun v -> Markov.Exact.index chain v)
+             [|
+               Loadvec.Load_vector.all_in_one ~n ~m;
+               Loadvec.Load_vector.uniform ~n ~m;
+             |])
+    in
+    if extremal then
+      Printf.printf "starts: extremal (all-in-one, uniform) of %d states\n"
+        (Array.length states);
+    let sink =
+      Option.map
+        (fun path ->
+          if (not resume) && Sys.file_exists path then Sys.remove path;
+          Printf.printf "checkpointing to %s%s\n" path
+            (if resume && Sys.file_exists path then " (resuming)" else "");
+          Markov.Exact_checkpoint.file_sink path)
+        checkpoint
+    in
+    let tau =
+      Markov.Exact.mixing_time ~eps ~max_t:10_000_000 ~domains ?starts
+        ?checkpoint:sink chain
+    in
     Printf.printf "exact mixing time tau(%.3f) = %d\n" eps tau;
     let pi = Markov.Exact.stationary chain in
     Printf.printf "stationary distribution (top 5 states):\n";
@@ -282,9 +320,52 @@ let exact_cmd =
     Arg.(value & opt float 0.25
          & info [ "eps" ] ~docv:"EPS" ~doc:"Mixing threshold.")
   in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Worker domains for the mixing search; the result is \
+                   identical for any value.")
+  in
+  let block_rows =
+    Arg.(value & opt (some int) None
+         & info [ "block-rows" ] ~docv:"N"
+             ~doc:"Rows per blocked-CSR block (default 4096).")
+  in
+  let spill =
+    Arg.(value & opt (some string) None
+         & info [ "spill" ] ~docv:"FILE"
+             ~doc:"Stream transition blocks to FILE during the build so the \
+                   matrix never resides fully in memory.")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Snapshot the stationary solve and mixing search to FILE so \
+                   a killed run can resume.")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Resume from an existing checkpoint FILE instead of \
+                   deleting it; the resumed run reproduces the uninterrupted \
+                   answer exactly.")
+  in
+  let max_states =
+    Arg.(value & opt int 200_000
+         & info [ "max-states" ] ~docv:"N"
+             ~doc:"Refuse state spaces larger than this.")
+  in
+  let starts =
+    Arg.(value & opt string "auto"
+         & info [ "starts" ] ~docv:"auto|all|extremal"
+             ~doc:"Start states for the mixing search: every state, only the \
+                   extremal pair (all-in-one, uniform), or extremal \
+                   automatically above 5000 states.")
+  in
   Cmd.v
     (Cmd.info "exact" ~doc:"Exact mixing time on a small state space")
-    Term.(const exact $ n_arg $ m_arg $ scenario_arg $ rule_arg $ eps)
+    Term.(const exact $ n_arg $ m_arg $ scenario_arg $ rule_arg $ eps $ domains
+          $ block_rows $ spill $ checkpoint $ resume $ max_states $ starts)
 
 (* ---- fluid ---- *)
 
@@ -461,7 +542,8 @@ let removal_cmd =
 
 (* ---- bench: the experiment framework ---- *)
 
-let bench ids list_only full seed domains csv json trace tags =
+let bench ids list_only full seed domains csv json trace checkpoint resume tags
+    =
   let specs = Experiments.Registry.all in
   if list_only then Experiment.Driver.print_list specs
   else begin
@@ -474,6 +556,11 @@ let bench ids list_only full seed domains csv json trace tags =
         csv_dir = (match csv with Some _ -> csv | None -> base.csv_dir);
         json_dir = (match json with Some _ -> json | None -> base.json_dir);
         trace = (match trace with Some _ -> trace | None -> base.trace);
+        checkpoint_dir =
+          (match checkpoint with
+          | Some _ -> checkpoint
+          | None -> base.checkpoint_dir);
+        resume = base.resume || resume;
       }
     in
     let ids = List.map String.lowercase_ascii ids in
@@ -523,6 +610,18 @@ let bench_cmd =
              ~doc:"Write a Chrome/Perfetto trace of the run to FILE \
                    (REPRO_TRACE); open in https://ui.perfetto.dev.")
   in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"DIR"
+             ~doc:"Snapshot long exact-analysis runs into DIR \
+                   (BENCH_CHECKPOINT) so a killed run can resume.")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Resume from snapshots left in the checkpoint directory \
+                   (BENCH_RESUME); without it stale snapshots are deleted.")
+  in
   let tags =
     Arg.(value & opt (list string) []
          & info [ "tags" ] ~docv:"TAGS"
@@ -532,7 +631,7 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"Run the paper's experiment suite")
     Term.(const bench $ ids $ list_only $ full $ seed $ domains $ csv $ json
-          $ trace $ tags)
+          $ trace $ checkpoint $ resume $ tags)
 
 (* ---- validate: statistical conformance (lib/validate) ---- *)
 

@@ -106,7 +106,7 @@ let exact_transitions t =
 
 let reachable ~from =
   Markov.Exact_builder.reachable_states ~root:from
-    ~transitions:exact_transitions
+    ~transitions:exact_transitions ()
 
 let exact_chain ~from =
   Markov.Exact_builder.build

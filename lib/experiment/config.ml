@@ -11,6 +11,9 @@ type t = {
   csv_dir : string option;  (** Dump every table as CSV into this directory. *)
   json_dir : string option;  (** Write [BENCH_RESULTS.json] into this directory. *)
   trace : string option;  (** Write a Chrome/Perfetto trace of the run here. *)
+  checkpoint_dir : string option;
+      (** Snapshot long exact-analysis runs into this directory. *)
+  resume : bool;  (** Resume from existing snapshots instead of replacing them. *)
 }
 
 let default =
@@ -21,6 +24,8 @@ let default =
     csv_dir = None;
     json_dir = None;
     trace = None;
+    checkpoint_dir = None;
+    resume = false;
   }
 
 let env_flag name =
@@ -47,6 +52,8 @@ let load () =
     csv_dir = Sys.getenv_opt "BENCH_CSV";
     json_dir = Sys.getenv_opt "BENCH_JSON";
     trace = Sys.getenv_opt "REPRO_TRACE";
+    checkpoint_dir = Sys.getenv_opt "BENCH_CHECKPOINT";
+    resume = env_flag "BENCH_RESUME";
   }
 
 let mode_name cfg = if cfg.full then "FULL" else "quick"

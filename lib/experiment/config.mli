@@ -7,6 +7,12 @@ type t = {
   csv_dir : string option;  (** Dump every table as CSV into this directory. *)
   json_dir : string option;  (** Write [BENCH_RESULTS.json] into this directory. *)
   trace : string option;  (** Write a Chrome/Perfetto trace of the run here. *)
+  checkpoint_dir : string option;
+      (** Snapshot long exact-analysis runs into this directory
+          ([BENCH_CHECKPOINT]). *)
+  resume : bool;
+      (** Resume from existing snapshots instead of replacing them
+          ([BENCH_RESUME]). *)
 }
 
 val default : t
@@ -15,7 +21,9 @@ val default : t
 val load : unit -> t
 (** [default] overridden by the historical environment variables
     [BENCH_FULL], [BENCH_SEED], [BENCH_DOMAINS], [BENCH_CSV],
-    [BENCH_JSON], plus [REPRO_TRACE] naming a trace output file. *)
+    [BENCH_JSON], plus [REPRO_TRACE] naming a trace output file and
+    [BENCH_CHECKPOINT] / [BENCH_RESUME] controlling snapshots of long
+    exact-analysis runs. *)
 
 val mode_name : t -> string
 (** ["quick"] or ["FULL"] — for result provenance. *)

@@ -68,6 +68,23 @@ let reps t =
 
 let scale t ~quick ~full:f = if full t then f else quick
 
+(* Checkpoint file for one unit of work.  The experiment layer only
+   hands out paths (constructing the sink needs the markov library,
+   which this one deliberately does not depend on); a fresh run deletes
+   any stale snapshot so only [--resume] picks one up. *)
+let checkpoint_path t ~name =
+  match t.config.Config.checkpoint_dir with
+  | None -> None
+  | Some dir ->
+      Util.mkdir_p dir;
+      let path =
+        Filename.concat dir
+          (Util.sanitize_component (t.id ^ "_" ^ name) ^ ".ckpt")
+      in
+      if (not t.config.Config.resume) && Sys.file_exists path then
+        Sys.remove path;
+      Some path
+
 (* Full-mode sweeps run for minutes; a heartbeat on stderr shows which
    grid cell is in flight.  Interactive runs only: silent whenever
    stdout (or stderr) is redirected, so logged and golden-diffed output

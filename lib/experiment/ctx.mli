@@ -46,6 +46,13 @@ val reps : t -> int
 val scale : t -> quick:'a -> full:'a -> 'a
 (** Pick a mode-dependent parameter that is not part of the grid. *)
 
+val checkpoint_path : t -> name:string -> string option
+(** A snapshot file for one unit of work (e.g. one grid cell), under the
+    configured checkpoint directory — [None] when checkpointing is off.
+    Unless the run is resuming ({!Config.t.resume}), any stale file from
+    a previous run is deleted first, so a snapshot is only ever read by
+    an explicit [--resume]. *)
+
 val iter_cells : t -> (int -> unit) -> unit
 (** Run the body once per grid size, in order — the instrumented
     equivalent of [List.iter body (sizes t)].  Each cell runs under an

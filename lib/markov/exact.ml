@@ -1,10 +1,47 @@
 type 'state t = {
   states : 'state array;
-  lookup : ('state, int) Hashtbl.t;
-  sparse : Sparse.t;
+  find : 'state -> int option;
+  bcsr : Blocked_csr.t;
+  kernel : Blocked_csr.kernel; (* sequential kernel, shared (read-only in use) *)
+  mutable sparse : Sparse.t option; (* lazy flat-CSR compat view *)
   mutable dense : Matrix.t option; (* lazy dense view *)
   mutable pi : (float array * float) option; (* cached stationary, with its tol *)
 }
+
+(* Normalize and validate one transition row against the state index.
+   Shared with {!Exact_builder}'s streaming build so both construction
+   paths enforce (and report) the same invariants. *)
+let validate_row ~find row =
+  let total = ref 0. in
+  let entries =
+    List.map
+      (fun (s', p) ->
+        if p < 0. then invalid_arg "Exact.build: negative probability";
+        match find s' with
+        | None -> invalid_arg "Exact.build: successor outside state space"
+        | Some j ->
+            total := !total +. p;
+            (j, p))
+      row
+  in
+  if Float.abs (!total -. 1.) > 1e-9 then
+    invalid_arg "Exact.build: row does not sum to 1";
+  entries
+
+let of_blocked ~states ~find bcsr =
+  let n = Array.length states in
+  if n = 0 then invalid_arg "Exact.build: empty state space";
+  if Blocked_csr.rows bcsr <> n || Blocked_csr.cols bcsr <> n then
+    invalid_arg "Exact.of_blocked: matrix shape does not match the states";
+  {
+    states;
+    find;
+    bcsr;
+    kernel = Blocked_csr.kernel bcsr;
+    sparse = None;
+    dense = None;
+    pi = None;
+  }
 
 let build ~states ~transitions =
   let n = Array.length states in
@@ -15,44 +52,35 @@ let build ~states ~transitions =
       if Hashtbl.mem lookup s then invalid_arg "Exact.build: duplicate state";
       Hashtbl.add lookup s i)
     states;
-  let sparse =
-    Sparse.of_rows ~rows:n ~cols:n (fun i ->
-        let row = transitions states.(i) in
-        let total = ref 0. in
-        let entries =
-          List.map
-            (fun (s', p) ->
-              if p < 0. then invalid_arg "Exact.build: negative probability";
-              match Hashtbl.find_opt lookup s' with
-              | None -> invalid_arg "Exact.build: successor outside state space"
-              | Some j ->
-                  total := !total +. p;
-                  (j, p))
-            row
-        in
-        if Float.abs (!total -. 1.) > 1e-9 then
-          invalid_arg "Exact.build: row does not sum to 1";
-        entries)
-  in
-  { states; lookup; sparse; dense = None; pi = None }
+  let find s = Hashtbl.find_opt lookup s in
+  let b = Blocked_csr.builder () in
+  Array.iter
+    (fun s -> Blocked_csr.add_row b (validate_row ~find (transitions s)))
+    states;
+  of_blocked ~states ~find (Blocked_csr.finish b ~cols:n)
 
 let size c = Array.length c.states
-let sparse c = c.sparse
+let blocked c = c.bcsr
+
+let sparse c =
+  match c.sparse with
+  | Some s -> s
+  | None ->
+      let s = Blocked_csr.to_sparse c.bcsr in
+      c.sparse <- Some s;
+      s
+
 let states c = Array.copy c.states
 
 let matrix c =
   match c.dense with
   | Some m -> m
   | None ->
-      let m = Sparse.to_dense c.sparse in
+      let m = Sparse.to_dense (sparse c) in
       c.dense <- Some m;
       m
 
-let index c s =
-  match Hashtbl.find_opt c.lookup s with
-  | Some i -> i
-  | None -> raise Not_found
-
+let index c s = match c.find s with Some i -> i | None -> raise Not_found
 let state c i = c.states.(i)
 
 let tv_distance p q =
@@ -72,6 +100,22 @@ let l1_diff a b =
 (* TV between a dense distribution and pi, without allocating. *)
 let tv_to_pi pi d = l1_diff pi d /. 2.
 
+(* The kernel products are driven through: the chain's own sequential
+   kernel, or a pool-parallel one prepared for the given pool.  Results
+   are bit-identical either way (see {!Blocked_csr}). *)
+let kernel_for c = function
+  | None -> c.kernel
+  | Some pool -> Blocked_csr.kernel ~pool c.bcsr
+
+(* Multi-domain access (pooled kernels, per-start fan-outs) is only safe
+   when every shard is resident: disk-backed shards stream through one
+   shared channel. *)
+let fan_out_safe c = Blocked_csr.in_memory c.bcsr
+
+let fingerprint_matches c (s : Exact_checkpoint.snapshot) =
+  s.Exact_checkpoint.states = size c
+  && s.Exact_checkpoint.nnz = Blocked_csr.nnz c.bcsr
+
 (* Power iteration with a gap-corrected stopping rule.  The naive rule
    "stop when successive iterates are close" can stop far from π on a
    slowly-mixing chain: the residual r_k = ‖d_k P − d_k‖₁ relates to the
@@ -79,17 +123,27 @@ let tv_to_pi pi d = l1_diff pi d /. 2.
    factor λ₂ from the residual ratio and require both the residual and
    the gap-corrected error to be ≤ tol.  If the residual stops
    decreasing (floating-point floor) while already ≤ tol, no further
-   progress is possible and we accept the iterate. *)
-let power_stationary ~tol ~max_iter ~n step =
-  let dist = ref (Array.make n (1. /. float_of_int n)) in
-  let next = ref (Array.make n 0.) in
-  let prev_r = ref infinity in
+   progress is possible and we accept the iterate.
+
+   [step] is the fused product: dst ← src·P returning ‖dst − src‖₁.
+   [resume] restarts from a checkpointed (iter, prev_r, dist);
+   [on_progress] observes each non-final iterate (for checkpointing) —
+   both capture the loop state exactly, so a resumed iteration replays
+   the same sequence as an uninterrupted one. *)
+let power_stationary ~tol ~max_iter ~n ?resume ?on_progress step =
+  let dist, next, prev_r, iter =
+    match resume with
+    | Some (i, r, d) -> (ref (Array.copy d), ref (Array.make n 0.), ref r, ref i)
+    | None ->
+        ( ref (Array.make n (1. /. float_of_int n)),
+          ref (Array.make n 0.),
+          ref infinity,
+          ref 0 )
+  in
   let result = ref None in
-  let iter = ref 0 in
   while !result = None do
     if !iter > max_iter then failwith "Exact.stationary: did not converge";
-    step ~src:!dist ~dst:!next;
-    let r = l1_diff !dist !next in
+    let r = step ~src:!dist ~dst:!next in
     let converged =
       r = 0.
       || r <= tol
@@ -102,16 +156,44 @@ let power_stationary ~tol ~max_iter ~n step =
     dist := !next;
     next := tmp;
     if converged then result := Some !dist;
-    incr iter
+    incr iter;
+    match on_progress with
+    | Some f when !result = None -> f ~iter:!iter ~prev_r:!prev_r ~dist:!dist
+    | _ -> ()
   done;
   (Option.get !result, !iter)
 
 (* Shared cached π: reused when it was computed at a tolerance at least
    as tight as the requested one. *)
-let stationary_cached ?(tol = 1e-12) ?(max_iter = 1_000_000) c =
+let stationary_cached ?(tol = 1e-12) ?(max_iter = 1_000_000) ?pool ?checkpoint c
+    =
   match c.pi with
   | Some (pi, cached_tol) when cached_tol <= tol -> pi
   | _ ->
+      let resume =
+        match checkpoint with
+        | None -> None
+        | Some sink -> (
+            match Exact_checkpoint.resume sink with
+            | Some
+                ({ phase = Stationary { tol = t'; iter; prev_r; dist }; _ } as s)
+              when fingerprint_matches c s && t' = tol ->
+                Some (iter, prev_r, dist)
+            | _ -> None)
+      in
+      let on_progress =
+        Option.map
+          (fun sink ~iter ~prev_r ~dist ->
+            Exact_checkpoint.offer sink (fun () ->
+                {
+                  Exact_checkpoint.states = size c;
+                  nnz = Blocked_csr.nnz c.bcsr;
+                  phase =
+                    Stationary { tol; iter; prev_r; dist = Array.copy dist };
+                }))
+          checkpoint
+      in
+      let k = kernel_for c pool in
       let sp =
         if Obs.enabled () then
           Obs.begin_span "exact.stationary"
@@ -119,15 +201,22 @@ let stationary_cached ?(tol = 1e-12) ?(max_iter = 1_000_000) c =
         else Obs.null_span
       in
       let pi, iters =
-        power_stationary ~tol ~max_iter ~n:(size c) (fun ~src ~dst ->
-            Sparse.spmv_into c.sparse ~src ~dst)
+        power_stationary ~tol ~max_iter ~n:(size c) ?resume ?on_progress
+          (fun ~src ~dst -> Blocked_csr.step_l1 k ~src ~dst)
       in
       Obs.end_span ~args:[ ("iterations", Obs.Int iters) ] sp;
       c.pi <- Some (pi, tol);
       pi
 
-let stationary ?tol ?max_iter c =
-  Array.copy (stationary_cached ?tol ?max_iter c)
+let stationary ?tol ?max_iter ?domains ?checkpoint c =
+  let solve pool = stationary_cached ?tol ?max_iter ?pool ?checkpoint c in
+  let pi =
+    match domains with
+    | Some d when d > 1 && fan_out_safe c ->
+        Parallel.Pool.with_pool ~domains:d (fun pool -> solve (Some pool))
+    | _ -> solve None
+  in
+  Array.copy pi
 
 let distribution_after c ~start t =
   if t < 0 then invalid_arg "Exact.distribution_after: negative t";
@@ -137,17 +226,29 @@ let distribution_after c ~start t =
   let nxt = ref (Array.make n 0.) in
   !cur.(start) <- 1.;
   for _ = 1 to t do
-    Sparse.spmv_into c.sparse ~src:!cur ~dst:!nxt;
+    Blocked_csr.spmv c.kernel ~src:!cur ~dst:!nxt;
     let tmp = !cur in
     cur := !nxt;
     nxt := tmp
   done;
   !cur
 
+let resolve_starts ~what c = function
+  | None -> Array.init (size c) Fun.id
+  | Some s ->
+      if Array.length s = 0 then
+        invalid_arg (Printf.sprintf "Exact.%s: empty starts" what);
+      Array.iter
+        (fun i ->
+          if i < 0 || i >= size c then
+            invalid_arg (Printf.sprintf "Exact.%s: start out of range" what))
+        s;
+      s
+
 let worst_tv_after ?domains c ~pi t =
-  let n = size c in
+  let domains = if fan_out_safe c then domains else Some 1 in
   let tvs =
-    Parallel.init_array ?domains n (fun start ->
+    Parallel.init_array ?domains (size c) (fun start ->
         tv_to_pi pi (distribution_after c ~start t))
   in
   Array.fold_left Float.max 0. tvs
@@ -159,18 +260,22 @@ let stationary_expectation c ?pi ~f () =
   !acc
 
 (* Per-start TV decay curves.  Each start evolves its own distribution
-   vector by repeated spmv — work is independent per start, so the sweep
-   fans out over domains; the per-start curves (and hence their
-   pointwise max) are identical for any domain count.  A start whose TV
-   has fallen to ≤ drop_below stops evolving and keeps its last value:
-   per-start TV to π is non-increasing, so the profile error is at most
-   drop_below (exact for the default drop_below = 0). *)
-let worst_tv_profile ?domains ?(drop_below = 0.) c ~max_t =
+   vector by repeated fused products — work is independent per start, so
+   the sweep fans out over domains; the per-start curves (and hence
+   their pointwise max) are identical for any domain count.  A start
+   whose TV has fallen to ≤ drop_below stops evolving and keeps its last
+   value: per-start TV to π is non-increasing, so the profile error is
+   at most drop_below (exact for the default drop_below = 0). *)
+let worst_tv_profile ?domains ?(drop_below = 0.) ?starts c ~max_t =
   if max_t < 0 then invalid_arg "Exact.worst_tv_profile: negative max_t";
+  let starts = resolve_starts ~what:"worst_tv_profile" c starts in
   let pi = stationary_cached c in
   let n = size c in
+  let domains = if fan_out_safe c then domains else Some 1 in
   let per_start =
-    Parallel.init_array ?domains n (fun start ->
+    Parallel.map_array ?domains
+      (fun start ->
+        let kern = Blocked_csr.kernel c.bcsr in
         let tvs = Array.make (max_t + 1) 0. in
         let cur = ref (Array.make n 0.) in
         let nxt = ref (Array.make n 0.) in
@@ -179,13 +284,15 @@ let worst_tv_profile ?domains ?(drop_below = 0.) c ~max_t =
         let t = ref 1 in
         let stopped = tvs.(0) <= drop_below in
         let stopped = ref stopped in
-        if !stopped then for u = 1 to max_t do tvs.(u) <- tvs.(0) done;
+        if !stopped then
+          for u = 1 to max_t do
+            tvs.(u) <- tvs.(0)
+          done;
         while (not !stopped) && !t <= max_t do
-          Sparse.spmv_into c.sparse ~src:!cur ~dst:!nxt;
+          let d = Blocked_csr.step_tv kern ~pi ~src:!cur ~dst:!nxt in
           let tmp = !cur in
           cur := !nxt;
           nxt := tmp;
-          let d = tv_to_pi pi !cur in
           tvs.(!t) <- d;
           if d <= drop_below then begin
             for u = !t + 1 to max_t do
@@ -196,14 +303,15 @@ let worst_tv_profile ?domains ?(drop_below = 0.) c ~max_t =
           incr t
         done;
         tvs)
+      starts
   in
   Array.init (max_t + 1) (fun t ->
       Array.fold_left (fun acc tvs -> Float.max acc tvs.(t)) 0. per_start)
 
-let relaxation_estimate ?domains c ?(max_t = 200) () =
+let relaxation_estimate ?domains ?starts c ?(max_t = 200) () =
   (* Points below 1e-8 are excluded from the fit, so dropping starts
      once they decay past 1e-9 does not perturb it. *)
-  let profile = worst_tv_profile ?domains ~drop_below:1e-9 c ~max_t in
+  let profile = worst_tv_profile ?domains ?starts ~drop_below:1e-9 c ~max_t in
   (* Fit only the clean exponential regime: below the initial transient,
      above the floating-point noise floor. *)
   let pts = ref [] in
@@ -243,23 +351,33 @@ let relaxation_estimate ?domains c ?(max_t = 200) () =
    probe.  The final max is independent of the probe schedule — a start
    attaining the max has TV > ε at every t below its τ_x, so it is never
    pruned and always contributes its exact crossing — which keeps the
-   result identical for any domain count despite the shared counter. *)
-let search_crossing c ~pi ~eps ~max_t ~tau_hat start =
+   result identical for any domain count despite the shared counter, and
+   identical across kill/resume boundaries despite the restarted
+   schedule.
+
+   [save] (when checkpointing) is offered the live bracket after every
+   state change: (t_base, lo, hi, base) is exactly the loop state, so a
+   resumed search continues the same trajectory.  [resume] re-enters the
+   search at such a bracket, skipping the pruning phase. *)
+let search_crossing ~kern c ~pi ~eps ~max_t ~tau_hat ?save ?resume start =
   let n = size c in
   let base = ref (Array.make n 0.) in
   let w1 = ref (Array.make n 0.) in
   let w2 = ref (Array.make n 0.) in
   !base.(start) <- 1.;
   let t_base = ref 0 in
+  let lo = ref 0 in
+  let hi = ref 0 in
+  let step ~src ~dst = Blocked_csr.step_tv kern ~pi ~src ~dst in
   let probe target =
-    Sparse.spmv_into c.sparse ~src:!base ~dst:!w1;
+    let tv = ref (step ~src:!base ~dst:!w1) in
     for _ = 2 to target - !t_base do
-      Sparse.spmv_into c.sparse ~src:!w1 ~dst:!w2;
+      tv := step ~src:!w1 ~dst:!w2;
       let tmp = !w1 in
       w1 := !w2;
       w2 := tmp
     done;
-    tv_to_pi pi !w1
+    !tv
   in
   (* Traced probe: one span per doubling/bisection step carrying the
      probed time and the resulting TV distance.  [kind] distinguishes the
@@ -282,122 +400,277 @@ let search_crossing c ~pi ~eps ~max_t ~tau_hat start =
     w1 := tmp;
     t_base := target
   in
-  let guess = min (Atomic.get tau_hat) max_t in
-  let prune_sp =
-    if Obs.enabled () then
-      Obs.begin_span "exact.prune"
-        ~args:[ ("start", Obs.Int start); ("guess", Obs.Int guess) ]
-    else Obs.null_span
+  let offer_bracket () =
+    match save with
+    | None -> ()
+    | Some f -> f ~t_base:!t_base ~lo:!lo ~hi:!hi ~base:!base
   in
-  (* Pruning probe, stepping toward [guess] but checking the (monotone)
-     per-start TV after every product: a start that crosses ε at some
-     s ≤ guess is certified under the shared bound after only s steps
-     instead of always paying the full [guess]. *)
-  Sparse.spmv_into c.sparse ~src:!base ~dst:!w1;
-  let t = ref 1 in
-  let last_tv = ref (tv_to_pi pi !w1) in
-  let crossed = ref (!last_tv <= eps) in
-  while (not !crossed) && !t < guess do
-    Sparse.spmv_into c.sparse ~src:!w1 ~dst:!w2;
-    let tmp = !w1 in
-    w1 := !w2;
-    w2 := tmp;
-    incr t;
-    last_tv := tv_to_pi pi !w1;
-    crossed := !last_tv <= eps
-  done;
-  if Obs.enabled () then
-    Obs.end_span
-      ~args:[ ("t", Obs.Int !t); ("tv", Obs.Float !last_tv) ]
-      prune_sp;
-  if !crossed then !t (* τ_x = t ≤ guess ≤ answer: cannot raise it *)
-  else if guess >= max_t then
-    failwith "Exact.mixing_time: not mixed within max_t"
-  else begin
-    commit guess;
-    let lo = ref guess in
-    let hi = ref 0 in
-    while !hi = 0 do
-      let target = min (2 * !lo) max_t in
-      if probe "exact.double" target <= eps then hi := target
-      else if target >= max_t then
+  let enter_bracket =
+    match resume with
+    | Some (r : Exact_checkpoint.inflight) ->
+        Array.fill !base 0 n 0.;
+        Array.blit r.base 0 !base 0 n;
+        t_base := r.t_base;
+        lo := r.lo;
+        hi := r.hi;
+        true
+    | None -> false
+  in
+  let pruned =
+    if enter_bracket then None
+    else begin
+      let guess = min (Atomic.get tau_hat) max_t in
+      let prune_sp =
+        if Obs.enabled () then
+          Obs.begin_span "exact.prune"
+            ~args:[ ("start", Obs.Int start); ("guess", Obs.Int guess) ]
+        else Obs.null_span
+      in
+      (* Pruning probe, stepping toward [guess] but checking the
+         (monotone) per-start TV after every product: a start that
+         crosses ε at some s ≤ guess is certified under the shared bound
+         after only s steps instead of always paying the full [guess]. *)
+      let t = ref 1 in
+      let last_tv = ref (step ~src:!base ~dst:!w1) in
+      let crossed = ref (!last_tv <= eps) in
+      while (not !crossed) && !t < guess do
+        last_tv := step ~src:!w1 ~dst:!w2;
+        let tmp = !w1 in
+        w1 := !w2;
+        w2 := tmp;
+        incr t;
+        crossed := !last_tv <= eps
+      done;
+      if Obs.enabled () then
+        Obs.end_span
+          ~args:[ ("t", Obs.Int !t); ("tv", Obs.Float !last_tv) ]
+          prune_sp;
+      if !crossed then Some !t (* τ_x = t ≤ guess ≤ answer: cannot raise it *)
+      else if guess >= max_t then
         failwith "Exact.mixing_time: not mixed within max_t"
       else begin
-        commit target;
-        lo := target
+        commit guess;
+        lo := guess;
+        hi := 0;
+        offer_bracket ();
+        None
       end
-    done;
-    while !hi - !lo > 1 do
-      let mid = !lo + ((!hi - !lo) / 2) in
-      if probe "exact.bisect" mid <= eps then hi := mid
-      else begin
-        commit mid;
-        lo := mid
-      end
-    done;
-    let rec bump () =
-      let cur = Atomic.get tau_hat in
-      if !hi > cur && not (Atomic.compare_and_set tau_hat cur !hi) then bump ()
-    in
-    bump ();
-    !hi
-  end
-
-let mixing_time_impl ~eps ~max_t ?domains c =
-  let pi = stationary_cached c in
-  let n = size c in
-  (* TV of the point mass at [start] against π. *)
-  let tv0 start =
-    let acc = ref 0. in
-    for j = 0 to n - 1 do
-      acc := !acc +. if j = start then Float.abs (1. -. pi.(j)) else pi.(j)
-    done;
-    !acc /. 2.
+    end
   in
-  let tv0s = Array.init n tv0 in
-  let worst0 = Array.fold_left Float.max 0. tv0s in
-  if worst0 <= eps then 0
-  else if max_t < 1 then failwith "Exact.mixing_time: not mixed within max_t"
-  else begin
-    (* Only starts still above ε at t = 0 can determine τ; visit the
-       farthest-from-π ones first so the shared lower bound is tight
-       early and most remaining starts are pruned after one probe. *)
-    let order =
-      Array.init n Fun.id |> Array.to_list
-      |> List.filter (fun s -> tv0s.(s) > eps)
-      |> List.sort (fun a b ->
-             match Float.compare tv0s.(b) tv0s.(a) with
-             | 0 -> Int.compare a b
-             | c -> c)
-      |> Array.of_list
-    in
-    let tau_hat = Atomic.make 1 in
-    (* Reserve one trace track per surviving start before the fan-out so
-       the merged trace groups each start's probes together regardless
-       of which domain ran it.  (The probe *schedule* still depends on
-       the shared pruning bound, so span counts may vary across runs;
-       the final τ does not.) *)
-    let track0 =
-      if Obs.enabled () then Obs.task_base ~count:(Array.length order) else 0
-    in
-    let crossings =
-      Parallel.map_array ?domains
-        (fun (k, start) ->
-          Obs.in_task (track0 + k) (fun () ->
-              search_crossing c ~pi ~eps ~max_t ~tau_hat start))
-        (Array.mapi (fun k start -> (k, start)) order)
-    in
-    Array.fold_left max 1 crossings
-  end
+  match pruned with
+  | Some t -> t
+  | None ->
+      while !hi = 0 do
+        let target = min (2 * !lo) max_t in
+        if probe "exact.double" target <= eps then begin
+          hi := target;
+          offer_bracket ()
+        end
+        else if target >= max_t then
+          failwith "Exact.mixing_time: not mixed within max_t"
+        else begin
+          commit target;
+          lo := target;
+          offer_bracket ()
+        end
+      done;
+      while !hi - !lo > 1 do
+        let mid = !lo + ((!hi - !lo) / 2) in
+        if probe "exact.bisect" mid <= eps then begin
+          hi := mid;
+          offer_bracket ()
+        end
+        else begin
+          commit mid;
+          lo := mid;
+          offer_bracket ()
+        end
+      done;
+      let rec bump () =
+        let cur = Atomic.get tau_hat in
+        if !hi > cur && not (Atomic.compare_and_set tau_hat cur !hi) then
+          bump ()
+      in
+      bump ();
+      !hi
 
-let mixing_time ?(eps = 0.25) ?(max_t = 100_000) ?domains c =
+let mixing_time_impl ~eps ~max_t ~domains ?starts ?checkpoint c =
+  let n = size c in
+  let starts = resolve_starts ~what:"mixing_time" c starts in
+  let nnz = Blocked_csr.nnz c.bcsr in
+  (* A checkpointed search runs the starts sequentially so the snapshot
+     is a single well-defined cursor; pooled products keep the domains
+     busy instead.  Either way the answer is identical (see above). *)
+  let sequential =
+    Option.is_some checkpoint
+    || Array.length starts <= 2
+    || domains = 1
+    || not (fan_out_safe c)
+  in
+  let body pool =
+    (* Restore a matching mixing snapshot before π is computed: it
+       carries the converged π, so a resumed run skips the solve. *)
+    let mix0 =
+      match checkpoint with
+      | None -> None
+      | Some sink -> (
+          match Exact_checkpoint.resume sink with
+          | Some ({ phase = Mixing m; _ } as s)
+            when fingerprint_matches c s && m.eps = eps ->
+              Some m
+          | _ -> None)
+    in
+    (match mix0 with
+    | Some m -> c.pi <- Some (m.pi, m.pi_tol)
+    | None -> ());
+    let pi_tol = 1e-12 in
+    let pi = stationary_cached ~tol:pi_tol ?pool ?checkpoint c in
+    (* TV of the point mass at [start] against π. *)
+    let tv0 start =
+      let acc = ref 0. in
+      for j = 0 to n - 1 do
+        acc := !acc +. if j = start then Float.abs (1. -. pi.(j)) else pi.(j)
+      done;
+      !acc /. 2.
+    in
+    let tv0s = Array.map tv0 starts in
+    let worst0 = Array.fold_left Float.max 0. tv0s in
+    if worst0 <= eps then 0
+    else if max_t < 1 then failwith "Exact.mixing_time: not mixed within max_t"
+    else begin
+      (* Only starts still above ε at t = 0 can determine τ; visit the
+         farthest-from-π ones first so the shared lower bound is tight
+         early and most remaining starts are pruned after one probe. *)
+      let order =
+        Array.to_list (Array.mapi (fun k start -> (k, start)) starts)
+        |> List.filter (fun (k, _) -> tv0s.(k) > eps)
+        |> List.sort (fun (ka, a) (kb, b) ->
+               match Float.compare tv0s.(kb) tv0s.(ka) with
+               | 0 -> Int.compare a b
+               | c -> c)
+        |> List.map snd |> Array.of_list
+      in
+      let tau_hat =
+        Atomic.make
+          (match mix0 with Some m -> max 1 m.tau_hat | None -> 1)
+      in
+      if sequential then begin
+        let kern = kernel_for c pool in
+        let completed =
+          ref (match mix0 with Some m -> m.completed | None -> [])
+        in
+        let inflight0 = match mix0 with Some m -> m.inflight | None -> None in
+        let snapshot ?inflight () =
+          {
+            Exact_checkpoint.states = n;
+            nnz;
+            phase =
+              Mixing
+                {
+                  eps;
+                  pi_tol;
+                  pi = Array.copy pi;
+                  tau_hat = Atomic.get tau_hat;
+                  completed = !completed;
+                  inflight;
+                };
+          }
+        in
+        (* Mark the phase transition: a kill between π and the first
+           crossing then resumes into the mixing phase directly. *)
+        (match (checkpoint, mix0) with
+        | Some sink, None -> Exact_checkpoint.commit sink (snapshot ())
+        | _ -> ());
+        let best = ref 1 in
+        Array.iter
+          (fun start ->
+            let tau =
+              match List.assoc_opt start !completed with
+              | Some t -> t
+              | None ->
+                  let resume =
+                    match inflight0 with
+                    | Some i when i.Exact_checkpoint.start = start -> Some i
+                    | _ -> None
+                  in
+                  let save =
+                    Option.map
+                      (fun sink ~t_base ~lo ~hi ~base ->
+                        Exact_checkpoint.offer sink (fun () ->
+                            snapshot
+                              ~inflight:
+                                {
+                                  Exact_checkpoint.start;
+                                  t_base;
+                                  lo;
+                                  hi;
+                                  base = Array.copy base;
+                                }
+                              ()))
+                      checkpoint
+                  in
+                  let tau =
+                    search_crossing ~kern c ~pi ~eps ~max_t ~tau_hat ?save
+                      ?resume start
+                  in
+                  completed := (start, tau) :: !completed;
+                  (match checkpoint with
+                  | Some sink ->
+                      Exact_checkpoint.offer sink (fun () -> snapshot ())
+                  | None -> ());
+                  tau
+            in
+            if tau > !best then best := tau)
+          order;
+        (match checkpoint with
+        | Some sink -> Exact_checkpoint.commit sink (snapshot ())
+        | None -> ());
+        !best
+      end
+      else begin
+        (* Reserve one trace track per surviving start before the
+           fan-out so the merged trace groups each start's probes
+           together regardless of which domain ran it.  (The probe
+           *schedule* still depends on the shared pruning bound, so span
+           counts may vary across runs; the final τ does not.) *)
+        let track0 =
+          if Obs.enabled () then Obs.task_base ~count:(Array.length order)
+          else 0
+        in
+        let crossings =
+          Parallel.map_array ~domains
+            (fun (k, start) ->
+              Obs.in_task (track0 + k) (fun () ->
+                  let kern = Blocked_csr.kernel c.bcsr in
+                  search_crossing ~kern c ~pi ~eps ~max_t ~tau_hat start))
+            (Array.mapi (fun k start -> (k, start)) order)
+        in
+        Array.fold_left max 1 crossings
+      end
+    end
+  in
+  (* Pooled products only pay off once the vectors span several column
+     chunks; below that the per-product barrier dominates. *)
+  if sequential && domains > 1 && fan_out_safe c && n > 1024 then
+    Parallel.Pool.with_pool ~domains (fun pool -> body (Some pool))
+  else body None
+
+let mixing_time ?(eps = 0.25) ?(max_t = 100_000) ?domains ?starts ?checkpoint c
+    =
+  let domains =
+    match domains with
+    | Some d ->
+        if d < 1 then invalid_arg "Exact.mixing_time: domains < 1";
+        d
+    | None -> Parallel.recommended_domains ()
+  in
   let sp =
     if Obs.enabled () then
       Obs.begin_span "exact.mixing_time"
         ~args:[ ("states", Obs.Int (size c)); ("eps", Obs.Float eps) ]
     else Obs.null_span
   in
-  match mixing_time_impl ~eps ~max_t ?domains c with
+  match mixing_time_impl ~eps ~max_t ~domains ?starts ?checkpoint c with
   | tau ->
       Obs.end_span ~args:[ ("tau", Obs.Int tau) ] sp;
       tau

@@ -1,24 +1,29 @@
 (** Exact analysis of finite Markov chains.
 
-    Builds the transition matrix — stored sparse, see {!Sparse} — from a
-    state enumeration and a transition-distribution function, then
-    computes the stationary distribution, total-variation distances and
-    the {e exact} mixing time
+    Builds the transition matrix — stored as blocked CSR, see
+    {!Blocked_csr} — from a state enumeration and a
+    transition-distribution function, then computes the stationary
+    distribution, total-variation distances and the {e exact} mixing
+    time
 
     {v τ(ε) = min { T : ∀t ≥ T, max_x ‖L(M_t | M_0 = x) − π‖ ≤ ε } v}
 
     of the paper's Section 3.  All per-start quantities evolve
-    distribution {e vectors} by repeated sparse products rather than
-    materialising dense powers [P^t], the stationary distribution is
-    computed once per chain and cached, and the per-start sweeps fan out
-    over {!Parallel.map_array} with results identical for any domain
-    count.  Practical well beyond the dense implementation (kept in
-    {!Dense} as the benchmark and testing reference), though still only
-    for enumerable state spaces.
+    distribution {e vectors} by repeated fused sparse products rather
+    than materialising dense powers [P^t]; the stationary distribution
+    is computed once per chain and cached.  Two axes of parallelism are
+    available, both with results identical for any domain count:
+    per-start sweeps fan out over {!Parallel.map_array}, and the
+    products themselves can run block-parallel over a {!Parallel.Pool}
+    (used automatically by {!mixing_time} when few starts are searched).
+    Long solves checkpoint through {!Exact_checkpoint} sinks and resume
+    to bit-identical answers.  Practical well beyond the dense
+    implementation (kept in {!Dense} as the benchmark and testing
+    reference), though still only for enumerable state spaces.
 
-    A chain value carries internal caches (dense view, stationary
-    distribution) and must not be shared across domains while these
-    functions run on it. *)
+    A chain value carries internal caches (flat CSR and dense views,
+    stationary distribution) and must not be shared across domains while
+    these functions run on it. *)
 
 type 'state t
 
@@ -30,14 +35,39 @@ val build :
     enumerate each state exactly once; [transitions s] must list
     successor states (all members of [states], compared structurally)
     with probabilities summing to 1; duplicate successors are merged.
+    Rows stream into a {!Blocked_csr} store with the default shard
+    shape; {!Exact_builder.build} exposes the block size and disk-spill
+    controls.
     @raise Invalid_argument if a state appears twice in [states], if a
     successor is unknown, or if a row's total deviates from 1 by more
     than 1e-9. *)
 
+val of_blocked :
+  states:'state array ->
+  find:('state -> int option) ->
+  Blocked_csr.t ->
+  'state t
+(** Wrap an already-validated transition matrix — the entry point
+    {!Exact_builder} uses after streaming a BFS discovery straight into
+    a {!Blocked_csr.builder}.  [find] must map exactly the members of
+    [states] to their indices.
+    @raise Invalid_argument if the matrix is not |states| × |states|. *)
+
+val validate_row :
+  find:('state -> int option) -> ('state * float) list -> (int * float) list
+(** Resolve and check one transition row (the {!build} invariants:
+    known successors, no negative mass, total within 1e-9 of 1),
+    returning index/probability pairs.  Exposed for streaming builders.
+    @raise Invalid_argument as {!build}. *)
+
 val size : _ t -> int
 
+val blocked : _ t -> Blocked_csr.t
+(** The transition matrix in its native blocked-CSR representation. *)
+
 val sparse : _ t -> Sparse.t
-(** The transition matrix in its native CSR representation. *)
+(** Flat-CSR view of the transition matrix, converted on first use and
+    cached. *)
 
 val matrix : _ t -> Matrix.t
 (** Dense view of the transition matrix, converted on first use and
@@ -56,14 +86,23 @@ val tv_distance : float array -> float array -> float
     given as dense vectors.
     @raise Invalid_argument on length mismatch. *)
 
-val stationary : ?tol:float -> ?max_iter:int -> 'state t -> float array
+val stationary :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?domains:int ->
+  ?checkpoint:Exact_checkpoint.sink ->
+  'state t ->
+  float array
 (** Stationary distribution by power iteration from the uniform
     distribution (default [tol = 1e-12], [max_iter = 1_000_000]).
     Convergence requires the residual [‖πP − π‖₁] {e and} its
     gap-corrected projection of the true error to fall below [tol], so
     slowly-mixing chains are not declared converged early.  The result
     is cached on the chain and reused whenever the cached tolerance is
-    at least as tight as the requested one.
+    at least as tight as the requested one.  With [domains > 1] the
+    products run block-parallel (bit-identical result).  With a
+    [checkpoint] sink the in-progress iterate is snapshotted
+    periodically and resumed from on restart.
     @raise Failure if the iteration does not converge — e.g. for a
     periodic chain. *)
 
@@ -84,7 +123,12 @@ val stationary_expectation :
     (cached) unless one is supplied. *)
 
 val worst_tv_profile :
-  ?domains:int -> ?drop_below:float -> 'state t -> max_t:int -> float array
+  ?domains:int ->
+  ?drop_below:float ->
+  ?starts:int array ->
+  'state t ->
+  max_t:int ->
+  float array
 (** [worst_tv_profile c ~max_t] is the sequence
     [t ↦ max_x ‖P^t(x,·) − π‖] for [t = 0..max_t] — the exact decay curve
     whose ε-crossing point is τ(ε).  Each start evolves independently
@@ -92,27 +136,54 @@ val worst_tv_profile :
     start whose TV has decayed to ≤ [drop_below] (default [0.], i.e.
     never) stops evolving and holds its last value: since per-start TV
     is non-increasing, the profile is then exact up to an additive error
-    of at most [drop_below] and remains non-increasing. *)
+    of at most [drop_below] and remains non-increasing.  [starts]
+    restricts the max to the given state indices (default: all) — at
+    scales where an all-start sweep is infeasible, designated extremal
+    starts bound the profile from below.
+    @raise Invalid_argument if [starts] is empty or holds an index out
+    of range. *)
 
-val relaxation_estimate : ?domains:int -> 'state t -> ?max_t:int -> unit -> float
+val relaxation_estimate :
+  ?domains:int -> ?starts:int array -> 'state t -> ?max_t:int -> unit -> float
 (** Fit [worst TV ≈ C·exp(−t/τ_rel)] to the tail of the decay curve and
     return the estimated relaxation time τ_rel (OLS on the log of the
     profile restricted to TV in [1e-8, 0.1], where the decay is cleanly
     exponential).  Complements {!mixing_time}: for a sound chain
-    [τ(ε) ≲ τ_rel · ln(1/(ε·π_min))].
+    [τ(ε) ≲ τ_rel · ln(1/(ε·π_min))].  [starts] as in
+    {!worst_tv_profile}.
     @raise Failure if the profile never decays enough to fit. *)
 
-val mixing_time : ?eps:float -> ?max_t:int -> ?domains:int -> 'state t -> int
+val mixing_time :
+  ?eps:float ->
+  ?max_t:int ->
+  ?domains:int ->
+  ?starts:int array ->
+  ?checkpoint:Exact_checkpoint.sink ->
+  'state t ->
+  int
 (** Exact [τ(ε)] (default [eps = 0.25], [max_t = 100_000]).  Uses the
     cached stationary distribution.  Because per-start TV distance to π
     is non-increasing in [t], each start's ε-crossing time is found by a
-    doubling-then-bisect search over checkpointed distribution vectors,
-    and τ(ε) is the maximum over starts.  Starts are searched
-    farthest-from-π first and share the largest crossing found so far:
-    a start already within ε there is abandoned after a single probe,
-    since it cannot raise the maximum.  The result is identical for
-    [domains = 1] and [domains > 1].
-    @raise Failure if not mixed within [max_t]. *)
+    doubling-then-bisect search over committed distribution vectors, and
+    τ(ε) is the maximum over starts.  Starts are searched
+    farthest-from-π first and share the largest crossing found so far: a
+    start already within ε there is abandoned after a single probe,
+    since it cannot raise the maximum.
+
+    [starts] restricts the maximum to the given state indices (default:
+    all states — the definition above).  [domains] parallelises either
+    across starts (many starts) or inside each product over a
+    {!Parallel.Pool} (few starts, or when checkpointing); the result is
+    identical for any value.
+
+    With a [checkpoint] sink the search runs its starts sequentially and
+    snapshots the stationary iterate, completed crossings and in-flight
+    bracket; a killed run resumed with the same sink (matching chain
+    fingerprint and ε) skips completed work and returns the bit-identical
+    τ.
+    @raise Failure if not mixed within [max_t].
+    @raise Invalid_argument if [domains < 1], or [starts] is empty or
+    out of range. *)
 
 (** Historical dense implementations — quadratic storage, full dense
     [P^t] per time step, stationary distribution recomputed per call.

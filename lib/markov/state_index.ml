@@ -1,0 +1,92 @@
+(* Keyed state ↔ dense-id index.
+
+   Interning states during a BFS enumeration was previously done with a
+   polymorphic Hashtbl (structural hashing on arbitrary state values,
+   re-hashing the whole representation on every probe) plus a
+   list-accumulate-and-reverse for the discovery order.  This module
+   takes the hash and equality explicitly, stores states in a growable
+   array in id order (id = discovery rank), and resolves lookups through
+   an open-addressing table of ids, so a probe touches one int array and
+   calls the supplied hash exactly once. *)
+
+type 'a t = {
+  hash : 'a -> int;
+  equal : 'a -> 'a -> bool;
+  mutable slots : int array; (* open addressing; -1 = empty, else state id *)
+  mutable mask : int; (* Array.length slots - 1; capacity is a power of 2 *)
+  mutable states : 'a array; (* ids 0..size-1 valid; rest is padding *)
+  mutable size : int;
+}
+
+let create ~hash ~equal n =
+  let rec cap c = if c >= n * 2 then c else cap (c * 2) in
+  let capacity = cap 16 in
+  {
+    hash;
+    equal;
+    slots = Array.make capacity (-1);
+    mask = capacity - 1;
+    states = [||];
+    size = 0;
+  }
+
+let hashed : ('a -> int) -> 'a -> int = fun h x -> h x land max_int
+
+let size t = t.size
+let get t i = t.states.(i)
+let to_array t = Array.sub t.states 0 t.size
+
+let find t x =
+  let h = hashed t.hash x in
+  let rec probe i =
+    let id = Array.unsafe_get t.slots i in
+    if id = -1 then None
+    else if t.equal t.states.(id) x then Some id
+    else probe ((i + 1) land t.mask)
+  in
+  probe (h land t.mask)
+
+let insert_slot t h id =
+  let rec probe i =
+    if Array.unsafe_get t.slots i = -1 then t.slots.(i) <- id
+    else probe ((i + 1) land t.mask)
+  in
+  probe (h land t.mask)
+
+let grow t =
+  let capacity = (t.mask + 1) * 2 in
+  t.slots <- Array.make capacity (-1);
+  t.mask <- capacity - 1;
+  for id = 0 to t.size - 1 do
+    insert_slot t (hashed t.hash t.states.(id)) id
+  done
+
+let push_state t x =
+  let cap = Array.length t.states in
+  if t.size = cap then begin
+    let cap' = Stdlib.max 16 (cap * 2) in
+    let states' = Array.make cap' x in
+    Array.blit t.states 0 states' 0 t.size;
+    t.states <- states'
+  end;
+  t.states.(t.size) <- x;
+  t.size <- t.size + 1
+
+let add t x =
+  let h = hashed t.hash x in
+  let rec probe i =
+    let id = Array.unsafe_get t.slots i in
+    if id = -1 then begin
+      let id = t.size in
+      push_state t x;
+      t.slots.(i) <- id;
+      (* Keep the load factor below 1/2 so probe chains stay short. *)
+      if 2 * t.size > t.mask then grow t;
+      id
+    end
+    else if t.equal t.states.(id) x then id
+    else probe ((i + 1) land t.mask)
+  in
+  probe (h land t.mask)
+
+let structural () : ('a -> int) * ('a -> 'a -> bool) = (Hashtbl.hash, ( = ))

@@ -1,0 +1,35 @@
+(** Keyed state ↔ dense-id interning for chain enumeration.
+
+    Assigns consecutive ids (0, 1, 2, …) to states in first-seen order —
+    exactly the discovery order a BFS enumeration wants — with the hash
+    and equality supplied explicitly instead of falling back to
+    polymorphic structural hashing.  Lookups go through an
+    open-addressing table of ids over a growable state array, so the
+    index doubles as the enumeration itself ({!to_array}). *)
+
+type 'a t
+
+val create : hash:('a -> int) -> equal:('a -> 'a -> bool) -> int -> 'a t
+(** [create ~hash ~equal n] makes an empty index sized for about [n]
+    states (it grows as needed).  [hash] must be compatible with
+    [equal]. *)
+
+val add : 'a t -> 'a -> int
+(** [add t x] returns the id of [x], interning it with the next free id
+    if unseen. *)
+
+val find : 'a t -> 'a -> int option
+(** The id of [x], if interned. *)
+
+val size : _ t -> int
+
+val get : 'a t -> int -> 'a
+(** The state with id [i] ([0 <= i < size t]). *)
+
+val to_array : 'a t -> 'a array
+(** All interned states in id order (a copy). *)
+
+val structural : unit -> ('a -> int) * ('a -> 'a -> bool)
+(** The polymorphic structural [(hash, equal)] pair, for callers without
+    a better key — correct on immutable concrete state types, slower
+    than a type-specific hash. *)

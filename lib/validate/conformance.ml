@@ -204,7 +204,7 @@ let run_subject ?(domains = 1) ~quick ~alpha ~rng (Subject.P s) =
     (fun () ->
       let space = Space.make s.Subject.states in
       let chain =
-        Markov.Exact_builder.build
+        Markov.Exact_builder.build ?block_rows:s.Subject.block_rows
           (Markov.Exact_builder.enumerated s.Subject.states)
           ~transitions:s.Subject.transitions
       in

@@ -9,6 +9,7 @@ type 'state spec = {
   fresh_sim : unit -> 'state Engine.Sim.t;
   start : 'state;
   bound : (string * float) option;
+  block_rows : int option;
 }
 
 type t = P : 'state spec -> t
@@ -17,7 +18,7 @@ let name (P s) = s.name
 let family (P s) = s.family
 let state_count (P s) = Array.length s.states
 
-let balls scenario rule ~n ~m =
+let balls ?block_rows scenario rule ~n ~m =
   let p = Core.Dynamic_process.make scenario rule ~n in
   let start = Lv.all_in_one ~n ~m in
   let bound =
@@ -39,9 +40,10 @@ let balls scenario rule ~n ~m =
         (fun () -> Core.Dynamic_process.sim p (Mv.of_load_vector start));
       start;
       bound;
+      block_rows;
     }
 
-let edge ~n =
+let edge ?block_rows ~n () =
   let module Cc = Edgeorient.Class_chain in
   let start = Cc.adversarial ~n in
   P
@@ -61,6 +63,7 @@ let edge ~n =
             ());
       start;
       bound = Some ("Corollary 6.4", Theory.Bounds.corollary64 ~n ~eps:0.25);
+      block_rows;
     }
 
 let open_system ~n ~capacity =
@@ -73,11 +76,12 @@ let open_system ~n ~capacity =
       family = "open";
       states =
         Markov.Exact_builder.reachable_states ~root:empty
-          ~transitions:(Core.Open_process.exact_transitions t);
+          ~transitions:(Core.Open_process.exact_transitions t) ();
       transitions = Core.Open_process.exact_transitions t;
       fresh_sim = (fun () -> Core.Open_process.sim t (Mv.of_load_vector start));
       start;
       bound = None;
+      block_rows = None;
     }
 
 let relocation scenario ~d ~relocations ~n ~m =
@@ -91,16 +95,23 @@ let relocation scenario ~d ~relocations ~n ~m =
       family = "relocation";
       states =
         Markov.Exact_builder.reachable_states ~root:start
-          ~transitions:(Core.Relocation.exact_transitions t);
+          ~transitions:(Core.Relocation.exact_transitions t) ();
       transitions = Core.Relocation.exact_transitions t;
       fresh_sim =
         (fun () -> Core.Relocation.sim t (Core.Bins.of_loads start));
       start;
       bound = None;
+      block_rows = None;
     }
 
+(* One subject per catalog opts into a blocked chain with a tiny block
+   size, so the conformance net exercises the multi-block code path on
+   every CI run. *)
 let quick_catalog () =
-  [ balls Core.Scenario.A (Core.Scheduling_rule.abku 2) ~n:4 ~m:4; edge ~n:3 ]
+  [
+    balls Core.Scenario.A (Core.Scheduling_rule.abku 2) ~n:4 ~m:4;
+    edge ~block_rows:4 ~n:3 ();
+  ]
 
 let full_catalog () =
   [
@@ -109,11 +120,12 @@ let full_catalog () =
     balls Core.Scenario.A
       (Core.Scheduling_rule.adap (Core.Adaptive.of_list [ 1; 2; 2; 3 ]))
       ~n:4 ~m:4;
-    balls Core.Scenario.B (Core.Scheduling_rule.abku 2) ~n:4 ~m:4;
+    balls ~block_rows:8 Core.Scenario.B (Core.Scheduling_rule.abku 2) ~n:4
+      ~m:4;
     balls Core.Scenario.B
       (Core.Scheduling_rule.adap (Core.Adaptive.linear ()))
       ~n:4 ~m:5;
-    edge ~n:4;
+    edge ~block_rows:4 ~n:4 ();
     open_system ~n:3 ~capacity:4;
     relocation Core.Scenario.A ~d:2 ~relocations:1 ~n:3 ~m:3;
   ]

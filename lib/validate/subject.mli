@@ -20,6 +20,11 @@ type 'state spec = {
   start : 'state;
   bound : (string * float) option;
   (** Paper bound on τ(¼) from [start], as (label, steps). *)
+  block_rows : int option;
+  (** Opt-in blocked-chain granularity: when set, the conformance run
+      builds the subject's exact chain with this many rows per
+      {!Markov.Blocked_csr} block (exercising the multi-block kernels);
+      when [None] the builder's default applies. *)
 }
 
 type t = P : 'state spec -> t
@@ -31,13 +36,14 @@ val state_count : t -> int
 (** {1 Constructors} *)
 
 val balls :
+  ?block_rows:int ->
   Core.Scenario.t -> Core.Scheduling_rule.t -> n:int -> m:int -> t
 (** A closed dynamic allocation process over Ω_m (state space
     {!Markov.Partition_space.enumerate}), starting from all-in-one-bin.
     Scenario A carries the Theorem 1 bound; scenario B with an ABKU rule
     the Claim 5.3 bound. *)
 
-val edge : n:int -> t
+val edge : ?block_rows:int -> n:int -> unit -> t
 (** The Section 6 edge-orientation class chain, state space reachable
     from the adversarial state, bound Corollary 6.4. *)
 

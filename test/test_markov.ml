@@ -290,7 +290,7 @@ let test_builder_reachable_and_mix () =
   let transitions i =
     [ ((i + 1) mod 4, 0.5); (i, 0.5) ]
   in
-  let states = Markov.Exact_builder.reachable_states ~root:0 ~transitions in
+  let states = Markov.Exact_builder.reachable_states ~root:0 ~transitions () in
   Alcotest.(check (array int)) "BFS discovery order" [| 0; 1; 2; 3 |] states;
   let a =
     Markov.Exact_builder.build_mix ~eps:0.25
@@ -314,6 +314,258 @@ let test_worst_tv_profile_drop_below () =
   let dropped = Markov.Exact.worst_tv_profile ~drop_below:1e-9 c ~max_t:40 in
   Alcotest.(check bool) "profiles within drop_below" true
     (Array.for_all2 (fun a b -> Float.abs (a -. b) <= 1e-9) exact dropped)
+
+module Si = Markov.State_index
+module B = Markov.Blocked_csr
+module Ck = Markov.Exact_checkpoint
+
+let test_state_index_basics () =
+  let hash, equal = Si.structural () in
+  let idx = Si.create ~hash ~equal 2 in
+  (* Insert enough states to force several growths past the initial
+     capacity; ids must come out in first-seen order. *)
+  for i = 0 to 99 do
+    Alcotest.(check int) "fresh id" i (Si.add idx (i * 7))
+  done;
+  Alcotest.(check int) "size" 100 (Si.size idx);
+  Alcotest.(check int) "re-add returns existing id" 42 (Si.add idx (42 * 7));
+  Alcotest.(check int) "size unchanged" 100 (Si.size idx);
+  Alcotest.(check (option int)) "find hit" (Some 3) (Si.find idx 21);
+  Alcotest.(check (option int)) "find miss" None (Si.find idx 1_000_000);
+  Alcotest.(check int) "get" 14 (Si.get idx 2);
+  let arr = Si.to_array idx in
+  Alcotest.(check int) "to_array length" 100 (Array.length arr);
+  Alcotest.(check bool) "to_array in id order" true
+    (Array.for_all2 (fun a b -> a = b) arr (Array.init 100 (fun i -> i * 7)))
+
+(* A deterministic pseudo-random stochastic matrix with irregular row
+   fill, for roundtrip checks. *)
+let stochastic_sparse n =
+  S.of_rows ~rows:n ~cols:n (fun i ->
+      let k = 1 + (i mod 4) in
+      let cols = List.init k (fun j -> ((i * 13) + (j * 7) + 1) mod n) in
+      let cols = List.sort_uniq compare cols in
+      let w = 1. /. float_of_int (List.length cols) in
+      List.map (fun j -> (j, w)) cols)
+
+let check_same_sparse msg a b =
+  Alcotest.(check int) (msg ^ ": nnz") (S.nnz a) (S.nnz b);
+  Alcotest.(check (float 1e-15)) (msg ^ ": entries") 0.
+    (M.max_abs_diff (S.to_dense a) (S.to_dense b))
+
+let test_blocked_roundtrip () =
+  let n = 17 in
+  let s = stochastic_sparse n in
+  List.iter
+    (fun block_rows ->
+      let b = B.of_sparse ~block_rows s in
+      Alcotest.(check int) "rows" n (B.rows b);
+      Alcotest.(check int) "cols" n (B.cols b);
+      Alcotest.(check int)
+        (Printf.sprintf "block_count br=%d" block_rows)
+        ((n + block_rows - 1) / block_rows)
+        (B.block_count b);
+      Alcotest.(check bool) "in memory" true (B.in_memory b);
+      Alcotest.(check bool) "stochastic" true (B.is_stochastic b);
+      check_same_sparse
+        (Printf.sprintf "roundtrip br=%d" block_rows)
+        s (B.to_sparse b);
+      (* Kernel product agrees with the flat sparse product. *)
+      let src = Array.init n (fun i -> float_of_int ((i * 5) mod 7) /. 21.) in
+      let dst = Array.make n nan in
+      B.spmv (B.kernel b) ~src ~dst;
+      let expect = S.spmv src s in
+      Alcotest.(check bool)
+        (Printf.sprintf "spmv br=%d" block_rows)
+        true
+        (Array.for_all2 (fun a b -> feq ~tol:1e-15 a b) dst expect))
+    [ 1; 3; n; 2 * n ]
+
+let test_blocked_spill_roundtrip () =
+  let n = 11 in
+  let s = stochastic_sparse n in
+  let path = Filename.temp_file "bcsr" ".blk" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let b = B.of_sparse ~block_rows:4 ~spill:path s in
+      Alcotest.(check bool) "spilled, not in memory" false (B.in_memory b);
+      Alcotest.(check (option string)) "path recorded" (Some path) (B.path b);
+      check_same_sparse "spilled roundtrip" s (B.to_sparse b);
+      (* Fused statistic on the streaming (disk) path. *)
+      let pi = Array.make n (1. /. float_of_int n) in
+      let src = Array.init n (fun i -> if i = 0 then 1. else 0.) in
+      let dst = Array.make n nan in
+      let tv = B.step_tv (B.kernel b) ~pi ~src ~dst in
+      let expect = S.spmv src s in
+      let tv_expect =
+        0.5 *. Array.fold_left ( +. ) 0.
+          (Array.mapi (fun i x -> Float.abs (x -. pi.(i))) expect)
+      in
+      Alcotest.(check (float 1e-15)) "fused tv on disk path" tv_expect tv;
+      B.close b;
+      (* Reopening the finalized file restores the matrix. *)
+      let reopened = B.open_file path in
+      Alcotest.(check int) "reopened nnz" (S.nnz s) (B.nnz reopened);
+      check_same_sparse "reopened roundtrip" s (B.to_sparse reopened);
+      B.close reopened)
+
+let test_blocked_killed_build_rejected () =
+  let path = Filename.temp_file "bcsr" ".blk" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* Spill a few blocks but never [finish]: no trailer is written,
+         so the file must be refused — this is the crash-safety story
+         for killed builds. *)
+      let bld = B.builder ~block_rows:2 ~spill:path () in
+      for _ = 1 to 6 do
+        B.add_row bld [ (0, 0.5); (1, 0.5) ]
+      done;
+      Alcotest.(check bool) "killed build rejected" true
+        (match B.open_file path with
+        | (_ : B.t) -> false
+        | exception Failure _ -> true);
+      ignore (B.finish bld ~cols:2))
+
+let test_blocked_builder_invalid () =
+  Alcotest.check_raises "negative column"
+    (Invalid_argument "Blocked_csr.add_row: negative column index") (fun () ->
+      B.add_row (B.builder ()) [ (-1, 1.) ]);
+  Alcotest.check_raises "empty matrix"
+    (Invalid_argument "Blocked_csr.finish: empty matrix") (fun () ->
+      ignore (B.finish (B.builder ()) ~cols:1));
+  Alcotest.check_raises "column out of bounds"
+    (Invalid_argument "Blocked_csr.finish: column index out of bounds")
+    (fun () ->
+      let bld = B.builder () in
+      B.add_row bld [ (3, 1.) ];
+      ignore (B.finish bld ~cols:2))
+
+let test_builder_streaming_equals_direct () =
+  (* The streaming Exact_builder path and the classic Exact.build must
+     produce the same chain: same analysis results, same index. *)
+  let states = Array.init 23 (fun i -> i) in
+  let transitions i =
+    let n = Array.length states in
+    [ ((i + 1) mod n, 0.5); ((i * 2) mod n, 0.25); (i, 0.25) ]
+  in
+  let direct = Markov.Exact.build ~states ~transitions in
+  let streamed =
+    Markov.Exact_builder.build ~block_rows:5
+      (Markov.Exact_builder.enumerated states)
+      ~transitions
+  in
+  Alcotest.(check int) "size" (Markov.Exact.size direct)
+    (Markov.Exact.size streamed);
+  Alcotest.(check (float 1e-15)) "same matrix" 0.
+    (M.max_abs_diff (Markov.Exact.matrix direct) (Markov.Exact.matrix streamed));
+  let pi_d = Markov.Exact.stationary direct in
+  let pi_s = Markov.Exact.stationary streamed in
+  Alcotest.(check bool) "same stationary bits" true
+    (Array.for_all2 (fun a b -> Float.equal a b) pi_d pi_s);
+  Alcotest.(check int) "same tau"
+    (Markov.Exact.mixing_time direct)
+    (Markov.Exact.mixing_time streamed)
+
+let test_mixing_starts_subset () =
+  let c = two_state 0.2 0.3 in
+  let tau = Markov.Exact.mixing_time ~eps:0.01 c in
+  let t0 = Markov.Exact.mixing_time ~eps:0.01 ~starts:[| 0 |] c in
+  let t1 = Markov.Exact.mixing_time ~eps:0.01 ~starts:[| 1 |] c in
+  Alcotest.(check int) "max over singletons = full tau" tau (max t0 t1);
+  Alcotest.(check int) "all starts explicitly" tau
+    (Markov.Exact.mixing_time ~eps:0.01 ~starts:[| 0; 1 |] c);
+  Alcotest.check_raises "empty starts"
+    (Invalid_argument "Exact.mixing_time: empty starts") (fun () ->
+      ignore (Markov.Exact.mixing_time ~starts:[||] c));
+  Alcotest.check_raises "start out of range"
+    (Invalid_argument "Exact.mixing_time: start out of range") (fun () ->
+      ignore (Markov.Exact.mixing_time ~starts:[| 2 |] c))
+
+let sample_snapshot () =
+  {
+    Ck.states = 7;
+    nnz = 19;
+    phase =
+      Ck.Mixing
+        {
+          eps = 0.25;
+          pi_tol = 1e-12;
+          pi = [| 0.25; 0.75 |];
+          tau_hat = 9;
+          completed = [ (1, 9); (0, 4) ];
+          inflight =
+            Some { Ck.start = 3; t_base = 8; lo = 8; hi = 16;
+                   base = [| 0.5; 0.5 |] };
+        };
+  }
+
+let test_checkpoint_file_roundtrip () =
+  let path = Filename.temp_file "ckpt" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let snap = sample_snapshot () in
+      Ck.save_file path snap;
+      (match Ck.load_file path with
+      | None -> Alcotest.fail "roundtrip lost the snapshot"
+      | Some got -> Alcotest.(check bool) "roundtrip equal" true (got = snap));
+      (* A Stationary-phase snapshot roundtrips too. *)
+      let snap2 =
+        { Ck.states = 3; nnz = 5;
+          phase = Ck.Stationary
+              { tol = 1e-12; iter = 41; prev_r = 0.125;
+                dist = [| 0.1; 0.2; 0.7 |] } }
+      in
+      Ck.save_file path snap2;
+      Alcotest.(check bool) "stationary roundtrip" true
+        (Ck.load_file path = Some snap2);
+      (* Corruption and foreign files read as "no checkpoint". *)
+      let oc = open_out_bin path in
+      output_string oc "definitely not a checkpoint";
+      close_out oc;
+      Alcotest.(check bool) "foreign file" true (Ck.load_file path = None);
+      Sys.remove path;
+      Alcotest.(check bool) "missing file" true (Ck.load_file path = None))
+
+let test_checkpoint_sink_throttle () =
+  let sink, cell = Ck.memory_sink ~min_interval:3600. () in
+  Alcotest.(check bool) "starts empty" true (Ck.resume sink = None);
+  let snap = sample_snapshot () in
+  let built = ref 0 in
+  let thunk () = incr built; snap in
+  Ck.offer sink thunk;
+  Alcotest.(check int) "first offer stores" 1 !built;
+  Alcotest.(check bool) "stored" true (!cell = Some snap);
+  cell := None;
+  Ck.offer sink thunk;
+  Alcotest.(check int) "second offer throttled, thunk skipped" 1 !built;
+  Alcotest.(check bool) "no store" true (!cell = None);
+  (* Commits ignore the throttle. *)
+  Ck.commit sink snap;
+  Alcotest.(check bool) "commit unconditional" true (!cell = Some snap);
+  Alcotest.(check bool) "resume reads back" true (Ck.resume sink = Some snap)
+
+let test_mixing_checkpoint_resume_file () =
+  (* End-to-end through a file sink: interrupt nothing, just check that
+     a fresh run writes a final snapshot and a second run resumes from
+     it and reproduces tau. *)
+  let path = Filename.temp_file "ckpt" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let c = two_state 0.05 0.02 in
+      let sink = Ck.file_sink ~min_interval:0. path in
+      let tau = Markov.Exact.mixing_time ~eps:0.01 ~checkpoint:sink c in
+      Alcotest.(check bool) "final snapshot written" true
+        (Ck.load_file path <> None);
+      (* A fresh chain object resuming from the completed snapshot must
+         agree without redoing the search. *)
+      let c2 = two_state 0.05 0.02 in
+      let sink2 = Ck.file_sink ~min_interval:0. path in
+      Alcotest.(check int) "resumed tau identical" tau
+        (Markov.Exact.mixing_time ~eps:0.01 ~checkpoint:sink2 c2))
 
 let suite =
   List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
@@ -345,4 +597,14 @@ let suite =
       ("exact accessors", test_exact_accessors);
       ("builder reachable + build_mix", test_builder_reachable_and_mix);
       ("profile drop_below", test_worst_tv_profile_drop_below);
+      ("state index basics", test_state_index_basics);
+      ("blocked csr roundtrip", test_blocked_roundtrip);
+      ("blocked csr spill roundtrip", test_blocked_spill_roundtrip);
+      ("blocked csr killed build rejected", test_blocked_killed_build_rejected);
+      ("blocked csr builder invalid", test_blocked_builder_invalid);
+      ("streaming build = direct build", test_builder_streaming_equals_direct);
+      ("mixing_time starts subset", test_mixing_starts_subset);
+      ("checkpoint file roundtrip", test_checkpoint_file_roundtrip);
+      ("checkpoint sink throttle", test_checkpoint_sink_throttle);
+      ("mixing checkpoint resume via file", test_mixing_checkpoint_resume_file);
     ]

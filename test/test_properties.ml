@@ -261,6 +261,98 @@ let qcheck_go_left_places_everything =
       let bins = Core.Go_left.static_run rule g ~m in
       Core.Bins.num_balls bins = m)
 
+let qcheck_blocked_spmv_agrees =
+  (* The blocked store against the flat sparse product on random
+     stochastic matrices with irregular row fill, across degenerate and
+     generic block sizes — including one size past the column-chunk
+     width so the pooled split actually partitions work.  The pooled
+     kernel must be bit-identical to the sequential one (the
+     column-owner-computes guarantee), and both within float noise of
+     the flat product. *)
+  QCheck.Test.make ~name:"blocked spmv = flat spmv (blocks 1/7/n, pooled)"
+    ~count:40
+    QCheck.(pair small_int (oneofl [ 2; 3; 7; 19; 1500 ]))
+    (fun (seed, n) ->
+      let g = rng_of seed in
+      let rows =
+        Array.init n (fun _ ->
+            let k = 1 + Prng.Rng.int g (min n 6) in
+            let cols =
+              List.sort_uniq compare (List.init k (fun _ -> Prng.Rng.int g n))
+            in
+            let w = List.map (fun j -> (j, 0.1 +. Prng.Rng.float g)) cols in
+            let total = List.fold_left (fun a (_, x) -> a +. x) 0. w in
+            List.map (fun (j, x) -> (j, x /. total)) w)
+      in
+      let s = Markov.Sparse.of_rows ~rows:n ~cols:n (fun i -> rows.(i)) in
+      let src = Array.init n (fun _ -> Prng.Rng.float g) in
+      let expect = Markov.Sparse.spmv src s in
+      List.for_all
+        (fun block_rows ->
+          let b = Markov.Blocked_csr.of_sparse ~block_rows s in
+          let dst = Array.make n nan in
+          let k_seq = Markov.Blocked_csr.kernel b in
+          let r_seq = Markov.Blocked_csr.step_l1 k_seq ~src ~dst in
+          let close =
+            Array.for_all2
+              (fun a b -> Float.abs (a -. b) <= 1e-12)
+              dst expect
+          in
+          let dst_par = Array.make n nan in
+          let bitwise =
+            Parallel.Pool.with_pool ~domains:3 (fun pool ->
+                let k_par = Markov.Blocked_csr.kernel ~pool b in
+                let r_par =
+                  Markov.Blocked_csr.step_l1 k_par ~src ~dst:dst_par
+                in
+                Float.equal r_seq r_par
+                && Array.for_all2 Float.equal dst dst_par)
+          in
+          close && bitwise)
+        [ 1; 7; n ])
+
+exception Killed
+
+let qcheck_checkpoint_resume_tau =
+  (* Crash-safety law: kill a checkpointed mixing run at the k-th store
+     — sometimes just after the write lands, sometimes mid-write so the
+     previous snapshot survives (what the atomic rename guarantees) —
+     then resume on a freshly built chain.  The resumed run must
+     reproduce the uninterrupted tau exactly.  Small k kills during the
+     stationary solve, larger k during the crossing searches, and k past
+     the store count degenerates to an uninterrupted checkpointed run. *)
+  QCheck.Test.make ~name:"kill + resume reproduces tau exactly" ~count:30
+    QCheck.(triple small_int (int_range 3 7) (int_range 1 400))
+    (fun (seed, n, kill_at) ->
+      let a = 0.6 +. (0.35 *. Prng.Rng.float (rng_of seed)) in
+      let make () = random_chain (rng_of (seed + 1)) ~n ~a in
+      let eps = 0.05 in
+      let tau = Markov.Exact.mixing_time ~eps (make ()) in
+      let cell = ref None in
+      let stores = ref 0 in
+      let killing =
+        Markov.Exact_checkpoint.sink ~min_interval:0.
+          ~store:(fun s ->
+            incr stores;
+            if !stores >= kill_at then begin
+              if kill_at mod 2 = 0 then cell := Some s;
+              raise Killed
+            end;
+            cell := Some s)
+          ~fetch:(fun () -> !cell)
+          ()
+      in
+      (match Markov.Exact.mixing_time ~eps ~checkpoint:killing (make ()) with
+      | (_ : int) -> ()
+      | exception Killed -> ());
+      let resumed =
+        Markov.Exact_checkpoint.sink ~min_interval:0.
+          ~store:(fun s -> cell := Some s)
+          ~fetch:(fun () -> !cell)
+          ()
+      in
+      tau = Markov.Exact.mixing_time ~eps ~checkpoint:resumed (make ()))
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -281,4 +373,6 @@ let suite =
       qcheck_probe_replay_identical;
       qcheck_fluid_profile_valid;
       qcheck_go_left_places_everything;
+      qcheck_blocked_spmv_agrees;
+      qcheck_checkpoint_resume_tau;
     ]

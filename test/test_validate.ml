@@ -239,6 +239,7 @@ let corrupted_abku2_subject ~n ~m =
       fresh_sim;
       start;
       bound = None;
+      block_rows = None;
     }
 
 let test_corrupted_stepper_fails_true_passes () =
