@@ -37,6 +37,7 @@ let usage () =
      \                   (BENCH_RESUME); without it stale snapshots are\n\
      \                   deleted and the run starts fresh\n\
      \  --tags A,B       keep only experiments carrying one of the tags\n\
+     \  --env            list every environment variable the harness reads\n\
      \  -h, --help       this message\n"
 
 let fail fmt =
@@ -75,6 +76,9 @@ let () =
     | "--list" :: rest ->
         list_only := true;
         parse rest
+    | "--env" :: _ ->
+        print_string (Experiment.Config.env_help ());
+        exit 0
     | ("-v" | "--verbose") :: rest ->
         verbose := true;
         parse rest

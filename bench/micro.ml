@@ -403,10 +403,90 @@ let obs_overhead ctx =
      and allocates nothing";
   Ctx.emit ctx table
 
+(* The serve daemon's hot path in isolation: [Serve.Cluster.apply_batch]
+   on a mixed insert/remove/probe stream (the `repro load` default mix),
+   across shard counts and batch sizes.  Probes are barriers that flush
+   the per-shard queues, so batch size controls how much routing and
+   flush fan-out each query amortises; rows with shards > 1 attach a
+   pool, whose wall-clock gain needs real cores.  Socket and JSON
+   framing costs are excluded — compare with `repro load` against a
+   running daemon for the end-to-end number. *)
+let serve_throughput ctx =
+  Printf.printf "\n#### Micro — serve cluster throughput\n%!";
+  let n = 16_384 in
+  let budget = 0.15 in
+  let g = Prng.Rng.create ~seed:0x5E57E () in
+  let batch_of size =
+    Array.init size (fun _ ->
+        match Prng.Rng.int g 100 with
+        | r when r < 45 ->
+            Engine.Event.Insert
+              (Int64.to_int (Int64.shift_right_logical (Prng.Rng.bits64 g) 2))
+        | r when r < 90 -> Engine.Event.Remove
+        | _ -> Engine.Event.Probe)
+  in
+  let table =
+    Ctx.table ctx ~title:"serve cluster throughput, in process"
+      ~columns:[ "shards"; "batch"; "kops/s" ]
+  in
+  List.iter
+    (fun shards ->
+      let config =
+        {
+          Serve.Cluster.n;
+          m = 2 * n;
+          shards;
+          scenario = Core.Scenario.A;
+          rule = Core.Scheduling_rule.abku 2;
+          seed = 0xC10C;
+        }
+      in
+      let rows pool =
+        let cluster = Serve.Cluster.create ?pool config in
+        List.iter
+          (fun size ->
+            let batch = batch_of size in
+            ignore (Sys.opaque_identity (Serve.Cluster.apply_batch cluster batch));
+            let t0 = Unix.gettimeofday () in
+            let events = ref 0 in
+            while Unix.gettimeofday () -. t0 < budget do
+              ignore
+                (Sys.opaque_identity (Serve.Cluster.apply_batch cluster batch));
+              events := !events + size
+            done;
+            let rate =
+              float_of_int !events /. (Unix.gettimeofday () -. t0)
+            in
+            Ctx.row table
+              ~values:
+                [
+                  ("shards", float_of_int shards);
+                  ("batch", float_of_int size);
+                  ("ops_per_sec", rate);
+                ]
+              [
+                string_of_int shards;
+                string_of_int size;
+                Printf.sprintf "%.0f" (rate /. 1e3);
+              ])
+          [ 64; 512; 4096 ]
+      in
+      if shards = 1 then rows None
+      else
+        Parallel.Pool.with_pool ~domains:(min shards 4) (fun pool ->
+            rows (Some pool)))
+    [ 1; 2; 4; 8 ];
+  Ctx.note table
+    "in-process Cluster.apply_batch, mixed 45/45/10 insert/remove/probe; \
+     excludes socket and JSON framing (see `repro load`); pooled rows need \
+     >1 physical core to show wall-clock speedup";
+  Ctx.emit ctx table
+
 let run ctx =
   dense_vs_sparse ctx;
   blocked_spmv ctx;
   engine_vs_chain ctx;
+  serve_throughput ctx;
   obs_overhead ctx;
   Printf.printf "\n#### Micro — per-step cost (Bechamel OLS estimate)\n%!";
   let cfg =

@@ -1,0 +1,112 @@
+(* Wall-clock perf gate: compare a BENCH_RESULTS.json document against
+   the committed BENCH_BASELINE.json and fail on a regression.
+
+   Usage: perf_gate.exe BASELINE CURRENT [--ratio R] [--min-wall S]
+
+   An experiment regresses when its wall time exceeds [ratio] x the
+   baseline AND both sides are above the [min-wall] floor — machine
+   noise dominates below a few hundredths of a second, and CI runners
+   are slower than the machine that recorded the baseline, so the
+   default ratio is deliberately loose (4x): the gate exists to catch
+   order-of-magnitude accidents (an O(n) loop turned O(n^2), a kernel
+   falling off its fast path), not 20% drift.  PERF_GATE_RATIO and
+   PERF_GATE_MIN_WALL override the defaults in CI without a rebuild.
+
+   Experiments present on only one side are reported but do not fail
+   the gate: the baseline is refreshed by committing a new file, and a
+   newly added experiment must not break the gate retroactively. *)
+
+let default_ratio = 4.0
+let default_min_wall = 0.05
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("perf_gate: " ^ s); exit 2) fmt
+
+let read_doc path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> fail "cannot read %s: %s" path msg
+  | raw -> (
+      match Experiment.Json.of_string raw with
+      | Ok doc -> doc
+      | Error msg -> fail "%s: %s" path msg)
+
+(* id -> wall_seconds for every experiment in the document. *)
+let wall_times doc =
+  match Experiment.Json.member "experiments" doc with
+  | Some (Experiment.Json.List exps) ->
+      List.filter_map
+        (fun exp ->
+          match
+            ( Experiment.Json.member "id" exp,
+              Experiment.Json.member "wall_seconds" exp )
+          with
+          | Some (Experiment.Json.String id), Some (Experiment.Json.Float w) ->
+              Some (id, w)
+          | Some (Experiment.Json.String id), Some (Experiment.Json.Int w) ->
+              Some (id, float_of_int w)
+          | _ -> None)
+        exps
+  | _ -> fail "document has no \"experiments\" list"
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some v when v > 0. -> v
+      | _ -> fail "%s must be a positive number, got %S" name s)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec parse paths ratio min_wall = function
+    | [] -> (paths, ratio, min_wall)
+    | "--ratio" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some r when r > 0. -> parse paths r min_wall rest
+        | _ -> fail "--ratio needs a positive number")
+    | "--min-wall" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some w when w >= 0. -> parse paths ratio w rest
+        | _ -> fail "--min-wall needs a non-negative number")
+    | p :: rest -> parse (p :: paths) ratio min_wall rest
+  in
+  let paths, ratio, min_wall =
+    parse []
+      (env_float "PERF_GATE_RATIO" default_ratio)
+      (env_float "PERF_GATE_MIN_WALL" default_min_wall)
+      (List.tl args)
+  in
+  let baseline_path, current_path =
+    match List.rev paths with
+    | [ b; c ] -> (b, c)
+    | _ -> fail "usage: perf_gate.exe BASELINE CURRENT [--ratio R] [--min-wall S]"
+  in
+  let baseline = wall_times (read_doc baseline_path) in
+  let current = wall_times (read_doc current_path) in
+  Printf.printf "perf gate: ratio %.2fx, floor %.3fs (%s vs %s)\n" ratio
+    min_wall baseline_path current_path;
+  Printf.printf "%-12s %12s %12s %8s  %s\n" "experiment" "baseline(s)"
+    "current(s)" "ratio" "verdict";
+  let regressions = ref 0 in
+  List.iter
+    (fun (id, base) ->
+      match List.assoc_opt id current with
+      | None -> Printf.printf "%-12s %12.3f %12s %8s  missing from current\n" id base "-" "-"
+      | Some cur ->
+          let r = if base > 0. then cur /. base else infinity in
+          let regressed = cur > min_wall && base > 0. && r > ratio in
+          if regressed then incr regressions;
+          Printf.printf "%-12s %12.3f %12.3f %8.2f  %s\n" id base cur r
+            (if regressed then "REGRESSED"
+             else if cur <= min_wall then "ok (below floor)"
+             else "ok"))
+    baseline;
+  List.iter
+    (fun (id, cur) ->
+      if not (List.mem_assoc id baseline) then
+        Printf.printf "%-12s %12s %12.3f %8s  new (no baseline)\n" id "-" cur "-")
+    current;
+  if !regressions > 0 then begin
+    Printf.printf "perf gate: %d regression(s) beyond %.2fx\n" !regressions ratio;
+    exit 1
+  end;
+  print_endline "perf gate: ok"

@@ -561,6 +561,7 @@ let bench ids list_only full seed domains csv json trace checkpoint resume tags
           | Some _ -> checkpoint
           | None -> base.checkpoint_dir);
         resume = base.resume || resume;
+        metrics_dump = base.metrics_dump;
       }
     in
     let ids = List.map String.lowercase_ascii ids in
@@ -729,6 +730,169 @@ let validate_cmd =
     Term.(const validate $ quick $ alpha $ seed_arg $ domains $ json $ only
           $ list_only)
 
+(* ---- serve / load / query: allocation-as-a-service (lib/serve) ---- *)
+
+let address_conv =
+  let parse s =
+    match Serve.Wire.parse_address s with
+    | Ok a -> Ok a
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv
+    (parse, fun fmt a ->
+       Format.fprintf fmt "%s" (Serve.Wire.address_to_string a))
+
+let default_address = Serve.Wire.Unix_sock "/tmp/repro-serve.sock"
+
+let connect_arg =
+  let doc = "Server address: unix:PATH or tcp:HOST:PORT." in
+  Arg.(value & opt address_conv default_address
+       & info [ "connect" ] ~docv:"ADDR" ~doc)
+
+let serve seed n m scenario rule listen shards dir snapshot_every sync domains
+    max_batch quiet =
+  let m = resolve_m n m in
+  let cluster = { Serve.Cluster.n; m; shards; scenario; rule; seed } in
+  let domains =
+    match domains with
+    | Some d -> d
+    | None -> min shards (Parallel.recommended_domains ())
+  in
+  let config =
+    { Serve.Server.listen; cluster; dir; snapshot_every; sync; domains;
+      max_batch; quiet }
+  in
+  try Serve.Server.run config
+  with Failure msg | Invalid_argument msg ->
+    prerr_endline msg;
+    exit 1
+
+let serve_cmd =
+  let listen =
+    Arg.(value & opt address_conv default_address
+         & info [ "listen" ] ~docv:"ADDR"
+             ~doc:"Listen address: unix:PATH or tcp:HOST:PORT.")
+  in
+  let shards =
+    Arg.(value & opt int 4
+         & info [ "shards" ] ~docv:"S"
+             ~doc:"Partition the bins into S contiguous shards.")
+  in
+  let dir =
+    Arg.(value & opt (some string) None
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"State directory (snapshot + journal); a restart — even \
+                   after kill -9 — restores from it byte-identically. \
+                   Without it the service is ephemeral.")
+  in
+  let snapshot_every =
+    Arg.(value & opt int 1_000_000
+         & info [ "snapshot-every" ] ~docv:"EVENTS"
+             ~doc:"Cut a snapshot (and compact the journal) every EVENTS \
+                   mutations.")
+  in
+  let sync =
+    Arg.(value & flag
+         & info [ "sync" ] ~doc:"fsync the journal after every batch.")
+  in
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Worker domains applying shard batches (default: \
+                   min(shards, recommended)).")
+  in
+  let max_batch =
+    Arg.(value & opt int 8192
+         & info [ "max-batch" ] ~docv:"EVENTS"
+             ~doc:"Largest event batch applied at once (chunking does not \
+                   change results).")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"No banner.") in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the allocation service daemon")
+    Term.(const serve $ seed_arg $ n_arg $ m_arg $ scenario_arg $ rule_arg
+          $ listen $ shards $ dir $ snapshot_every $ sync $ domains
+          $ max_batch $ quiet)
+
+let parse_mix s =
+  match String.split_on_char ':' s |> List.map int_of_string_opt with
+  | [ Some i; Some r; Some p ] when i >= 0 && r >= 0 && p >= 0 && i + r + p = 100
+    ->
+      Ok { Serve.Load_gen.insert_pct = i; remove_pct = r; probe_pct = p }
+  | _ -> Error (`Msg "mix must be INSERT:REMOVE:PROBE percentages summing to 100")
+
+let load connect ops batch mix seed =
+  match Serve.Load_gen.run ~connect ~ops ~batch ~mix ~seed () with
+  | Ok r ->
+      Printf.printf "repro load: %d ops in %.3f s -> %.0f ops/sec (%d errors)\n"
+        r.Serve.Load_gen.ops r.seconds r.ops_per_sec r.errors
+  | Error msg ->
+      prerr_endline ("repro load: " ^ msg);
+      exit 1
+
+let load_cmd =
+  let ops =
+    Arg.(value & opt int 200_000
+         & info [ "ops" ] ~docv:"N" ~doc:"Requests to send.")
+  in
+  let batch =
+    Arg.(value & opt int 512
+         & info [ "batch" ] ~docv:"N" ~doc:"Pipelined requests per write.")
+  in
+  let mix =
+    let mix_conv = Arg.conv (parse_mix, fun fmt m ->
+        Format.fprintf fmt "%d:%d:%d" m.Serve.Load_gen.insert_pct
+          m.remove_pct m.probe_pct)
+    in
+    Arg.(value & opt mix_conv Serve.Load_gen.default_mix
+         & info [ "mix" ] ~docv:"I:R:P"
+             ~doc:"Traffic mix, insert:remove:probe percentages.")
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Drive mixed traffic against a running service")
+    Term.(const load $ connect_arg $ ops $ batch $ mix $ seed_arg)
+
+let parse_query_op s =
+  match String.split_on_char ':' s with
+  | [ ("probe" | "watermark" | "occupancy" | "metrics" | "ping" | "step"
+      | "remove") as op ] ->
+      Ok (Printf.sprintf "{\"op\":%S}" op)
+  | [ "insert"; key ] -> (
+      match int_of_string_opt key with
+      | Some k -> Ok (Printf.sprintf "{\"op\":\"insert\",\"key\":%d}" k)
+      | None -> Error (Printf.sprintf "insert:<key> needs an integer, got %S" key))
+  | _ -> Error (Printf.sprintf "unknown query op %S" s)
+
+let query connect ops =
+  let ops = if ops = [] then [ "probe"; "watermark" ] else ops in
+  let lines =
+    List.map
+      (fun op ->
+        match parse_query_op op with
+        | Ok line -> line
+        | Error msg ->
+            prerr_endline ("repro query: " ^ msg);
+            exit 2)
+      ops
+  in
+  match Serve.Load_gen.query ~connect lines with
+  | Ok replies -> List.iter print_endline replies
+  | Error msg ->
+      prerr_endline ("repro query: " ^ msg);
+      exit 1
+
+let query_cmd =
+  let ops =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"OP"
+             ~doc:"Ops to send in order: probe, watermark, occupancy, \
+                   metrics, ping, step, remove, insert:<key> (default: probe \
+                   watermark).")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Send one-shot requests to a running service")
+    Term.(const query $ connect_arg $ ops)
+
 (* ---- entry point ---- *)
 
 let () =
@@ -740,5 +904,5 @@ let () =
           [
             simulate_cmd; recover_cmd; couple_cmd; edge_cmd; exact_cmd;
             fluid_cmd; tv_cmd; weighted_cmd; parallel_cmd; removal_cmd;
-            bench_cmd; validate_cmd;
+            bench_cmd; validate_cmd; serve_cmd; load_cmd; query_cmd;
           ]))

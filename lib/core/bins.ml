@@ -192,3 +192,88 @@ let reset_loads t per_bin =
 let loads t = Array.copy t.loads
 
 let to_load_vector t = Loadvec.Load_vector.of_array t.loads
+
+(* {2 Registry snapshots}
+
+   Both removal scenarios sample internal *orders* — the registry slot
+   vector (A), the non-empty list and the per-bin slot stacks (B) — so
+   a load vector alone does not pin down future behaviour.  A snapshot
+   records every order; [of_snapshot] rebuilds the structure so that
+   each subsequent operation touches exactly the cells the original
+   would have. *)
+
+type snapshot = {
+  sn_n : int;
+  sn_balls : int array;
+  sn_slot_order : int array;
+  sn_nonempty : int array;
+}
+
+let snapshot t =
+  let vec v = Array.init (Int_vec.length v) (Int_vec.get v) in
+  let m = Int_vec.length t.balls in
+  let slot_order = Array.make m 0 in
+  let k = ref 0 in
+  Array.iter
+    (fun slots ->
+      for i = 0 to Int_vec.length slots - 1 do
+        slot_order.(!k) <- Int_vec.get slots i;
+        incr k
+      done)
+    t.slots_of;
+  {
+    sn_n = t.n;
+    sn_balls = vec t.balls;
+    sn_slot_order = slot_order;
+    sn_nonempty = vec t.nonempty;
+  }
+
+let of_snapshot s =
+  let m = Array.length s.sn_balls in
+  if s.sn_n <= 0 then invalid_arg "Bins.of_snapshot: n must be positive";
+  if Array.length s.sn_slot_order <> m then
+    invalid_arg "Bins.of_snapshot: slot_order length mismatch";
+  Array.iter
+    (fun b ->
+      if b < 0 || b >= s.sn_n then invalid_arg "Bins.of_snapshot: bad bin id")
+    s.sn_balls;
+  let t = create ~n:s.sn_n in
+  (* The registry vector itself, in the recorded slot order; the
+     pos_of_slot cells are patched while rebuilding the stacks. *)
+  Array.iter
+    (fun b ->
+      Int_vec.push t.balls b;
+      Int_vec.push t.pos_of_slot 0)
+    s.sn_balls;
+  let seen = Array.make m false in
+  Array.iter
+    (fun slot ->
+      if slot < 0 || slot >= m || seen.(slot) then
+        invalid_arg "Bins.of_snapshot: slot_order is not a permutation";
+      seen.(slot) <- true;
+      let b = s.sn_balls.(slot) in
+      Int_vec.set t.pos_of_slot slot (Int_vec.length t.slots_of.(b));
+      Int_vec.push t.slots_of.(b) slot)
+    s.sn_slot_order;
+  (* Derived occupancy indices. *)
+  let nonempty_bins = ref 0 in
+  for b = 0 to s.sn_n - 1 do
+    let l = Int_vec.length t.slots_of.(b) in
+    t.loads.(b) <- l;
+    if l > 0 then begin
+      ensure_count t l;
+      t.count_by_load.(l) <- t.count_by_load.(l) + 1;
+      if l > t.max_load then t.max_load <- l;
+      incr nonempty_bins
+    end
+  done;
+  if Array.length s.sn_nonempty <> !nonempty_bins then
+    invalid_arg "Bins.of_snapshot: nonempty set mismatch";
+  Array.iter
+    (fun b ->
+      if b < 0 || b >= s.sn_n || t.loads.(b) = 0 || t.pos_in_nonempty.(b) >= 0
+      then invalid_arg "Bins.of_snapshot: nonempty set mismatch";
+      t.pos_in_nonempty.(b) <- Int_vec.length t.nonempty;
+      Int_vec.push t.nonempty b)
+    s.sn_nonempty;
+  t

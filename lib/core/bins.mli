@@ -58,3 +58,30 @@ val loads : t -> int array
 (** Snapshot of per-bin loads. *)
 
 val to_load_vector : t -> Loadvec.Load_vector.t
+
+(** {2 Registry snapshots}
+
+    Both removal scenarios sample internal {e orders} — the ball
+    registry (scenario A), the non-empty list and per-bin slot stacks
+    (scenario B) — so two systems with equal load vectors need not
+    replay identically under the same random stream.  A snapshot
+    captures every order; {!of_snapshot} rebuilds a system that is
+    bit-identical to the original under all subsequent operations.
+    This is what makes checkpoint/restore of a live system exact
+    (see {!Serve.Shard.state}). *)
+
+type snapshot = {
+  sn_n : int;  (** Bin count. *)
+  sn_balls : int array;  (** Registry slot -> bin id, in slot order. *)
+  sn_slot_order : int array;
+      (** Every slot exactly once, listed in each bin's internal stack
+          order (bins concatenated in id order). *)
+  sn_nonempty : int array;  (** The non-empty bins, in internal order. *)
+}
+
+val snapshot : t -> snapshot
+
+val of_snapshot : snapshot -> t
+(** @raise Invalid_argument on a malformed snapshot (bad bin ids,
+    [sn_slot_order] not a permutation, or an [sn_nonempty] list that
+    does not match the occupied bins). *)

@@ -24,9 +24,14 @@ val run : Prng.Rng.t -> t -> steps:int -> unit
 val max_load : t -> int
 
 val sim : ?metrics:Engine.Metrics.t -> t -> int array Engine.Sim.t
-(** In-place stepper over the system's bins (observations are per-bin
-    load snapshots; the probe is the maximum load).  The recovery
-    harness drives this through {!Engine.Sim.first_hit}. *)
+(** The system as a full event machine (observations are per-bin load
+    snapshots; the probe is the maximum load).  Besides [Step], its
+    {!Engine.Sim.apply} answers [Insert] ([Placed bin], counting probes
+    and raising the watermark), [Remove] ([Removed bin], or
+    [Rejected "empty"] — consuming no randomness — when no balls
+    remain), [Occupancy], [Probe] and [Watermark].  The recovery harness
+    drives it through {!Engine.Sim.first_hit}; the serve layer's shards
+    ({!Serve.Shard}) drive it through the full vocabulary. *)
 
 val run_until :
   Prng.Rng.t -> t -> pred:(t -> bool) -> limit:int -> int option

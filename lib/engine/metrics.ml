@@ -42,6 +42,7 @@ let add_draws (m : t) k =
   m.rng_draws <- m.rng_draws + k
 
 let watermark (m : t) level = if level > m.watermark then m.watermark <- level
+let watermark_level (m : t) = m.watermark
 
 let add_phase (m : t) name seconds =
   let prev = match Hashtbl.find_opt m.phases name with Some s -> s | None -> 0. in
@@ -143,10 +144,12 @@ let to_table ?(title = "engine metrics") (s : snapshot) =
     add "steps/sec" (Printf.sprintf "%.3e" (float_of_int s.steps /. secs));
   table
 
-let dump_enabled () =
-  match Sys.getenv_opt "BENCH_METRICS" with
-  | Some ("1" | "true" | "yes") -> true
-  | _ -> false
+(* Environment handling is centralized in [Experiment.Config] (the
+   [BENCH_METRICS] row of its variable table); the engine itself only
+   holds the flag. *)
+let dump_flag = ref false
+let set_dump on = dump_flag := on
+let dump_enabled () = !dump_flag
 
 let dump ?(label = "engine metrics") s =
   if dump_enabled () then Stats.Table.print (to_table ~title:label s)

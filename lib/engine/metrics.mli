@@ -54,6 +54,10 @@ val watermark : t -> int -> unit
 (** Raise the watermark to the given level if it exceeds the current
     one. *)
 
+val watermark_level : t -> int
+(** Current watermark ([min_int] when never observed); cheap — the
+    [Watermark] query of {!Sim.apply} reads it per event. *)
+
 val add_phase : t -> string -> float -> unit
 (** Add seconds to a named phase directly. *)
 
@@ -83,8 +87,13 @@ val to_table : ?title:string -> snapshot -> Stats.Table.t
     (the latter from the ["run"] phase when present, else the phase
     total). *)
 
+val set_dump : bool -> unit
+(** Turn counter-table dumping on or off.  The experiment harness sets
+    this from the [BENCH_METRICS] row of [Experiment.Config]'s
+    environment table; the engine reads no environment itself. *)
+
 val dump_enabled : unit -> bool
-(** Whether [BENCH_METRICS] is set to [1]/[true]/[yes]. *)
+(** Whether {!dump} prints (default [false]; see {!set_dump}). *)
 
 val dump : ?label:string -> snapshot -> unit
 (** Print {!to_table} to stdout when {!dump_enabled}; otherwise free. *)

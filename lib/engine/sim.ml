@@ -1,5 +1,14 @@
+(* A sim is an event-driven state machine over preallocated buffers: the
+   primary interface is [apply : rng -> Event.t -> Event.reply], and the
+   historical step/probe entry points are the [Step]/[Probe] projections
+   of it.  [make] wraps the adapter's raw step exactly as before (step
+   counter, watermark, sampled trace events), so the rep loops — now
+   phrased as streams of [Step] events — are bit-identical to the
+   pre-event engine. *)
+
 type 'obs t = {
-  step : Prng.Rng.t -> unit;
+  step : Prng.Rng.t -> unit;  (* the wrapped [Step] transition *)
+  extend : (Prng.Rng.t -> Event.t -> Event.reply) option;
   observe : unit -> 'obs;
   reset : 'obs -> unit;
   probe : unit -> int;
@@ -24,7 +33,7 @@ let traced_step metrics probe step g =
   Obs.counter_sample "sim.watermark" level;
   Obs.Histogram.observe watermark_hist level
 
-let make ?metrics ?(watermark = true) ~step ~observe ~reset ~probe () =
+let make ?metrics ?(watermark = true) ?extend ~step ~observe ~reset ~probe () =
   let metrics =
     match metrics with Some m -> m | None -> Metrics.create ()
   in
@@ -41,25 +50,45 @@ let make ?metrics ?(watermark = true) ~step ~observe ~reset ~probe () =
       step g;
       Metrics.add_step metrics)
   in
-  { step; observe; reset; probe; metrics }
+  { step; extend; observe; reset; probe; metrics }
 
 let metrics s = s.metrics
+
+(* The state machine.  [Step]/[Probe]/[Watermark] are generic; the
+   remaining vocabulary is machine-specific and goes through [extend]
+   when the adapter provided one. *)
+let apply s g ev =
+  match ev with
+  | Event.Step ->
+      s.step g;
+      Event.Ack
+  | Event.Probe -> Event.Level (s.probe ())
+  | Event.Watermark -> Event.Level (Metrics.watermark_level s.metrics)
+  | Event.Insert _ | Event.Remove | Event.Occupancy -> (
+      match s.extend with
+      | Some handle -> handle g ev
+      | None -> Event.Rejected (Event.name ev ^ " unsupported"))
+
 let step s g = s.step g
 let observe s = s.observe ()
 let reset s obs = s.reset obs
 let probe s = s.probe ()
 
+(* The rep-loop drivers below are [Step]-event streams over [apply];
+   [Step] replies are the immediate constructor [Ack], so the loops
+   still allocate nothing. *)
+
 let iterate s g t =
   if t < 0 then invalid_arg "Sim.iterate: negative step count";
   for _ = 1 to t do
-    s.step g
+    ignore (apply s g Event.Step)
   done
 
 let fold s g t ~init ~f =
   if t < 0 then invalid_arg "Sim.fold: negative step count";
   let acc = ref init in
   for i = 1 to t do
-    s.step g;
+    ignore (apply s g Event.Step);
     acc := f !acc i (s.probe ())
   done;
   !acc
@@ -67,7 +96,7 @@ let fold s g t ~init ~f =
 let trajectory s g t =
   if t < 0 then invalid_arg "Sim.trajectory: negative step count";
   Array.init t (fun _ ->
-      s.step g;
+      ignore (apply s g Event.Step);
       s.observe ())
 
 let first_hit s g ~pred ~limit =
@@ -76,7 +105,7 @@ let first_hit s g ~pred ~limit =
     if pred (s.probe ()) then Some t
     else if t >= limit then None
     else begin
-      s.step g;
+      ignore (apply s g Event.Step);
       go (t + 1)
     end
   in

@@ -1,32 +1,34 @@
-(** In-place simulation steppers.
+(** Event-driven in-place state machines.
 
-    A sim is a process whose state lives in preallocated buffers owned by
-    the adapter that built it: {!step} mutates that state without
-    allocating, {!probe} reads a cheap scalar observable of it (the
-    maximum load for allocation processes, the coupling distance for
-    coupled pairs, the unfairness for edge orientations), {!observe}
-    snapshots the full state as an immutable value and {!reset} restores
-    a snapshot — so one sim can be reused across repetitions.
+    A sim is a process whose state lives in preallocated buffers owned
+    by the adapter that built it.  Its primary interface is {!apply}: a
+    state machine consuming the typed vocabulary of {!Event} — [Step]
+    mutates that state without allocating, [Probe] reads a cheap scalar
+    observable of it (the maximum load for allocation processes, the
+    coupling distance for coupled pairs, the unfairness for edge
+    orientations), [Watermark] reads the highest probe level seen, and
+    machines built with an [extend] handler (allocation systems) also
+    answer [Insert]/[Remove]/[Occupancy].  {!observe} snapshots the full
+    state as an immutable value and {!reset} restores a snapshot — so
+    one sim can be reused across repetitions.
 
-    Every process in the repository exposes a [sim] constructor returning
-    this type ({!Core.Dynamic_process.sim}, {!Core.System.sim},
+    Every process in the repository exposes a [sim] constructor
+    returning this type ({!Core.Dynamic_process.sim}, {!Core.System.sim},
     {!Core.Open_process.sim}, {!Coupling.Coupled_chain.sim},
-    {!Edgeorient.Orientation.sim}, …).  The drivers below mirror
-    {!Markov.Chain}'s API so call sites migrate mechanically; the chain
-    drivers remain only for exact-analysis-style functional states and
-    are deprecated for simulation. *)
+    {!Edgeorient.Orientation.sim}, …).  The rep-loop drivers below are
+    [Step]-event streams over {!apply} — bit-identical to the historical
+    step loops — and mirror {!Markov.Chain}'s API so call sites migrate
+    mechanically; the chain drivers remain only for exact-analysis-style
+    functional states and are deprecated for simulation.  The serve
+    layer ({!Serve}) drives the same machines with the full vocabulary
+    behind a socket front end. *)
 
-type 'obs t = {
-  step : Prng.Rng.t -> unit;  (** One in-place transition. *)
-  observe : unit -> 'obs;  (** Full-state snapshot (may allocate). *)
-  reset : 'obs -> unit;  (** Restore a snapshot into the live buffers. *)
-  probe : unit -> int;  (** Cheap scalar observable; no allocation. *)
-  metrics : Metrics.t;  (** Counters threaded through [step]. *)
-}
+type 'obs t
 
 val make :
   ?metrics:Metrics.t ->
   ?watermark:bool ->
+  ?extend:(Prng.Rng.t -> Event.t -> Event.reply) ->
   step:(Prng.Rng.t -> unit) ->
   observe:(unit -> 'obs) ->
   reset:('obs -> unit) ->
@@ -37,21 +39,32 @@ val make :
     [watermark = false], the {!probe} watermark — are maintained
     automatically.  Adapters whose probe is not O(1) pass
     [~watermark:false].  A fresh {!Metrics.t} is created when none is
-    given. *)
+    given.
+
+    [extend] handles the machine-specific events ([Insert], [Remove],
+    [Occupancy]); without it {!apply} answers them [Rejected].  An
+    [extend] handler is responsible for its own metrics (probes, draws,
+    watermark) — the automatic maintenance above covers only [Step]. *)
+
+val apply : 'obs t -> Prng.Rng.t -> Event.t -> Event.reply
+(** The state machine: one event in, one reply out.  [Step] replies
+    [Ack] without allocating; [Probe]/[Watermark] reply [Level]. *)
 
 val metrics : _ t -> Metrics.t
 val step : _ t -> Prng.Rng.t -> unit
+(** [step s g] = [apply s g Event.Step], historical spelling. *)
+
 val observe : 'obs t -> 'obs
 val reset : 'obs t -> 'obs -> unit
 val probe : _ t -> int
 
 val iterate : _ t -> Prng.Rng.t -> int -> unit
-(** [iterate s g t] runs [t] steps in place.
+(** [iterate s g t] applies [t] [Step] events in place.
     @raise Invalid_argument if [t < 0]. *)
 
 val fold :
   _ t -> Prng.Rng.t -> int -> init:'acc -> f:('acc -> int -> int -> 'acc) -> 'acc
-(** [fold s g t ~init ~f] runs [t] steps, folding
+(** [fold s g t ~init ~f] applies [t] [Step] events, folding
     [f acc step_index probe_value] over the probe {e after} each step.
     Allocation-free when [f] is. *)
 

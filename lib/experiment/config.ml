@@ -1,8 +1,8 @@
 (* Run configuration for the experiment harness.  Environment variables
-   give the historical defaults (BENCH_FULL=1 enlarges every sweep to
-   paper scale, BENCH_SEED overrides the root seed, BENCH_DOMAINS the
-   fan-out width, BENCH_CSV / BENCH_JSON name sink directories); the CLI
-   flags of [bench/main.exe] and [repro bench] override them. *)
+   give the historical defaults; the CLI flags of [bench/main.exe] and
+   [repro bench] override them.  Every variable any harness reads lives
+   in [env_table] below — one documented table instead of scattered
+   [Sys.getenv_opt] calls. *)
 
 type t = {
   full : bool;  (** Paper-scale sweeps (minutes to hours) instead of quick. *)
@@ -14,6 +14,9 @@ type t = {
   checkpoint_dir : string option;
       (** Snapshot long exact-analysis runs into this directory. *)
   resume : bool;  (** Resume from existing snapshots instead of replacing them. *)
+  metrics_dump : bool;
+      (** Print the engine counter tables (steps, probes, draws,
+          phases) after instrumented measurements. *)
 }
 
 let default =
@@ -26,34 +29,56 @@ let default =
     trace = None;
     checkpoint_dir = None;
     resume = false;
+    metrics_dump = false;
   }
+
+(* The single source of truth for the harness environment.  [load]
+   reads exactly these variables; [env_help] renders this table for
+   --help output and the docs quote it. *)
+let env_table =
+  [
+    ("BENCH_FULL", "flag", "paper-scale sweeps instead of quick sizes");
+    ("BENCH_SEED", "int", "root seed (default 0xB0B)");
+    ("BENCH_DOMAINS", "int >= 1", "replication fan-out width (results identical for any value)");
+    ("BENCH_CSV", "dir", "write every table as CSV into DIR");
+    ("BENCH_JSON", "dir", "write BENCH_RESULTS.json into DIR");
+    ("BENCH_METRICS", "flag", "dump engine counter tables (steps, probes, draws, phases)");
+    ("BENCH_CHECKPOINT", "dir", "snapshot long exact-analysis runs into DIR");
+    ("BENCH_RESUME", "flag", "resume from snapshots left in BENCH_CHECKPOINT");
+    ("REPRO_TRACE", "file", "write a Chrome/Perfetto trace of the run to FILE");
+  ]
+
+let env_help () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "environment variables (flags override them):\n";
+  List.iter
+    (fun (name, kind, doc) ->
+      Buffer.add_string buf (Printf.sprintf "  %-17s %-9s %s\n" name kind doc))
+    env_table;
+  Buffer.contents buf
 
 let env_flag name =
   match Sys.getenv_opt name with
   | Some ("1" | "true" | "yes") -> true
   | _ -> false
 
+let env_int name ~min ~default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt s with Some v when v >= min -> v | _ -> default)
+  | None -> default
+
 let load () =
-  let seed =
-    match Sys.getenv_opt "BENCH_SEED" with
-    | Some s -> ( match int_of_string_opt s with Some v -> v | None -> 0xB0B)
-    | None -> 0xB0B
-  in
-  let domains =
-    match Sys.getenv_opt "BENCH_DOMAINS" with
-    | Some s -> (
-        match int_of_string_opt s with Some v when v >= 1 -> v | _ -> 1)
-    | None -> 1
-  in
   {
     full = env_flag "BENCH_FULL";
-    seed;
-    domains;
+    seed = env_int "BENCH_SEED" ~min:min_int ~default:0xB0B;
+    domains = env_int "BENCH_DOMAINS" ~min:1 ~default:1;
     csv_dir = Sys.getenv_opt "BENCH_CSV";
     json_dir = Sys.getenv_opt "BENCH_JSON";
     trace = Sys.getenv_opt "REPRO_TRACE";
     checkpoint_dir = Sys.getenv_opt "BENCH_CHECKPOINT";
     resume = env_flag "BENCH_RESUME";
+    metrics_dump = env_flag "BENCH_METRICS";
   }
 
 let mode_name cfg = if cfg.full then "FULL" else "quick"

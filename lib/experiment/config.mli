@@ -13,17 +13,25 @@ type t = {
   resume : bool;
       (** Resume from existing snapshots instead of replacing them
           ([BENCH_RESUME]). *)
+  metrics_dump : bool;
+      (** Print engine counter tables after instrumented measurements
+          ([BENCH_METRICS]); {!Driver.run} forwards this to
+          {!Engine.Metrics.set_dump}. *)
 }
 
 val default : t
 (** Quick mode, seed [0xB0B], one domain, no file sinks, no trace. *)
 
+val env_table : (string * string * string) list
+(** Every environment variable the harnesses read, as
+    [(name, kind, doc)] — the one documented table; {!load} reads
+    exactly these. *)
+
+val env_help : unit -> string
+(** {!env_table} rendered for [--help] output. *)
+
 val load : unit -> t
-(** [default] overridden by the historical environment variables
-    [BENCH_FULL], [BENCH_SEED], [BENCH_DOMAINS], [BENCH_CSV],
-    [BENCH_JSON], plus [REPRO_TRACE] naming a trace output file and
-    [BENCH_CHECKPOINT] / [BENCH_RESUME] controlling snapshots of long
-    exact-analysis runs. *)
+(** [default] overridden by the environment per {!env_table}. *)
 
 val mode_name : t -> string
 (** ["quick"] or ["FULL"] — for result provenance. *)

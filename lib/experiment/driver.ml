@@ -146,6 +146,9 @@ let write_results ~dir doc =
    Returns the document. *)
 let run ?(banner = true) ~config specs =
   if config.Config.trace <> None then Obs.enable ();
+  (* The engine reads no environment itself; the config's BENCH_METRICS
+     row is forwarded here, once, for the whole run. *)
+  Engine.Metrics.set_dump config.Config.metrics_dump;
   if banner then print_banner config;
   let outcomes =
     List.map

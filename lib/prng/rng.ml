@@ -66,3 +66,10 @@ let shuffle_in_place g a =
     a.(i) <- a.(j);
     a.(j) <- tmp
   done
+
+let save g = Array.append (Xoshiro.state g.gen) [| Splitmix64.state g.sm |]
+
+let restore words =
+  if Array.length words <> 5 then invalid_arg "Rng.restore: need 5 words";
+  { gen = Xoshiro.of_state (Array.sub words 0 4);
+    sm = Splitmix64.create words.(4) }

@@ -52,3 +52,13 @@ val pair_distinct : t -> int -> int * int
 
 val shuffle_in_place : t -> 'a array -> unit
 (** Fisher-Yates shuffle. *)
+
+val save : t -> int64 array
+(** The full generator state as five words (four xoshiro256++ state
+    words plus the splitmix64 word).  {!restore} rebuilds a generator
+    that replays exactly the stream this one would have produced — the
+    primitive behind service snapshots ({!Serve.Journal}). *)
+
+val restore : int64 array -> t
+(** Inverse of {!save}.
+    @raise Invalid_argument on a malformed state vector. *)

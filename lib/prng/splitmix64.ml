@@ -15,3 +15,5 @@ let next g =
   mix g.state
 
 let split g = create (next g)
+
+let state g = g.state

@@ -16,3 +16,9 @@ val next : t -> int64
 val split : t -> t
 (** [split g] advances [g] and returns a new statistically independent
     generator. *)
+
+val state : t -> int64
+(** Current state word — with {!create} this is the save/restore pair
+    used by service snapshots ({!Serve.Journal}): a generator rebuilt by
+    [create (state g)] replays exactly the stream [g] would have
+    produced. *)

@@ -49,3 +49,11 @@ let jump g =
   g.s1 <- !s1;
   g.s2 <- !s2;
   g.s3 <- !s3
+
+let state g = [| g.s0; g.s1; g.s2; g.s3 |]
+
+let of_state words =
+  if Array.length words <> 4 then invalid_arg "Xoshiro.of_state: need 4 words";
+  if Array.for_all (Int64.equal 0L) words then
+    invalid_arg "Xoshiro.of_state: all-zero state";
+  { s0 = words.(0); s1 = words.(1); s2 = words.(2); s3 = words.(3) }

@@ -24,3 +24,10 @@ val next : t -> int64
 
 val jump : t -> unit
 (** [jump g] advances [g] by 2^128 steps, for independent substreams. *)
+
+val state : t -> int64 array
+(** The four state words, for service snapshots. *)
+
+val of_state : int64 array -> t
+(** Rebuild a generator from {!state}'s four words.
+    @raise Invalid_argument on a wrong length or the all-zero state. *)

@@ -1,0 +1,279 @@
+(* A cluster of shards behind one deterministic router.
+
+   Routing is sequential in arrival order and independent of how the
+   caller batches events — mutations queue per shard, and a shard
+   applies its queue in global arrival order restricted to that shard.
+   Together with the per-shard generators this makes the state after N
+   events a pure function of the event prefix, regardless of batch
+   boundaries (the batch-invariance property the tests pin down).
+
+   Removal routing picks a shard with probability proportional to its
+   router-tracked ball count, so the global removal law of scenario A
+   (ball uniform among all balls) is exact.  For scenario B it is an
+   approximation (exact B would weight by non-empty bins); insertion
+   probes stay within the routed shard, which narrows d-choice to one
+   shard's bins — both deviations are documented in DESIGN.md. *)
+
+type config = {
+  n : int;
+  m : int;
+  shards : int;
+  scenario : Core.Scenario.t;
+  rule : Core.Scheduling_rule.t;
+  seed : int;
+}
+
+type queue = {
+  mutable evs : Engine.Event.t array;
+  mutable slots : int array;  (* reply index in the current batch *)
+  mutable len : int;
+}
+
+type t = {
+  config : config;
+  shards : Shard.t array;
+  router : Prng.Rng.t;
+  counts : int array;  (* router-tracked balls per shard *)
+  mutable total : int;
+  mutable seq : int;  (* mutation events routed since creation *)
+  pool : Parallel.Pool.t option;
+  queues : queue array;
+}
+
+let config t = t.config
+let seq t = t.seq
+let shard_count t = Array.length t.shards
+let total_balls t = t.total
+let shard t i = t.shards.(i)
+
+let validate_config c =
+  if c.n <= 0 then invalid_arg "Serve.Cluster: n must be positive";
+  if c.m < 0 then invalid_arg "Serve.Cluster: m must be non-negative";
+  if c.shards <= 0 then invalid_arg "Serve.Cluster: shards must be positive";
+  if c.shards > c.n then
+    invalid_arg "Serve.Cluster: more shards than bins"
+
+(* Contiguous ranges of near-equal size: the first [n mod shards]
+   shards own one extra bin. *)
+let shard_range c s =
+  let base = c.n / c.shards and extra = c.n mod c.shards in
+  let lo = (s * base) + min s extra in
+  let len = base + if s < extra then 1 else 0 in
+  (lo, len)
+
+let initial_loads c =
+  let q = c.m / c.n and r = c.m mod c.n in
+  Array.init c.n (fun i -> if i < r then q + 1 else q)
+
+let fresh_queue () = { evs = Array.make 64 Engine.Event.Step; slots = Array.make 64 0; len = 0 }
+
+let build ~pool config mk_shard =
+  validate_config config;
+  let shards = Array.init config.shards mk_shard in
+  let counts = Array.map Shard.balls shards in
+  { config; shards;
+    router = Prng.Rng.create ~seed:config.seed ();  (* replaced by callers *)
+    counts;
+    total = Array.fold_left ( + ) 0 counts;
+    seq = 0; pool;
+    queues = Array.init config.shards (fun _ -> fresh_queue ()) }
+
+let create ?pool config =
+  validate_config config;
+  let root = Prng.Rng.create ~seed:config.seed () in
+  let router = Prng.Rng.split root in
+  let loads = initial_loads config in
+  let mk s =
+    let lo, len = shard_range config s in
+    let slice = Array.sub loads lo len in
+    if Array.fold_left ( + ) 0 slice = 0 then
+      invalid_arg
+        (Printf.sprintf
+           "Serve.Cluster.create: shard %d would start empty (n=%d m=%d \
+            shards=%d) — every shard needs an initial ball; raise m (m >= n \
+            always works) or lower the shard count"
+           s config.n config.m config.shards);
+    Shard.create ~id:s ~lo ~scenario:config.scenario ~rule:config.rule
+      ~loads:slice ~rng:(Prng.Rng.split root)
+  in
+  let t = build ~pool config mk in
+  (* Overwrite the placeholder router with the derived stream. *)
+  { t with router }
+
+(* {2 Routing} *)
+
+(* Splitmix64 finalizer as a stateless key hash: inserts with the same
+   key always land on the same shard, and keys spread uniformly. *)
+let hash_key k =
+  let open Int64 in
+  let z = add (of_int k) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  (* Mask to OCaml's tagged-int range: [to_int] alone can overflow to a
+     negative, which would make [mod shards] negative. *)
+  to_int z land Stdlib.max_int
+
+let pick_weighted t =
+  (* Shard with probability proportional to its ball count; caller
+     guarantees [t.total > 0]. *)
+  let r = Prng.Rng.int t.router t.total in
+  let rec go s acc =
+    let acc = acc + t.counts.(s) in
+    if r < acc then s else go (s + 1) acc
+  in
+  go 0 0
+
+(* Route one mutation.  Returns [Some shard] and updates the router's
+   ball accounting, or [None] (reject) — rejects consume no randomness,
+   which keeps replay exact across them. *)
+let route t ev =
+  match ev with
+  | Engine.Event.Insert key ->
+      let s = hash_key key mod t.config.shards in
+      t.counts.(s) <- t.counts.(s) + 1;
+      t.total <- t.total + 1;
+      Some s
+  | Engine.Event.Remove ->
+      if t.total = 0 then None
+      else begin
+        let s = pick_weighted t in
+        t.counts.(s) <- t.counts.(s) - 1;
+        t.total <- t.total - 1;
+        Some s
+      end
+  | Engine.Event.Step ->
+      (* Composite remove-then-insert stays within one shard: net zero
+         ball movement, weighted like a removal. *)
+      if t.total = 0 then None else Some (pick_weighted t)
+  | _ -> invalid_arg "Serve.Cluster.route: not a mutation"
+
+(* {2 Batch application} *)
+
+let push q ev slot =
+  let cap = Array.length q.evs in
+  if q.len = cap then begin
+    let evs = Array.make (2 * cap) Engine.Event.Step in
+    let slots = Array.make (2 * cap) 0 in
+    Array.blit q.evs 0 evs 0 cap;
+    Array.blit q.slots 0 slots 0 cap;
+    q.evs <- evs;
+    q.slots <- slots
+  end;
+  q.evs.(q.len) <- ev;
+  q.slots.(q.len) <- slot;
+  q.len <- q.len + 1
+
+let drain_shard t replies s =
+  let q = t.queues.(s) in
+  let shard = t.shards.(s) in
+  let lo = Shard.lo shard in
+  for i = 0 to q.len - 1 do
+    let reply =
+      match Shard.apply shard q.evs.(i) with
+      | Engine.Event.Placed bin -> Engine.Event.Placed (lo + bin)
+      | Engine.Event.Removed bin -> Engine.Event.Removed (lo + bin)
+      | reply -> reply
+    in
+    replies.(q.slots.(i)) <- reply
+  done;
+  q.len <- 0
+
+let flush t replies =
+  let pending = ref false in
+  for s = 0 to Array.length t.queues - 1 do
+    if t.queues.(s).len > 0 then pending := true
+  done;
+  if !pending then
+    match t.pool with
+    | Some pool when Array.length t.shards > 1 ->
+        Parallel.Pool.run pool (fun w size ->
+            let s = ref w in
+            while !s < Array.length t.shards do
+              drain_shard t replies !s;
+              s := !s + size
+            done)
+    | _ ->
+        for s = 0 to Array.length t.shards - 1 do
+          drain_shard t replies s
+        done
+
+let max_load t =
+  Array.fold_left (fun acc sh -> max acc (Shard.max_load sh)) 0 t.shards
+
+let watermark t =
+  Array.fold_left
+    (fun acc sh -> max acc (Shard.watermark sh))
+    min_int t.shards
+
+let loads t =
+  Array.concat (Array.to_list (Array.map Shard.loads t.shards))
+
+let answer_query t ev =
+  match ev with
+  | Engine.Event.Probe -> Engine.Event.Level (max_load t)
+  | Engine.Event.Watermark -> Engine.Event.Level (watermark t)
+  | Engine.Event.Occupancy -> Engine.Event.Loads (loads t)
+  | _ -> invalid_arg "Serve.Cluster.answer_query: not a query"
+
+let apply_batch t events =
+  let n = Array.length events in
+  let replies = Array.make n Engine.Event.Ack in
+  for i = 0 to n - 1 do
+    let ev = events.(i) in
+    if Engine.Event.is_mutation ev then begin
+      t.seq <- t.seq + 1;
+      match route t ev with
+      | Some s -> push t.queues.(s) ev i
+      | None -> replies.(i) <- Engine.Event.Rejected "empty"
+    end
+    else begin
+      (* Queries are barriers: they observe all prior mutations. *)
+      flush t replies;
+      replies.(i) <- answer_query t ev
+    end
+  done;
+  flush t replies;
+  replies
+
+let apply t ev = (apply_batch t [| ev |]).(0)
+
+(* {2 Snapshot state} *)
+
+type state = {
+  seq : int;
+  router : int64 array;
+  counts : int array;
+  shards : Shard.state array;
+}
+
+let state t =
+  (* Callers snapshot only at batch boundaries, where the queues are
+     drained; assert rather than silently losing queued events. *)
+  Array.iter
+    (fun q -> if q.len > 0 then invalid_arg "Serve.Cluster.state: pending events")
+    t.queues;
+  { seq = t.seq; router = Prng.Rng.save t.router;
+    counts = Array.copy t.counts;
+    shards = Array.map Shard.state t.shards }
+
+let of_state ?pool config (st : state) =
+  validate_config config;
+  if Array.length st.shards <> config.shards then
+    invalid_arg "Serve.Cluster.of_state: shard count mismatch";
+  if Array.length st.counts <> config.shards then
+    invalid_arg "Serve.Cluster.of_state: counts length mismatch";
+  let mk s =
+    let lo, len = shard_range config s in
+    let shard_st = st.shards.(s) in
+    if shard_st.Shard.bins.Core.Bins.sn_n <> len then
+      invalid_arg "Serve.Cluster.of_state: shard width mismatch";
+    Shard.of_state ~id:s ~lo ~scenario:config.scenario ~rule:config.rule
+      shard_st
+  in
+  let t = build ~pool config mk in
+  let t = { t with router = Prng.Rng.restore st.router } in
+  Array.blit st.counts 0 t.counts 0 config.shards;
+  t.total <- Array.fold_left ( + ) 0 st.counts;
+  t.seq <- st.seq;
+  t

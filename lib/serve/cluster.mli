@@ -1,0 +1,76 @@
+(** A cluster of shards behind one deterministic router.
+
+    The cluster partitions the [n] global bins into contiguous shards
+    (sizes differing by at most one), each a {!Serve.Shard} with its own
+    generator, and routes mutations sequentially in arrival order:
+
+    - [Insert key] — stateless splitmix hash of [key] mod shards;
+    - [Remove] / [Step] — a shard drawn from the {e router's} generator
+      with probability proportional to its tracked ball count (exact for
+      the global scenario-A removal law; an approximation for B);
+    - queries ([Probe]/[Occupancy]/[Watermark]) are {e barriers}: all
+      queued mutations are flushed (in parallel across shards when a
+      {!Parallel.Pool} is attached) before the query is answered
+      globally.
+
+    Because routing is sequential and per-shard application preserves
+    arrival order, the state after [N] events does not depend on how the
+    caller batches them — the invariance {!Serve.Store} and the replay
+    tests rely on. *)
+
+type config = {
+  n : int;  (** Global bins. *)
+  m : int;  (** Initial balls, spread near-uniformly ([m >= n] keeps every shard non-empty). *)
+  shards : int;
+  scenario : Core.Scenario.t;
+  rule : Core.Scheduling_rule.t;
+  seed : int;
+}
+
+type t
+
+val create : ?pool:Parallel.Pool.t -> config -> t
+(** @raise Invalid_argument on a non-positive [n] or [shards], [shards >
+    n], or an initial placement that leaves some shard without a ball. *)
+
+val config : t -> config
+
+val seq : t -> int
+(** Mutation events routed since creation (counting rejected ones —
+    this is the journal sequence number). *)
+
+val shard_count : t -> int
+val total_balls : t -> int
+val shard : t -> int -> Shard.t
+
+val max_load : t -> int
+val watermark : t -> int
+
+val loads : t -> int array
+(** Global per-bin loads (shard snapshots concatenated in bin order). *)
+
+val apply_batch : t -> Engine.Event.t array -> Engine.Event.reply array
+(** Apply a batch in arrival order; [replies.(i)] answers [events.(i)].
+    [Placed]/[Removed] bin ids are global.  A [Remove]/[Step] against an
+    empty cluster is [Rejected "empty"] and consumes no randomness. *)
+
+val apply : t -> Engine.Event.t -> Engine.Event.reply
+(** [apply t ev] is [apply_batch t [|ev|]].(0). *)
+
+(** {2 Snapshot state} *)
+
+type state = {
+  seq : int;
+  router : int64 array;  (** {!Prng.Rng.save} words of the router. *)
+  counts : int array;  (** Router-tracked balls per shard. *)
+  shards : Shard.state array;
+}
+
+val state : t -> state
+(** @raise Invalid_argument if called with queued (unflushed) mutations
+    — only batch boundaries are snapshot points. *)
+
+val of_state : ?pool:Parallel.Pool.t -> config -> state -> t
+(** Rebuild a cluster that replays bit-identically to the one
+    {!state} was taken from.
+    @raise Invalid_argument on a config/state mismatch. *)

@@ -1,0 +1,344 @@
+(* Durability for the allocation service: a snapshot file plus an
+   append-only event journal.
+
+   Snapshot schema "repro.serve-snapshot/2" (integers int64 LE,
+   strings length-prefixed):
+
+     magic[23] = "repro.serve-snapshot/2\n"
+     fingerprint            — n, m, shards, seed, scenario, rule
+     seq                    — mutations routed when the snapshot was cut
+     router[5]              — router generator words
+     counts[shards]         — router ball accounting
+     per shard: applied, watermark, rng[5],
+                registry (n, balls[...], slot_order[...], nonempty[...])
+
+   Schema /2 replaced the per-shard load vector with the full
+   {!Core.Bins} registry snapshot: loads alone do not replay
+   bit-identically because removals sample registry orders.
+
+   Journal schema "repro.serve-journal/1" : the same fingerprint
+   header, then records
+
+     [seq i64][count i64][count x event][trailer "JRNL"]
+     event = tag u8: 0 = Step | 1 = Insert key:i64 | 2 = Remove
+
+   The trailer is written last, so a record is valid iff its trailer is
+   intact: a kill mid-append leaves a torn tail that the reader (and
+   [Writer.open_append], which truncates it) detects and drops.  The
+   snapshot is written to a temporary sibling and renamed into place.
+   Records carry every routed mutation — including ones the router
+   later rejected, which consume no randomness — so replay from a
+   snapshot cut at a record boundary is exactly: apply each record with
+   [record.seq >= snapshot.seq]. *)
+
+let snapshot_magic = "repro.serve-snapshot/2\n"
+let journal_magic = "repro.serve-journal/1\n"
+let trailer = "JRNL"
+
+type fingerprint = {
+  n : int;
+  m : int;
+  shards : int;
+  seed : int;
+  scenario : string;
+  rule : string;
+}
+
+let fingerprint_of_config (c : Cluster.config) =
+  { n = c.n; m = c.m; shards = c.shards; seed = c.seed;
+    scenario = Core.Scenario.name c.scenario;
+    rule = Core.Scheduling_rule.name c.rule }
+
+let fingerprint_to_string fp =
+  Printf.sprintf "n=%d m=%d shards=%d seed=%d scenario=%s rule=%s" fp.n fp.m
+    fp.shards fp.seed fp.scenario fp.rule
+
+(* {2 Encoding} *)
+
+let put_i64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+let put_word buf w = Buffer.add_int64_le buf w
+
+let put_str buf s =
+  put_i64 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_words buf a =
+  put_i64 buf (Array.length a);
+  Array.iter (put_word buf) a
+
+let put_ints buf a =
+  put_i64 buf (Array.length a);
+  Array.iter (put_i64 buf) a
+
+let put_fingerprint buf fp =
+  put_i64 buf fp.n;
+  put_i64 buf fp.m;
+  put_i64 buf fp.shards;
+  put_i64 buf fp.seed;
+  put_str buf fp.scenario;
+  put_str buf fp.rule
+
+exception Corrupt
+
+(* A little cursor over raw bytes; raises [Corrupt] past the end, which
+   both readers turn into "stop cleanly". *)
+type cursor = { bytes : Bytes.t; mutable pos : int }
+
+let need c n = if c.pos + n > Bytes.length c.bytes then raise Corrupt
+
+let get_i64 c =
+  need c 8;
+  let v = Int64.to_int (Bytes.get_int64_le c.bytes c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_word c =
+  need c 8;
+  let v = Bytes.get_int64_le c.bytes c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code (Bytes.get c.bytes c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let get_str c =
+  let n = get_i64 c in
+  if n < 0 || n > Bytes.length c.bytes - c.pos then raise Corrupt;
+  let s = Bytes.sub_string c.bytes c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_words c =
+  let n = get_i64 c in
+  if n < 0 || n > (Bytes.length c.bytes - c.pos) / 8 then raise Corrupt;
+  Array.init n (fun _ -> get_word c)
+
+let get_ints c =
+  let n = get_i64 c in
+  if n < 0 || n > (Bytes.length c.bytes - c.pos) / 8 then raise Corrupt;
+  Array.init n (fun _ -> get_i64 c)
+
+let get_magic c magic =
+  let k = String.length magic in
+  need c k;
+  if Bytes.sub_string c.bytes c.pos k <> magic then raise Corrupt;
+  c.pos <- c.pos + k
+
+let get_fingerprint c =
+  let n = get_i64 c in
+  let m = get_i64 c in
+  let shards = get_i64 c in
+  let seed = get_i64 c in
+  let scenario = get_str c in
+  let rule = get_str c in
+  { n; m; shards; seed; scenario; rule }
+
+let read_all path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ch ->
+      let r =
+        match really_input_string ch (in_channel_length ch) with
+        | exception End_of_file -> None
+        | raw -> Some (Bytes.unsafe_of_string raw)
+      in
+      close_in_noerr ch;
+      r
+
+(* {2 Snapshots} *)
+
+let save_snapshot ~path fp (st : Cluster.state) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf snapshot_magic;
+  put_fingerprint buf fp;
+  put_i64 buf st.seq;
+  put_words buf st.router;
+  put_ints buf st.counts;
+  put_i64 buf (Array.length st.shards);
+  Array.iter
+    (fun (sh : Shard.state) ->
+      put_i64 buf sh.applied;
+      put_i64 buf sh.watermark;
+      put_words buf sh.rng;
+      put_i64 buf sh.bins.Core.Bins.sn_n;
+      put_ints buf sh.bins.Core.Bins.sn_balls;
+      put_ints buf sh.bins.Core.Bins.sn_slot_order;
+      put_ints buf sh.bins.Core.Bins.sn_nonempty)
+    st.shards;
+  let tmp = path ^ ".tmp" in
+  let ch = open_out_bin tmp in
+  Buffer.output_buffer ch buf;
+  close_out ch;
+  Sys.rename tmp path
+
+let load_snapshot ~path =
+  match read_all path with
+  | None -> None
+  | Some bytes -> (
+      let c = { bytes; pos = 0 } in
+      try
+        get_magic c snapshot_magic;
+        let fp = get_fingerprint c in
+        let seq = get_i64 c in
+        let router = get_words c in
+        let counts = get_ints c in
+        let k = get_i64 c in
+        if k < 0 || k > Bytes.length bytes then raise Corrupt;
+        let shards =
+          Array.init k (fun _ ->
+              let applied = get_i64 c in
+              let watermark = get_i64 c in
+              let rng = get_words c in
+              let sn_n = get_i64 c in
+              let sn_balls = get_ints c in
+              let sn_slot_order = get_ints c in
+              let sn_nonempty = get_ints c in
+              {
+                Shard.applied;
+                watermark;
+                rng;
+                bins = { Core.Bins.sn_n; sn_balls; sn_slot_order; sn_nonempty };
+              })
+        in
+        if c.pos <> Bytes.length bytes then raise Corrupt;
+        Some (fp, { Cluster.seq; router; counts; shards })
+      with Corrupt -> None)
+
+(* {2 Journal records} *)
+
+let encode_record buf ~seq events =
+  put_i64 buf seq;
+  put_i64 buf (Array.length events);
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Engine.Event.Step -> Buffer.add_char buf '\000'
+      | Engine.Event.Insert key ->
+          Buffer.add_char buf '\001';
+          put_i64 buf key
+      | Engine.Event.Remove -> Buffer.add_char buf '\002'
+      | ev ->
+          invalid_arg
+            ("Serve.Journal: cannot journal non-mutation " ^ Engine.Event.name ev))
+    events;
+  Buffer.add_string buf trailer
+
+(* Parse records from [c], calling [f] per valid record; returns the
+   byte offset just past the last valid record (the truncation point
+   for a torn tail). *)
+let scan_records c f =
+  let valid_end = ref c.pos in
+  (try
+     while c.pos < Bytes.length c.bytes do
+       let seq = get_i64 c in
+       let count = get_i64 c in
+       if count < 0 || count > Bytes.length c.bytes - c.pos then raise Corrupt;
+       let events =
+         Array.init count (fun _ ->
+             match get_u8 c with
+             | 0 -> Engine.Event.Step
+             | 1 -> Engine.Event.Insert (get_i64 c)
+             | 2 -> Engine.Event.Remove
+             | _ -> raise Corrupt)
+       in
+       let k = String.length trailer in
+       need c k;
+       if Bytes.sub_string c.bytes c.pos k <> trailer then raise Corrupt;
+       c.pos <- c.pos + k;
+       valid_end := c.pos;
+       f ~seq events
+     done
+   with Corrupt -> ());
+  !valid_end
+
+let read_fingerprint ~path =
+  match read_all path with
+  | None -> None
+  | Some bytes -> (
+      let c = { bytes; pos = 0 } in
+      try
+        get_magic c journal_magic;
+        Some (get_fingerprint c)
+      with Corrupt -> None)
+
+let fold ~path ~init ~f =
+  match read_all path with
+  | None -> init
+  | Some bytes -> (
+      let c = { bytes; pos = 0 } in
+      try
+        get_magic c journal_magic;
+        ignore (get_fingerprint c);
+        let acc = ref init in
+        ignore (scan_records c (fun ~seq events -> acc := f !acc ~seq events));
+        !acc
+      with Corrupt -> init)
+
+(* {2 Writer} *)
+
+module Writer = struct
+  type t = { ch : out_channel; buf : Buffer.t }
+
+  let header fp =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf journal_magic;
+    put_fingerprint buf fp;
+    buf
+
+  let create ~path fp =
+    let ch = open_out_bin path in
+    Buffer.output_buffer ch (header fp);
+    flush ch;
+    { ch; buf = Buffer.create 4096 }
+
+  let open_append ~path fp =
+    match read_all path with
+    | None -> create ~path fp
+    | Some bytes ->
+        let c = { bytes; pos = 0 } in
+        let ok_header =
+          try
+            get_magic c journal_magic;
+            let on_disk = get_fingerprint c in
+            if on_disk <> fp then
+              invalid_arg
+                (Printf.sprintf
+                   "Serve.Journal: journal %s belongs to a different service \
+                    (%s, want %s)"
+                   path
+                   (fingerprint_to_string on_disk)
+                   (fingerprint_to_string fp));
+            true
+          with Corrupt -> false
+        in
+        if not ok_header then
+          (* Unreadable header: the file never held a full header write;
+             start it over. *)
+          create ~path fp
+        else begin
+          let valid_end = scan_records c (fun ~seq:_ _ -> ()) in
+          if valid_end < Bytes.length bytes then
+            (* Torn tail from a kill mid-append: drop it. *)
+            Unix.truncate path valid_end;
+          let ch =
+            open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+          in
+          { ch; buf = Buffer.create 4096 }
+        end
+
+  let append t ~seq events =
+    Buffer.clear t.buf;
+    encode_record t.buf ~seq events;
+    Buffer.output_buffer t.ch t.buf
+
+  let flush t = flush t.ch
+
+  let sync t =
+    flush t;
+    Unix.fsync (Unix.descr_of_out_channel t.ch)
+
+  let close t = close_out t.ch
+end

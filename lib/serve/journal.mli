@@ -1,0 +1,70 @@
+(** Durability for the allocation service: snapshots plus an
+    append-only event journal.
+
+    Both files open with a versioned magic string
+    ([repro.serve-snapshot/1] / [repro.serve-journal/1]) and a service
+    {!fingerprint}.  Snapshots are written to a temporary sibling and
+    renamed into place; journal records end with a trailer written
+    last, so a kill mid-append leaves a torn tail that readers detect
+    and drop ({!Writer.open_append} truncates it).  Records carry every
+    routed mutation — including rejected ones, which consume no
+    randomness — so restoring a snapshot cut at a record boundary and
+    applying each record with [seq >= snapshot.seq] replays the service
+    bit-identically ({!Serve.Store} implements that loop). *)
+
+type fingerprint = {
+  n : int;
+  m : int;
+  shards : int;
+  seed : int;
+  scenario : string;  (** {!Core.Scenario.name}. *)
+  rule : string;  (** {!Core.Scheduling_rule.name}. *)
+}
+
+val fingerprint_of_config : Cluster.config -> fingerprint
+val fingerprint_to_string : fingerprint -> string
+
+(** {2 Snapshots} *)
+
+val save_snapshot : path:string -> fingerprint -> Cluster.state -> unit
+(** Atomic (temporary sibling + rename). *)
+
+val load_snapshot : path:string -> (fingerprint * Cluster.state) option
+(** [None] on a missing, truncated or foreign file. *)
+
+(** {2 Journal} *)
+
+val read_fingerprint : path:string -> fingerprint option
+
+val fold :
+  path:string ->
+  init:'a ->
+  f:('a -> seq:int -> Engine.Event.t array -> 'a) ->
+  'a
+(** Fold over the valid record prefix in order ([f acc ~seq events]);
+    a torn tail or missing file ends the fold cleanly. *)
+
+module Writer : sig
+  type t
+
+  val create : path:string -> fingerprint -> t
+  (** Start a fresh journal, truncating any existing file. *)
+
+  val open_append : path:string -> fingerprint -> t
+  (** Append to an existing journal: validates the fingerprint,
+      truncates any torn tail, and seeks to the end.  A missing file
+      (or one whose header never finished writing) is created fresh.
+      @raise Invalid_argument when the on-disk fingerprint differs. *)
+
+  val append : t -> seq:int -> Engine.Event.t array -> unit
+  (** Buffered; [events] must be mutations.
+      @raise Invalid_argument on a non-mutation event. *)
+
+  val flush : t -> unit
+
+  val sync : t -> unit
+  (** {!flush} plus [fsync] — full durability at the cost of a disk
+      round-trip per batch. *)
+
+  val close : t -> unit
+end

@@ -1,0 +1,36 @@
+(** The serve daemon: a single-threaded select loop over the
+    {!Wire} protocol, feeding batches into a {!Cluster} (optionally
+    durable via {!Store}) whose shards apply in parallel on a
+    {!Parallel.Pool}.
+
+    Each select round collects the complete request lines from every
+    readable client into one batch, applies it (in [max_batch]-sized
+    chunks — harmless, since cluster application is batch-invariant)
+    and answers each client in its own request order.  SIGTERM/SIGINT
+    shut the loop down gracefully: flush, snapshot, unlink the Unix
+    socket.  A [kill -9] is recovered on the next start by snapshot
+    load plus journal replay. *)
+
+type config = {
+  listen : Wire.address;
+  cluster : Cluster.config;
+  dir : string option;
+      (** State directory for snapshot + journal; [None] runs the
+          service ephemeral (no durability). *)
+  snapshot_every : int;
+  sync : bool;  (** [fsync] the journal every batch. *)
+  domains : int;  (** Pool width for shard application (1 = inline). *)
+  max_batch : int;
+  quiet : bool;
+}
+
+val default_config : listen:Wire.address -> cluster:Cluster.config -> config
+(** Ephemeral, single-domain, [max_batch = 8192],
+    [snapshot_every = 1_000_000]. *)
+
+val run : ?on_ready:(unit -> unit) -> config -> unit
+(** Serve until SIGTERM/SIGINT.  [on_ready] fires once the socket is
+    listening (after the banner).
+    @raise Failure when a state directory cannot be restored (it
+    belongs to a service with different parameters, or is corrupt
+    beyond the torn-tail rule). *)

@@ -1,0 +1,97 @@
+(* One shard of the allocation service: a contiguous range of the
+   global bin space, owned by a {!Core.System} event machine plus the
+   shard's private generator.  The shard is driven exclusively through
+   [Engine.Sim.apply] — the same state machine the rep loops step — so
+   a shard's evolution is a pure function of the event sequence it is
+   handed, which is what makes journal replay exact. *)
+
+type t = {
+  id : int;
+  lo : int;  (* first global bin id owned *)
+  bins : int;  (* number of bins owned *)
+  system : Core.System.t;
+  machine : int array Engine.Sim.t;
+  rng : Prng.Rng.t;
+  mutable applied : int;  (* mutations applied (all accepted) *)
+}
+
+let create ~id ~lo ~scenario ~rule ~loads ~rng =
+  if Array.length loads = 0 then invalid_arg "Serve.Shard.create: no bins";
+  let balls = Array.fold_left ( + ) 0 loads in
+  if balls = 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Serve.Shard.create: shard %d starts empty — every shard needs at \
+          least one initial ball (raise m or lower the shard count)"
+         id);
+  let system = Core.System.create scenario rule (Core.Bins.of_loads loads) in
+  let machine = Core.System.sim system in
+  (* Seed the watermark with the initial maximum so [Watermark] covers
+     the whole service history, not just post-boot mutations. *)
+  Engine.Metrics.watermark
+    (Engine.Sim.metrics machine)
+    (Core.System.max_load system);
+  { id; lo; bins = Array.length loads; system; machine; rng; applied = 0 }
+
+let id t = t.id
+let lo t = t.lo
+let bin_count t = t.bins
+let balls t = Core.Bins.num_balls (Core.System.bins t.system)
+let max_load t = Core.System.max_load t.system
+let loads t = Core.Bins.loads (Core.System.bins t.system)
+let applied t = t.applied
+
+let watermark t =
+  Engine.Metrics.watermark_level (Engine.Sim.metrics t.machine)
+
+let metrics t = Engine.Sim.metrics t.machine
+
+(* The [Step] guard mirrors the machine's [Remove] guard: a composite
+   transition against an empty shard is rejected (consuming no
+   randomness) instead of raising out of the batch. *)
+let apply t ev =
+  match ev with
+  | Engine.Event.Step when balls t = 0 -> Engine.Event.Rejected "empty"
+  | ev ->
+      let reply = Engine.Sim.apply t.machine t.rng ev in
+      if Engine.Event.is_mutation ev && Engine.Event.reply_ok reply then
+        t.applied <- t.applied + 1;
+      reply
+
+(* {2 Snapshot state} *)
+
+type state = {
+  applied : int;
+  watermark : int;
+  rng : int64 array;
+  bins : Core.Bins.snapshot;
+}
+
+let state (t : t) : state =
+  { applied = t.applied; watermark = watermark t; rng = Prng.Rng.save t.rng;
+    bins = Core.Bins.snapshot (Core.System.bins t.system) }
+
+(* The state carries the full {!Core.Bins} registry snapshot — loads
+   alone would not replay bit-identically, because both removal
+   scenarios sample internal registry orders.  [Core.System.create]
+   refuses empty systems, but a shard may have been legitimately
+   drained to zero balls by snapshot time: boot those with one phantom
+   ball and clear it (an empty registry has no order to lose). *)
+let of_state ~id ~lo ~scenario ~rule (st : state) =
+  let bins = Core.Bins.of_snapshot st.bins in
+  let n = Core.Bins.n bins in
+  let drained = Core.Bins.num_balls bins = 0 in
+  if drained then Core.Bins.add_ball bins 0;
+  let system = Core.System.create scenario rule bins in
+  if drained then Core.Bins.reset_loads bins (Array.make n 0);
+  let machine = Core.System.sim system in
+  Engine.Metrics.watermark (Engine.Sim.metrics machine) st.watermark;
+  {
+    id;
+    lo;
+    bins = n;
+    system;
+    machine;
+    rng = Prng.Rng.restore st.rng;
+    applied = st.applied;
+  }

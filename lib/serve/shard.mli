@@ -1,0 +1,75 @@
+(** One shard of the allocation service.
+
+    A shard owns a contiguous range of the global bin space as a private
+    {!Core.System} event machine plus its own generator, and is driven
+    exclusively through {!Engine.Sim.apply}.  Bin ids in its replies are
+    {e shard-local}; {!Serve.Cluster} translates them by the shard's
+    {!lo} offset. *)
+
+type t
+
+val create :
+  id:int ->
+  lo:int ->
+  scenario:Core.Scenario.t ->
+  rule:Core.Scheduling_rule.t ->
+  loads:int array ->
+  rng:Prng.Rng.t ->
+  t
+(** @raise Invalid_argument when [loads] is empty or holds no balls
+    (every shard must start with at least one ball, because the
+    underlying {!Core.System} forbids empty systems). *)
+
+val id : t -> int
+
+val lo : t -> int
+(** First global bin id owned by this shard. *)
+
+val bin_count : t -> int
+val balls : t -> int
+val max_load : t -> int
+val watermark : t -> int
+val loads : t -> int array
+
+val applied : t -> int
+(** Accepted mutations applied since creation (restored by snapshots). *)
+
+val metrics : t -> Engine.Metrics.t
+
+val apply : t -> Engine.Event.t -> Engine.Event.reply
+(** Apply one event with the shard's own generator.  [Step] against an
+    empty shard is [Rejected "empty"] (consuming no randomness), like
+    the machine's own [Remove] guard; everything else is
+    {!Engine.Sim.apply} on the shard's machine. *)
+
+(** {2 Snapshot state}
+
+    The full mutable state as plain data — what {!Serve.Journal}
+    serializes.  Restoring from [state] and replaying the same event
+    suffix reproduces the shard bit-identically: the generator words
+    capture the exact stream position and the registry snapshot the
+    exact sampling orders. *)
+
+type state = {
+  applied : int;
+  watermark : int;
+  rng : int64 array;  (** {!Prng.Rng.save} words. *)
+  bins : Core.Bins.snapshot;
+      (** The {e full} registry snapshot — loads alone would not replay
+          identically, because removals sample internal registry
+          orders. *)
+}
+
+val state : t -> state
+
+val of_state :
+  id:int ->
+  lo:int ->
+  scenario:Core.Scenario.t ->
+  rule:Core.Scheduling_rule.t ->
+  state ->
+  t
+(** Accepts a drained state (zero balls) even though {!create} refuses
+    one — a shard can be emptied legitimately after boot, and its
+    snapshot must restore.
+    @raise Invalid_argument on an empty or malformed state. *)

@@ -1,0 +1,145 @@
+(* The durable service state: a {!Cluster} paired with its snapshot and
+   write-ahead journal in one directory.
+
+   Batch protocol: journal the batch's mutations (arrival order, record
+   seq = cluster seq before application), flush, then apply the whole
+   batch to the cluster.  A kill between the journal write and the
+   application is harmless — restore replays the journaled record onto
+   the pre-batch state and lands exactly where the apply would have.
+
+   Snapshots are cut at batch boundaries every [snapshot_every]
+   mutations; after a successful (atomic) snapshot the journal is
+   compacted — restarted fresh — so restore cost stays bounded by one
+   snapshot interval.  A crash between the rename and the compaction
+   only leaves fully-covered records behind, which the replay skip rule
+   ([record.seq >= snapshot.seq]) ignores. *)
+
+type t = {
+  config : Cluster.config;
+  fp : Journal.fingerprint;
+  cluster : Cluster.t;
+  mutable writer : Journal.Writer.t;
+  journal_path : string;
+  snapshot_path : string;
+  snapshot_every : int;
+  sync : bool;
+  mutable last_snapshot_seq : int;
+  mutable closed : bool;
+}
+
+let journal_file = "journal.bin"
+let snapshot_file = "snapshot.bin"
+
+let restore_cluster ?pool ~snapshot_path ~journal_path config fp =
+  let cluster, snap_seq =
+    match Journal.load_snapshot ~path:snapshot_path with
+    | Some (fp', st) ->
+        if fp' <> fp then
+          failwith
+            (Printf.sprintf
+               "snapshot %s belongs to a different service (%s, want %s)"
+               snapshot_path
+               (Journal.fingerprint_to_string fp')
+               (Journal.fingerprint_to_string fp));
+        (Cluster.of_state ?pool config st, st.seq)
+    | None -> (Cluster.create ?pool config, 0)
+  in
+  (match Journal.read_fingerprint ~path:journal_path with
+  | Some fp' when fp' <> fp ->
+      failwith
+        (Printf.sprintf
+           "journal %s belongs to a different service (%s, want %s)"
+           journal_path
+           (Journal.fingerprint_to_string fp')
+           (Journal.fingerprint_to_string fp))
+  | _ -> ());
+  ignore snap_seq;
+  Journal.fold ~path:journal_path ~init:() ~f:(fun () ~seq events ->
+      let cur = Cluster.seq cluster in
+      if seq = cur then ignore (Cluster.apply_batch cluster events)
+      else if seq > cur then
+        failwith
+          (Printf.sprintf
+             "journal %s has a gap: record seq %d but service is at %d"
+             journal_path seq cur)
+      else if seq + Array.length events > cur then
+        failwith
+          (Printf.sprintf
+             "journal %s record [%d, %d) straddles the snapshot seq %d"
+             journal_path seq
+             (seq + Array.length events)
+             cur));
+  cluster
+
+let open_ ?pool ?(snapshot_every = 1_000_000) ?(sync = false) ~dir config =
+  if snapshot_every <= 0 then
+    invalid_arg "Serve.Store.open_: snapshot_every must be positive";
+  Experiment.Util.mkdir_p dir;
+  let snapshot_path = Filename.concat dir snapshot_file in
+  let journal_path = Filename.concat dir journal_file in
+  let fp = Journal.fingerprint_of_config config in
+  match
+    let cluster =
+      restore_cluster ?pool ~snapshot_path ~journal_path config fp
+    in
+    let writer = Journal.Writer.open_append ~path:journal_path fp in
+    { config; fp; cluster; writer; journal_path; snapshot_path;
+      snapshot_every; sync; last_snapshot_seq = Cluster.seq cluster;
+      closed = false }
+  with
+  | t -> Ok t
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let cluster t = t.cluster
+let config t = t.config
+let seq t = Cluster.seq t.cluster
+
+let snapshot_now t =
+  Journal.save_snapshot ~path:t.snapshot_path t.fp (Cluster.state t.cluster);
+  (* Compact: everything on disk is now covered by the snapshot. *)
+  Journal.Writer.close t.writer;
+  t.writer <- Journal.Writer.create ~path:t.journal_path t.fp;
+  t.last_snapshot_seq <- Cluster.seq t.cluster
+
+let count_mutations events =
+  Array.fold_left
+    (fun k ev -> if Engine.Event.is_mutation ev then k + 1 else k)
+    0 events
+
+let apply_batch t events =
+  if t.closed then invalid_arg "Serve.Store.apply_batch: closed";
+  let muts = count_mutations events in
+  if muts > 0 then begin
+    let record =
+      if muts = Array.length events then events
+      else begin
+        let r = Array.make muts Engine.Event.Step in
+        let k = ref 0 in
+        Array.iter
+          (fun ev ->
+            if Engine.Event.is_mutation ev then begin
+              r.(!k) <- ev;
+              incr k
+            end)
+          events;
+        r
+      end
+    in
+    Journal.Writer.append t.writer ~seq:(Cluster.seq t.cluster) record;
+    if t.sync then Journal.Writer.sync t.writer
+    else Journal.Writer.flush t.writer
+  end;
+  let replies = Cluster.apply_batch t.cluster events in
+  if Cluster.seq t.cluster - t.last_snapshot_seq >= t.snapshot_every then
+    snapshot_now t;
+  replies
+
+let apply t ev = (apply_batch t [| ev |]).(0)
+
+let close t =
+  if not t.closed then begin
+    snapshot_now t;
+    Journal.Writer.close t.writer;
+    t.closed <- true
+  end

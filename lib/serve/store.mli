@@ -1,0 +1,44 @@
+(** Durable allocation service state: a {!Cluster} plus its snapshot
+    and write-ahead journal in one directory.
+
+    Every batch journals its mutations (flushed — optionally fsynced —
+    before application), so a kill at {e any} point restores, by
+    snapshot load plus journal replay, to a state from which the
+    surviving event stream produces byte-identical replies.  Snapshots
+    are cut at batch boundaries every [snapshot_every] mutations, after
+    which the journal is compacted, bounding restore cost. *)
+
+type t
+
+val open_ :
+  ?pool:Parallel.Pool.t ->
+  ?snapshot_every:int ->
+  ?sync:bool ->
+  dir:string ->
+  Cluster.config ->
+  (t, string) result
+(** Open (creating [dir] as needed) or restore the service.  A fresh
+    directory boots a new {!Cluster.create}; an existing one is
+    restored from [snapshot.bin] (if any) and the valid prefix of
+    [journal.bin].  [Error _] on a fingerprint mismatch (the directory
+    belongs to a service with different parameters) or a corrupt replay
+    sequence.  [sync] makes every batch [fsync] (default: flush only).
+    @raise Invalid_argument if [snapshot_every <= 0]. *)
+
+val cluster : t -> Cluster.t
+val config : t -> Cluster.config
+
+val seq : t -> int
+(** Mutations routed over the service's whole history. *)
+
+val apply_batch : t -> Engine.Event.t array -> Engine.Event.reply array
+(** Journal the batch's mutations, then {!Cluster.apply_batch}. *)
+
+val apply : t -> Engine.Event.t -> Engine.Event.reply
+
+val snapshot_now : t -> unit
+(** Cut a snapshot at the current (batch-boundary) state and compact
+    the journal. *)
+
+val close : t -> unit
+(** Snapshot and release the journal handle.  Idempotent. *)

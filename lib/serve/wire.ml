@@ -1,0 +1,161 @@
+(* JSON-lines protocol of the allocation service.
+
+   Requests (one object per line):
+
+     {"op":"insert","key":123,"id":7}   -> {"id":7,"ok":true,"reply":"placed","bin":17}
+     {"op":"remove"}                    -> {"ok":true,"reply":"removed","bin":4}
+     {"op":"step"}                      -> {"ok":true,"reply":"ack"}
+     {"op":"probe"}                     -> {"ok":true,"reply":"level","value":3}
+     {"op":"watermark"}                 -> {"ok":true,"reply":"level","value":5}
+     {"op":"occupancy"}                 -> {"ok":true,"reply":"loads","loads":[...]}
+     {"op":"ping"}                      -> {"ok":true,"reply":"pong"}
+     {"op":"metrics"}                   -> {"ok":true,"reply":"metrics",...}
+
+   "id" is optional and echoed back verbatim when present; replies are
+   written in request order, so correlation works without ids too.
+   Rejected mutations and malformed requests answer with "ok":false.
+
+   Parsing goes through [Experiment.Json] (the repo's dependency-free
+   parser); responses are hand-formatted into a caller-owned [Buffer]
+   so the server's hot path allocates no intermediate strings. *)
+
+type address = Unix_sock of string | Tcp of string * int
+
+let address_to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let parse_address s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "unix" ->
+      let path = String.sub s (i + 1) (String.length s - i - 1) in
+      if path = "" then Error "unix: needs a socket path"
+      else Ok (Unix_sock path)
+  | Some i when String.sub s 0 i = "tcp" -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.rindex_opt rest ':' with
+      | None -> Error "tcp: needs host:port"
+      | Some j -> (
+          let host = String.sub rest 0 j in
+          let host = if host = "" then "127.0.0.1" else host in
+          match int_of_string_opt (String.sub rest (j + 1) (String.length rest - j - 1)) with
+          | Some port when port > 0 && port < 65536 -> Ok (Tcp (host, port))
+          | _ -> Error "tcp: bad port"))
+  | _ ->
+      Error
+        (Printf.sprintf "bad address %S (use unix:PATH or tcp:HOST:PORT)" s)
+
+type request = Event of Engine.Event.t | Ping | Stats
+
+let parse line =
+  match Experiment.Json.of_string line with
+  | Error e -> Error ("bad json: " ^ e)
+  | Ok json -> (
+      let id =
+        match Experiment.Json.member "id" json with
+        | Some (Experiment.Json.Int i) -> Some i
+        | _ -> None
+      in
+      match Experiment.Json.member "op" json with
+      | Some (Experiment.Json.String op) -> (
+          match op with
+          | "step" -> Ok (id, Event Engine.Event.Step)
+          | "insert" -> (
+              match Experiment.Json.member "key" json with
+              | Some (Experiment.Json.Int key) ->
+                  Ok (id, Event (Engine.Event.Insert key))
+              | _ -> Error "insert needs an integer \"key\"")
+          | "remove" -> Ok (id, Event Engine.Event.Remove)
+          | "probe" -> Ok (id, Event Engine.Event.Probe)
+          | "occupancy" -> Ok (id, Event Engine.Event.Occupancy)
+          | "watermark" -> Ok (id, Event Engine.Event.Watermark)
+          | "ping" -> Ok (id, Ping)
+          | "metrics" -> Ok (id, Stats)
+          | op -> Error (Printf.sprintf "unknown op %S" op))
+      | _ -> Error "missing \"op\"")
+
+(* {2 Response formatting} *)
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let open_reply buf ~id ~ok ~reply =
+  Buffer.add_char buf '{';
+  (match id with
+  | Some i ->
+      Buffer.add_string buf "\"id\":";
+      Buffer.add_string buf (string_of_int i);
+      Buffer.add_char buf ','
+  | None -> ());
+  Buffer.add_string buf (if ok then "\"ok\":true" else "\"ok\":false");
+  Buffer.add_string buf ",\"reply\":\"";
+  Buffer.add_string buf reply;
+  Buffer.add_char buf '"'
+
+let close_reply buf =
+  Buffer.add_char buf '}';
+  Buffer.add_char buf '\n'
+
+let add_reply buf ~id reply =
+  (match reply with
+  | Engine.Event.Ack -> open_reply buf ~id ~ok:true ~reply:"ack"
+  | Engine.Event.Placed bin ->
+      open_reply buf ~id ~ok:true ~reply:"placed";
+      Buffer.add_string buf ",\"bin\":";
+      Buffer.add_string buf (string_of_int bin)
+  | Engine.Event.Removed bin ->
+      open_reply buf ~id ~ok:true ~reply:"removed";
+      Buffer.add_string buf ",\"bin\":";
+      Buffer.add_string buf (string_of_int bin)
+  | Engine.Event.Level v ->
+      open_reply buf ~id ~ok:true ~reply:"level";
+      Buffer.add_string buf ",\"value\":";
+      Buffer.add_string buf (string_of_int v)
+  | Engine.Event.Loads loads ->
+      open_reply buf ~id ~ok:true ~reply:"loads";
+      Buffer.add_string buf ",\"loads\":[";
+      Array.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (string_of_int v))
+        loads;
+      Buffer.add_char buf ']'
+  | Engine.Event.Rejected msg ->
+      open_reply buf ~id ~ok:false ~reply:"rejected";
+      Buffer.add_string buf ",\"error\":\"";
+      add_escaped buf msg;
+      Buffer.add_char buf '"');
+  close_reply buf
+
+let add_pong buf ~id =
+  open_reply buf ~id ~ok:true ~reply:"pong";
+  close_reply buf
+
+let add_error buf ~id msg =
+  open_reply buf ~id ~ok:false ~reply:"error";
+  Buffer.add_string buf ",\"error\":\"";
+  add_escaped buf msg;
+  Buffer.add_char buf '"';
+  close_reply buf
+
+let add_metrics buf ~id fields =
+  open_reply buf ~id ~ok:true ~reply:"metrics";
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf ",\"";
+      add_escaped buf k;
+      Buffer.add_string buf "\":";
+      Buffer.add_string buf (Experiment.Json.to_string ~indent:0 v))
+    fields;
+  close_reply buf

@@ -1,0 +1,36 @@
+(** JSON-lines protocol of the allocation service.
+
+    One request object per line; replies come back one line each, in
+    request order, with an optional client-chosen ["id"] echoed.  See
+    the implementation header for the full vocabulary — the event ops
+    mirror {!Engine.Event} ([step], [insert], [remove], [probe],
+    [occupancy], [watermark]) plus [ping] and [metrics]. *)
+
+(** Where a service listens (or a client connects). *)
+type address = Unix_sock of string | Tcp of string * int
+
+val address_to_string : address -> string
+
+val parse_address : string -> (address, string) result
+(** Accepts [unix:PATH] and [tcp:HOST:PORT] ([tcp::PORT] means
+    127.0.0.1). *)
+
+type request =
+  | Event of Engine.Event.t
+  | Ping
+  | Stats  (** The [metrics] op — answered by the server, not the cluster. *)
+
+val parse : string -> (int option * request, string) result
+(** Parse one request line into its optional id and payload. *)
+
+(** {2 Response formatting}
+
+    All formatters append one newline-terminated JSON line to the
+    caller's buffer. *)
+
+val add_reply : Buffer.t -> id:int option -> Engine.Event.reply -> unit
+val add_pong : Buffer.t -> id:int option -> unit
+val add_error : Buffer.t -> id:int option -> string -> unit
+
+val add_metrics :
+  Buffer.t -> id:int option -> (string * Experiment.Json.t) list -> unit

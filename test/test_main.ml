@@ -25,4 +25,5 @@ let () =
       ("path-metric", Test_path_metric.suite);
       ("experiment", Test_experiment.suite);
       ("validate", Test_validate.suite);
+      ("serve", Test_serve.suite);
     ]

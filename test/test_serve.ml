@@ -1,0 +1,403 @@
+(* The serve layer's contracts: batch- and domain-invariant cluster
+   application, wire codec round-trips, and the crash-recovery law —
+   snapshot + journal replay after an arbitrary kill (including a torn
+   journal tail) restores a state whose subsequent replies are
+   byte-identical to a service that never died. *)
+
+let rng_of seed = Prng.Rng.create ~seed ()
+
+let mk_config ?(seed = 0x5EED) ?(m_factor = 2) ~n ~shards () =
+  {
+    Serve.Cluster.n;
+    m = m_factor * n;
+    shards;
+    scenario = (if seed land 1 = 0 then Core.Scenario.A else Core.Scenario.B);
+    rule = Core.Scheduling_rule.abku 2;
+    seed;
+  }
+
+(* Keys come from raw 64-bit draws — negative and huge keys included,
+   the regression surface of the router's hash truncation. *)
+let gen_event g =
+  match Prng.Rng.int g 100 with
+  | r when r < 40 -> Engine.Event.Insert (Int64.to_int (Prng.Rng.bits64 g))
+  | r when r < 80 -> Engine.Event.Remove
+  | r when r < 88 -> Engine.Event.Step
+  | r when r < 93 -> Engine.Event.Probe
+  | r when r < 97 -> Engine.Event.Watermark
+  | _ -> Engine.Event.Occupancy
+
+let gen_events g k = Array.init k (fun _ -> gen_event g)
+
+let random_chunks g events =
+  let n = Array.length events in
+  if n = 0 then []
+  else begin
+    let rec go pos acc =
+      if pos >= n then List.rev acc
+      else begin
+        let len = 1 + Prng.Rng.int g (min 16 (n - pos)) in
+        go (pos + len) (Array.sub events pos len :: acc)
+      end
+    in
+    go 0 []
+  end
+
+let apply_chunks cluster chunks =
+  Array.concat (List.map (Serve.Cluster.apply_batch cluster) chunks)
+
+(* {2 Temp state directories} *)
+
+let fresh_dir =
+  let k = ref 0 in
+  fun () ->
+    incr k;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "repro-serve-test-%d-%d" (Unix.getpid ()) !k)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let store_exn ?snapshot_every ~dir config =
+  match Serve.Store.open_ ?snapshot_every ~dir config with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "Store.open_: %s" msg
+
+(* {2 Cluster invariance properties} *)
+
+let qcheck_batch_invariance =
+  QCheck.Test.make ~name:"cluster state independent of batching" ~count:150
+    QCheck.(triple small_int (int_range 4 48) (int_range 1 4))
+    (fun (seed, n, shards) ->
+      let shards = min shards n in
+      let config = mk_config ~seed ~n ~shards () in
+      let g = rng_of (seed + 17) in
+      let events = gen_events g (Prng.Rng.int g 200) in
+      let one = Serve.Cluster.create config in
+      let replies_one = Serve.Cluster.apply_batch one events in
+      let single = Serve.Cluster.create config in
+      let replies_single = Array.map (Serve.Cluster.apply single) events in
+      let chunked = Serve.Cluster.create config in
+      let replies_chunked = apply_chunks chunked (random_chunks g events) in
+      Serve.Cluster.state one = Serve.Cluster.state single
+      && Serve.Cluster.state one = Serve.Cluster.state chunked
+      && replies_one = replies_single
+      && replies_one = replies_chunked)
+
+let qcheck_pool_invariance =
+  QCheck.Test.make ~name:"cluster state independent of domains" ~count:40
+    QCheck.(pair small_int (int_range 4 32))
+    (fun (seed, n) ->
+      let config = mk_config ~seed ~n ~shards:(min 4 n) () in
+      let g = rng_of (seed + 23) in
+      let events = gen_events g (Prng.Rng.int g 150) in
+      let serial = Serve.Cluster.create config in
+      let replies_serial = Serve.Cluster.apply_batch serial events in
+      Parallel.Pool.with_pool ~domains:3 (fun pool ->
+          let fanned = Serve.Cluster.create ~pool config in
+          let replies_fanned = Serve.Cluster.apply_batch fanned events in
+          Serve.Cluster.state serial = Serve.Cluster.state fanned
+          && replies_serial = replies_fanned))
+
+let qcheck_state_roundtrip =
+  QCheck.Test.make ~name:"cluster of_state . state is the identity" ~count:100
+    QCheck.(triple small_int (int_range 4 40) (int_range 1 4))
+    (fun (seed, n, shards) ->
+      let shards = min shards n in
+      let config = mk_config ~seed ~n ~shards () in
+      let g = rng_of (seed + 31) in
+      let cluster = Serve.Cluster.create config in
+      ignore (Serve.Cluster.apply_batch cluster (gen_events g 80));
+      let st = Serve.Cluster.state cluster in
+      let revived = Serve.Cluster.of_state config st in
+      (* Same snapshot, and same behaviour afterwards. *)
+      let tail = gen_events g 40 in
+      let a = Serve.Cluster.apply_batch cluster tail in
+      let b = Serve.Cluster.apply_batch revived tail in
+      st = Serve.Cluster.state (Serve.Cluster.of_state config st)
+      && a = b
+      && Serve.Cluster.state cluster = Serve.Cluster.state revived)
+
+(* {2 Crash-recovery properties} *)
+
+let qcheck_kill_and_restore =
+  QCheck.Test.make
+    ~name:"store restore after kill replays to the never-killed state"
+    ~count:60
+    QCheck.(
+      quad small_int (int_range 4 32) (int_range 1 4) (int_range 1 60))
+    (fun (seed, n, shards, snapshot_every) ->
+      let shards = min shards n in
+      let config = mk_config ~seed ~n ~shards () in
+      let g = rng_of (seed + 41) in
+      let chunks = random_chunks g (gen_events g (20 + Prng.Rng.int g 150)) in
+      let cut = Prng.Rng.int g (List.length chunks + 1) in
+      let before = List.filteri (fun i _ -> i < cut) chunks in
+      let after = List.filteri (fun i _ -> i >= cut) chunks in
+      (* Reference: an in-memory cluster that never dies. *)
+      let reference = Serve.Cluster.create config in
+      ignore (apply_chunks reference before);
+      with_dir (fun dir ->
+          let victim = store_exn ~snapshot_every ~dir config in
+          ignore
+            (List.map (Serve.Store.apply_batch victim) before
+              : Engine.Event.reply array list);
+          (* Kill: abandon the store without close (no final snapshot);
+             the journal was flushed batch by batch. *)
+          let revived = store_exn ~snapshot_every ~dir config in
+          let restored_ok =
+            Serve.Cluster.state (Serve.Store.cluster revived)
+            = Serve.Cluster.state reference
+          in
+          (* The surviving stream must produce byte-identical replies. *)
+          let ref_replies = apply_chunks reference after in
+          let rev_replies =
+            Array.concat (List.map (Serve.Store.apply_batch revived) after)
+          in
+          Serve.Store.close revived;
+          (* A clean close snapshots: reopening restores too. *)
+          let reopened = store_exn ~snapshot_every ~dir config in
+          let final_ok =
+            Serve.Cluster.state (Serve.Store.cluster reopened)
+            = Serve.Cluster.state reference
+          in
+          Serve.Store.close reopened;
+          restored_ok && ref_replies = rev_replies && final_ok))
+
+let qcheck_torn_tail =
+  QCheck.Test.make
+    ~name:"a torn journal tail is dropped, not misread" ~count:60
+    QCheck.(triple small_int (int_range 4 24) (int_range 1 20))
+    (fun (seed, n, garbage_len) ->
+      let config = mk_config ~seed ~n ~shards:(min 2 n) () in
+      let g = rng_of (seed + 59) in
+      let chunks = random_chunks g (gen_events g (10 + Prng.Rng.int g 80)) in
+      let reference = Serve.Cluster.create config in
+      ignore (apply_chunks reference chunks);
+      with_dir (fun dir ->
+          let victim = store_exn ~snapshot_every:1_000_000 ~dir config in
+          ignore
+            (List.map (Serve.Store.apply_batch victim) chunks
+              : Engine.Event.reply array list);
+          (* Kill mid-append: either raw garbage or a strict prefix of a
+             plausible next record (seq, count, one Step tag, no
+             trailer), depending on the seed. *)
+          let journal = Filename.concat dir "journal.bin" in
+          let ch =
+            open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 journal
+          in
+          if seed land 1 = 0 then
+            for _ = 1 to garbage_len do
+              output_char ch '\xFF'
+            done
+          else begin
+            let b = Bytes.create 17 in
+            Bytes.set_int64_le b 0 (Int64.of_int (Serve.Store.seq victim));
+            Bytes.set_int64_le b 8 1L;
+            Bytes.set b 16 '\000';
+            output_bytes ch (Bytes.sub b 0 (min 17 (1 + garbage_len)))
+          end;
+          close_out ch;
+          let revived = store_exn ~dir config in
+          let ok =
+            Serve.Cluster.state (Serve.Store.cluster revived)
+            = Serve.Cluster.state reference
+          in
+          (* And the truncated journal accepts appends again. *)
+          let tail = gen_events g 20 in
+          let a = Serve.Store.apply_batch revived tail in
+          let b = Serve.Cluster.apply_batch reference tail in
+          Serve.Store.close revived;
+          ok && a = b))
+
+(* {2 Unit tests} *)
+
+let test_initial_queries () =
+  let config = mk_config ~seed:2 ~n:8 ~shards:2 () in
+  let cluster = Serve.Cluster.create config in
+  (match Serve.Cluster.apply cluster Engine.Event.Occupancy with
+  | Engine.Event.Loads loads ->
+      Alcotest.(check int) "bins" 8 (Array.length loads);
+      Alcotest.(check int) "balls" 16 (Array.fold_left ( + ) 0 loads)
+  | r -> Alcotest.failf "unexpected %s" (Engine.Event.reply_name r));
+  (match Serve.Cluster.apply cluster Engine.Event.Probe with
+  | Engine.Event.Level l -> Alcotest.(check int) "uniform max" 2 l
+  | r -> Alcotest.failf "unexpected %s" (Engine.Event.reply_name r));
+  match Serve.Cluster.apply cluster Engine.Event.Watermark with
+  | Engine.Event.Level l -> Alcotest.(check int) "watermark seeded" 2 l
+  | r -> Alcotest.failf "unexpected %s" (Engine.Event.reply_name r)
+
+let test_drained_cluster_rejects () =
+  let config = mk_config ~seed:4 ~n:4 ~shards:2 ~m_factor:1 () in
+  let cluster = Serve.Cluster.create config in
+  for _ = 1 to 4 do
+    match Serve.Cluster.apply cluster Engine.Event.Remove with
+    | Engine.Event.Removed _ -> ()
+    | r -> Alcotest.failf "expected Removed, got %s" (Engine.Event.reply_name r)
+  done;
+  (match Serve.Cluster.apply cluster Engine.Event.Remove with
+  | Engine.Event.Rejected _ -> ()
+  | r -> Alcotest.failf "expected Rejected, got %s" (Engine.Event.reply_name r));
+  (match Serve.Cluster.apply cluster Engine.Event.Step with
+  | Engine.Event.Rejected _ -> ()
+  | r -> Alcotest.failf "expected Rejected, got %s" (Engine.Event.reply_name r));
+  (* Rejections consume no randomness and the service keeps going. *)
+  match Serve.Cluster.apply cluster (Engine.Event.Insert 42) with
+  | Engine.Event.Placed bin ->
+      Alcotest.(check bool) "global bin id" true (bin >= 0 && bin < 4)
+  | r -> Alcotest.failf "expected Placed, got %s" (Engine.Event.reply_name r)
+
+let test_extreme_insert_keys () =
+  let config = mk_config ~seed:6 ~n:16 ~shards:3 () in
+  let cluster = Serve.Cluster.create config in
+  List.iter
+    (fun key ->
+      match Serve.Cluster.apply cluster (Engine.Event.Insert key) with
+      | Engine.Event.Placed bin ->
+          Alcotest.(check bool)
+            (Printf.sprintf "key %d lands in range" key)
+            true (bin >= 0 && bin < 16)
+      | r -> Alcotest.failf "expected Placed, got %s" (Engine.Event.reply_name r))
+    [ 0; -1; max_int; min_int; 0x9E3779B9 ]
+
+let test_fingerprint_mismatch () =
+  let config = mk_config ~seed:8 ~n:8 ~shards:2 () in
+  with_dir (fun dir ->
+      let s = store_exn ~dir config in
+      ignore (Serve.Store.apply_batch s (gen_events (rng_of 9) 30));
+      Serve.Store.close s;
+      match Serve.Store.open_ ~dir { config with seed = config.seed + 1 } with
+      | Error _ -> ()
+      | Ok s ->
+          Serve.Store.close s;
+          Alcotest.fail "foreign state directory was accepted")
+
+let test_rng_save_restore () =
+  let g = rng_of 123 in
+  for _ = 1 to 57 do
+    ignore (Prng.Rng.bits64 g)
+  done;
+  let words = Prng.Rng.save g in
+  let h = Prng.Rng.restore words in
+  for i = 1 to 100 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d" i)
+      (Prng.Rng.bits64 g) (Prng.Rng.bits64 h)
+  done;
+  Alcotest.check_raises "restore wants 5 words"
+    (Invalid_argument "Rng.restore: need 5 words") (fun () ->
+      ignore (Prng.Rng.restore [| 1L; 2L |]))
+
+(* {2 Wire codec} *)
+
+let test_wire_parse () =
+  let ok line expected_id expected_req =
+    match Serve.Wire.parse line with
+    | Ok (id, req) ->
+        Alcotest.(check (option int)) (line ^ " id") expected_id id;
+        if req <> expected_req then Alcotest.failf "%s parsed wrong" line
+    | Error msg -> Alcotest.failf "%s: %s" line msg
+  in
+  ok {|{"op":"insert","key":5,"id":3}|} (Some 3)
+    (Serve.Wire.Event (Engine.Event.Insert 5));
+  ok {|{"op":"remove"}|} None (Serve.Wire.Event Engine.Event.Remove);
+  ok {|{"op":"step","id":0}|} (Some 0) (Serve.Wire.Event Engine.Event.Step);
+  ok {|{"op":"probe"}|} None (Serve.Wire.Event Engine.Event.Probe);
+  ok {|{"op":"occupancy"}|} None (Serve.Wire.Event Engine.Event.Occupancy);
+  ok {|{"op":"watermark"}|} None (Serve.Wire.Event Engine.Event.Watermark);
+  ok {|{"op":"ping"}|} None Serve.Wire.Ping;
+  ok {|{"op":"metrics","id":9}|} (Some 9) Serve.Wire.Stats;
+  List.iter
+    (fun line ->
+      match Serve.Wire.parse line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s should not parse" line)
+    [
+      {|{"op":"insert"}|};  (* key required *)
+      {|{"op":"fly"}|};
+      {|{"key":5}|};
+      "not json";
+    ]
+
+let test_wire_format () =
+  let line ?id reply =
+    let buf = Buffer.create 64 in
+    Serve.Wire.add_reply buf ~id reply;
+    Buffer.contents buf
+  in
+  Alcotest.(check string) "ack" "{\"ok\":true,\"reply\":\"ack\"}\n"
+    (line Engine.Event.Ack);
+  Alcotest.(check string) "placed with id"
+    "{\"id\":7,\"ok\":true,\"reply\":\"placed\",\"bin\":17}\n"
+    (line ~id:7 (Engine.Event.Placed 17));
+  Alcotest.(check string) "level"
+    "{\"ok\":true,\"reply\":\"level\",\"value\":3}\n"
+    (line (Engine.Event.Level 3));
+  Alcotest.(check string) "loads"
+    "{\"ok\":true,\"reply\":\"loads\",\"loads\":[1,0,2]}\n"
+    (line (Engine.Event.Loads [| 1; 0; 2 |]));
+  Alcotest.(check string) "rejected escapes"
+    "{\"ok\":false,\"reply\":\"rejected\",\"error\":\"no \\\"x\\\"\"}\n"
+    (line (Engine.Event.Rejected "no \"x\""));
+  (* Formatted replies parse back as JSON. *)
+  List.iter
+    (fun reply ->
+      let s = line reply in
+      match Experiment.Json.of_string (String.trim s) with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "%S: %s" s msg)
+    [
+      Engine.Event.Ack; Engine.Event.Placed 3; Engine.Event.Level (-1);
+      Engine.Event.Loads [||]; Engine.Event.Rejected "empty";
+    ]
+
+let test_wire_address () =
+  (match Serve.Wire.parse_address "unix:/tmp/x.sock" with
+  | Ok (Serve.Wire.Unix_sock "/tmp/x.sock") -> ()
+  | _ -> Alcotest.fail "unix address");
+  (match Serve.Wire.parse_address "tcp:localhost:9090" with
+  | Ok (Serve.Wire.Tcp ("localhost", 9090)) -> ()
+  | _ -> Alcotest.fail "tcp address");
+  (match Serve.Wire.parse_address "tcp::8080" with
+  | Ok (Serve.Wire.Tcp ("127.0.0.1", 8080)) -> ()
+  | _ -> Alcotest.fail "tcp default host");
+  List.iter
+    (fun s ->
+      match Serve.Wire.parse_address s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should not parse" s)
+    [ "unix:"; "tcp:"; "tcp:host:0"; "tcp:host:banana"; "http://x"; "" ]
+
+let suite =
+  [
+    Alcotest.test_case "initial queries" `Quick test_initial_queries;
+    Alcotest.test_case "drained cluster rejects, then recovers" `Quick
+      test_drained_cluster_rejects;
+    Alcotest.test_case "extreme insert keys route in range" `Quick
+      test_extreme_insert_keys;
+    Alcotest.test_case "foreign state directory is refused" `Quick
+      test_fingerprint_mismatch;
+    Alcotest.test_case "rng save/restore replays the stream" `Quick
+      test_rng_save_restore;
+    Alcotest.test_case "wire parse" `Quick test_wire_parse;
+    Alcotest.test_case "wire format" `Quick test_wire_format;
+    Alcotest.test_case "wire addresses" `Quick test_wire_address;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        qcheck_batch_invariance;
+        qcheck_pool_invariance;
+        qcheck_state_roundtrip;
+        qcheck_kill_and_restore;
+        qcheck_torn_tail;
+      ]
