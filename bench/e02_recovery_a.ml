@@ -7,8 +7,15 @@
 
 module Ctx = Experiment.Ctx
 
+(* Config.repr is validated at load time, so the parse cannot fail. *)
+let repr_of ctx =
+  match Core.Repr.of_string (Ctx.repr ctx) with
+  | Ok r -> r
+  | Error msg -> invalid_arg msg
+
 let run ctx =
   let reps = Ctx.reps ctx in
+  let repr = repr_of ctx in
   let d = 2 in
   let table =
     Ctx.table ctx ~title:"E2: recovery of Id-ABKU[2] to fluid max load + 1"
@@ -31,8 +38,8 @@ let run ctx =
       let scale = Theory.Bounds.recovery_a_steps ~n in
       let rng = Ctx.rng ctx ~experiment:(2000 + n) in
       let meas, metrics =
-        Core.Recovery.measure_with_metrics ~domains:(Ctx.domains ctx) ~rng
-          ~reps spec ~target ~limit:(200 * int_of_float scale)
+        Core.Recovery.measure_with_metrics ~domains:(Ctx.domains ctx) ~repr
+          ~rng ~reps spec ~target ~limit:(200 * int_of_float scale)
       in
       points := (float_of_int n, meas.median) :: !points;
       Ctx.row table
@@ -54,7 +61,7 @@ let run ctx =
 let spec =
   Experiment.Spec.v ~id:"e2"
     ~claim:"scenario-A recovery from the worst state in O(n ln n) steps"
-    ~tags:[ "recovery"; "scenario-a"; "sim" ]
+    ~tags:[ "recovery"; "scenario-a"; "sim" ] ~uses_repr:true
     ~grid:
       (Experiment.Grid.v ~axis:"n=m" ~quick:[ 128; 256; 512; 1024; 2048 ]
          ~full:[ 128; 256; 512; 1024; 2048; 4096 ] ~reps:(11, 31) ())

@@ -6,8 +6,15 @@
 
 module Ctx = Experiment.Ctx
 
+(* Config.repr is validated at load time, so the parse cannot fail. *)
+let repr_of ctx =
+  match Core.Repr.of_string (Ctx.repr ctx) with
+  | Ok r -> r
+  | Error msg -> invalid_arg msg
+
 let run ctx =
   let reps = Ctx.reps ctx in
+  let repr = repr_of ctx in
   let d = 2 in
   let table =
     Ctx.table ctx ~title:"E4: recovery of Ib-ABKU[2] to fluid max load + 1"
@@ -30,8 +37,8 @@ let run ctx =
       let scale = Theory.Bounds.recovery_b_steps ~n in
       let rng = Ctx.rng ctx ~experiment:(4000 + n) in
       let meas, metrics =
-        Core.Recovery.measure_with_metrics ~domains:(Ctx.domains ctx) ~rng
-          ~reps spec ~target ~limit:(50 * int_of_float scale)
+        Core.Recovery.measure_with_metrics ~domains:(Ctx.domains ctx) ~repr
+          ~rng ~reps spec ~target ~limit:(50 * int_of_float scale)
       in
       points := (float_of_int n, meas.median) :: !points;
       Ctx.row table
@@ -56,7 +63,7 @@ let run ctx =
 let spec =
   Experiment.Spec.v ~id:"e4"
     ~claim:"scenario-B recovery from the worst state in O(n^2 ln n) steps"
-    ~tags:[ "recovery"; "scenario-b"; "sim" ]
+    ~tags:[ "recovery"; "scenario-b"; "sim" ] ~uses_repr:true
     ~grid:
       (Experiment.Grid.v ~axis:"n=m" ~quick:[ 32; 64; 128; 256; 512 ]
          ~full:[ 64; 128; 256; 512; 1024 ] ~reps:(9, 21) ())

@@ -36,6 +36,9 @@ let usage () =
      \  --resume         resume from snapshots left in the checkpoint dir\n\
      \                   (BENCH_RESUME); without it stale snapshots are\n\
      \                   deleted and the run starts fresh\n\
+     \  --repr NAME      stepper state backend (BENCH_REPR): array (the\n\
+     \                   default oracle), counts, or counts-sampled; only\n\
+     \                   experiments flagged in --list -v honour it\n\
      \  --tags A,B       keep only experiments carrying one of the tags\n\
      \  --env            list every environment variable the harness reads\n\
      \  -h, --help       this message\n"
@@ -108,11 +111,18 @@ let () =
     | "--resume" :: rest ->
         cfg := { !cfg with resume = true };
         parse rest
+    | "--repr" :: v :: rest ->
+        if not (Experiment.Config.valid_repr v) then
+          fail "--repr expects one of %s, got %S"
+            (String.concat " | " Experiment.Config.repr_names)
+            v;
+        cfg := { !cfg with repr = v };
+        parse rest
     | "--tags" :: v :: rest ->
         tags := !tags @ split_tags v;
         parse rest
     | [ ("--seed" | "--domains" | "--csv" | "--json" | "--tags" | "--trace"
-        | "--checkpoint") as flag ] ->
+        | "--checkpoint" | "--repr") as flag ] ->
         fail "%s expects a value" flag
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
         fail "unknown option %S (see --help)" arg
@@ -135,7 +145,7 @@ let () =
       fail "%s"
         (Experiment.Driver.selection_error_message specs
            Experiment.Driver.Empty_selection);
-    Experiment.Driver.print_list ~verbose:!verbose listed;
+    Experiment.Driver.print_list ~verbose:!verbose ~repr:!cfg.repr listed;
     exit 0
   end;
   match

@@ -133,6 +133,76 @@ let engine_vs_chain ctx =
   Ctx.note table (Printf.sprintf "speedup: %.1fx" (sim_rate /. chain_rate));
   Ctx.emit ctx table
 
+(* The representation tentpole's headline number: the array oracle keeps
+   the full n-slot sorted load vector hot (removal locates the hit bin
+   inside it), while the count-vector stepper walks the O(max_load)
+   level counts — a handful of words at n=10^4.  The count backend
+   consumes the generator in exactly the oracle's draw order, so its
+   max-load trajectory is checked bitwise here before any timing; the
+   sampled backend redistributes draws (2 per step via the ABKU cutoff
+   table) and is held to equality in law by `repro validate` instead. *)
+let repr_comparison ctx =
+  Printf.printf
+    "\n#### Micro — stepper state backends, Id-ABKU[2] (n=10_000)\n%!";
+  let n = 10_000 in
+  let process =
+    Core.Dynamic_process.make Core.Scenario.A (Core.Scheduling_rule.abku 2) ~n
+  in
+  let start = Loadvec.Load_vector.uniform ~n ~m:n in
+  let trace repr =
+    let g = Prng.Rng.create ~seed:0xAB5 () in
+    let s = Core.Dynamic_process.sim_repr ~repr process start in
+    Array.init 2_000 (fun _ ->
+        Engine.Sim.step s g;
+        Engine.Sim.probe s)
+  in
+  if trace Core.Repr.Count_backed <> trace Core.Repr.Array_backed then
+    failwith "micro: count-vector trajectory diverges from the array oracle";
+  let budget = 0.3 in
+  let measure repr =
+    let g = Prng.Rng.create ~seed:0xAB5 () in
+    let s = Core.Dynamic_process.sim_repr ~repr process start in
+    time_budget_loop ~budget (fun () -> Engine.Sim.step s g)
+  in
+  let rows = List.map (fun repr -> (repr, measure repr)) Core.Repr.all in
+  let array_rate =
+    match List.assoc_opt Core.Repr.Array_backed rows with
+    | Some (rate, _) -> rate
+    | None -> assert false
+  in
+  let table =
+    Ctx.table ctx ~title:"stepper state backends"
+      ~columns:[ "backend"; "steps/sec"; "minor words/step"; "vs array" ]
+  in
+  List.iter
+    (fun (repr, (rate, alloc)) ->
+      Ctx.row table
+        ~values:
+          [
+            ("steps_per_sec", rate);
+            ("minor_words", alloc);
+            ("speedup_vs_array", rate /. array_rate);
+          ]
+        [
+          Core.Repr.name repr;
+          Printf.sprintf "%.0f" rate;
+          Printf.sprintf "%.2f" alloc;
+          Printf.sprintf "%.1fx" (rate /. array_rate);
+        ])
+    rows;
+  let speedup_of repr =
+    match List.assoc_opt repr rows with
+    | Some (rate, _) -> rate /. array_rate
+    | None -> 0.
+  in
+  Ctx.note table
+    (Printf.sprintf
+       "count-vector speedup over the array oracle: %.1fx (counts, trajectory \
+        verified bitwise), %.1fx (counts-sampled, equal in law)"
+       (speedup_of Core.Repr.Count_backed)
+       (speedup_of Core.Repr.Count_sampled));
+  Ctx.emit ctx table
+
 (* Mean seconds per call of [f] under a wall-clock budget.  Calls here
    are ms-scale, so no batching: one warm call, then count whole
    calls. *)
@@ -148,6 +218,105 @@ let time_calls ~budget f =
     elapsed := Unix.gettimeofday () -. t0
   done;
   !elapsed /. float_of_int !count
+
+(* The fused multi-vector kernel against B separate [step_tv] sweeps
+   over the same blocked CSR: one traversal of the matrix per batch
+   instead of B.  Bit-identity is asserted first — same zero-row skip,
+   same row-order accumulation, same chunk-order statistic reduction —
+   so the table doubles as a parity check; the timing then shows the
+   matrix-traffic amortisation that worst_tv_profile and the batched
+   mixing search ride on. *)
+let fused_mixing ctx =
+  Printf.printf "\n#### Micro — fused multi-vector mixing kernel\n%!";
+  let n = 40 in
+  let process =
+    Core.Dynamic_process.make Core.Scenario.A (Core.Scheduling_rule.abku 2) ~n
+  in
+  let chain =
+    Markov.Exact_builder.build
+      (Markov.Exact_builder.enumerated
+         (Markov.Partition_space.enumerate ~n ~m:n))
+      ~transitions:(Core.Dynamic_process.exact_transitions process)
+  in
+  let size = Markov.Exact.size chain in
+  let pi = Markov.Exact.stationary chain in
+  let kern = Markov.Blocked_csr.kernel (Markov.Exact.blocked chain) in
+  let budget = 0.2 in
+  let table =
+    Ctx.table ctx ~title:"fused multi-vector mixing kernel"
+      ~columns:
+        [ "batch"; "unfused ms/sweep"; "fused ms/sweep"; "speedup" ]
+  in
+  (* Dense sources (structured perturbations of pi): a point mass would
+     let the zero-row skip bypass the traversal entirely, timing only
+     the O(|Omega|) zero-fill and statistic scans. *)
+  let dense b =
+    let v =
+      Array.mapi
+        (fun j p -> p *. (1. +. (0.5 *. cos (float_of_int (j * (b + 1))))))
+        pi
+    in
+    let total = Array.fold_left ( +. ) 0. v in
+    Array.map (fun x -> x /. total) v
+  in
+  List.iter
+    (fun nb ->
+      let srcs = Array.init nb dense in
+      let dsts = Array.init nb (fun _ -> Array.make size 0.) in
+      (* Parity: the batched sweep must reproduce the sequential one to
+         the last bit, TVs and evolved vectors alike. *)
+      let seq_dsts = Array.init nb (fun _ -> Array.make size 0.) in
+      let seq_tvs =
+        Array.init nb (fun b ->
+            Markov.Blocked_csr.step_tv kern ~pi ~src:srcs.(b)
+              ~dst:seq_dsts.(b))
+      in
+      let tvs = Markov.Blocked_csr.step_tv_multi kern ~pi ~srcs ~dsts in
+      for b = 0 to nb - 1 do
+        if Int64.bits_of_float tvs.(b) <> Int64.bits_of_float seq_tvs.(b)
+        then failwith "micro: fused TV differs from sequential step_tv";
+        for j = 0 to size - 1 do
+          if
+            Int64.bits_of_float dsts.(b).(j)
+            <> Int64.bits_of_float seq_dsts.(b).(j)
+          then failwith "micro: fused product differs from sequential spmv"
+        done
+      done;
+      let unfused_s =
+        time_calls ~budget (fun () ->
+            for b = 0 to nb - 1 do
+              ignore
+                (Markov.Blocked_csr.step_tv kern ~pi ~src:srcs.(b)
+                   ~dst:dsts.(b))
+            done)
+      in
+      let fused_s =
+        time_calls ~budget (fun () ->
+            Markov.Blocked_csr.step_tv_multi kern ~pi ~srcs ~dsts)
+      in
+      Ctx.row table
+        ~values:
+          [
+            ("batch", float_of_int nb);
+            ("unfused_ms", unfused_s *. 1e3);
+            ("fused_ms", fused_s *. 1e3);
+            ("speedup_vs_unfused", unfused_s /. fused_s);
+          ]
+        [
+          string_of_int nb;
+          Printf.sprintf "%.3f" (unfused_s *. 1e3);
+          Printf.sprintf "%.3f" (fused_s *. 1e3);
+          Printf.sprintf "%.2fx" (unfused_s /. fused_s);
+        ])
+    [ 4; 8; 16 ];
+  Ctx.note table
+    (Printf.sprintf
+       "all batches verified bitwise against B separate step_tv sweeps \
+        (|Omega| = %d, nnz = %d); one matrix traversal per batch is the \
+        win worst_tv_profile and the batched mixing search inherit"
+       size
+       (Markov.Blocked_csr.nnz (Markov.Exact.blocked chain)));
+  Ctx.emit ctx table
 
 (* The exact-layer refactor's headline number: dense mixing_time scans
    t = 0,1,2,... with a full |Omega|^3 matrix product per step and
@@ -438,6 +607,7 @@ let serve_throughput ctx =
           shards;
           scenario = Core.Scenario.A;
           rule = Core.Scheduling_rule.abku 2;
+          repr = Core.Repr.Array_backed;
           seed = 0xC10C;
         }
       in
@@ -483,6 +653,8 @@ let serve_throughput ctx =
   Ctx.emit ctx table
 
 let run ctx =
+  repr_comparison ctx;
+  fused_mixing ctx;
   dense_vs_sparse ctx;
   blocked_spmv ctx;
   engine_vs_chain ctx;

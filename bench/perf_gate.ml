@@ -5,18 +5,36 @@
 
    An experiment regresses when its wall time exceeds [ratio] x the
    baseline AND both sides are above the [min-wall] floor — machine
-   noise dominates below a few hundredths of a second, and CI runners
-   are slower than the machine that recorded the baseline, so the
-   default ratio is deliberately loose (4x): the gate exists to catch
-   order-of-magnitude accidents (an O(n) loop turned O(n^2), a kernel
-   falling off its fast path), not 20% drift.  PERF_GATE_RATIO and
-   PERF_GATE_MIN_WALL override the defaults in CI without a rebuild.
+   noise dominates below a few hundredths of a second.  The default
+   ratio is 2x: loose enough for CI-runner speed variance, tight enough
+   that an O(n) loop turned O(n^2) or a kernel falling off its fast
+   path trips it.  Experiments whose wall time is structurally noisier
+   carry a per-benchmark override in the baseline document's "gate"
+   section:
+
+     "gate": {
+       "ratios": { "e8": 3.0 },
+       "floors": [
+         { "id": "micro", "table": "stepper state backends",
+           "row": "counts", "value": "speedup_vs_array", "min": 5.0 }
+       ]
+     }
+
+   [ratios] overrides the wall-time ratio for one experiment id.
+   [floors] are value gates on table cells of the CURRENT document: the
+   named row (or, with "row" omitted, the best row) of the named table
+   must carry [value] >= [min] — this is how the representation-backend
+   and fused-kernel speedups are held above their committed claims.  A
+   floor whose experiment is absent from the current document is
+   reported and skipped, so the same baseline serves both the pinned
+   e1/e8 run and the micro run.  PERF_GATE_RATIO and PERF_GATE_MIN_WALL
+   override the defaults in CI without a rebuild.
 
    Experiments present on only one side are reported but do not fail
    the gate: the baseline is refreshed by committing a new file, and a
    newly added experiment must not break the gate retroactively. *)
 
-let default_ratio = 4.0
+let default_ratio = 2.0
 let default_min_wall = 0.05
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("perf_gate: " ^ s); exit 2) fmt
@@ -29,6 +47,11 @@ let read_doc path =
       | Ok doc -> doc
       | Error msg -> fail "%s: %s" path msg)
 
+let number = function
+  | Experiment.Json.Float f -> Some f
+  | Experiment.Json.Int i -> Some (float_of_int i)
+  | _ -> None
+
 (* id -> wall_seconds for every experiment in the document. *)
 let wall_times doc =
   match Experiment.Json.member "experiments" doc with
@@ -39,13 +62,152 @@ let wall_times doc =
             ( Experiment.Json.member "id" exp,
               Experiment.Json.member "wall_seconds" exp )
           with
-          | Some (Experiment.Json.String id), Some (Experiment.Json.Float w) ->
-              Some (id, w)
-          | Some (Experiment.Json.String id), Some (Experiment.Json.Int w) ->
-              Some (id, float_of_int w)
+          | Some (Experiment.Json.String id), Some w ->
+              Option.map (fun w -> (id, w)) (number w)
           | _ -> None)
         exps
   | _ -> fail "document has no \"experiments\" list"
+
+(* The baseline's optional "gate" section. *)
+type floor = {
+  f_id : string;
+  f_table : string;
+  f_row : string option;
+  f_value : string;
+  f_min : float;
+}
+
+let gate_of doc =
+  match Experiment.Json.member "gate" doc with
+  | None -> ([], [])
+  | Some g ->
+      let ratios =
+        match Experiment.Json.member "ratios" g with
+        | Some (Experiment.Json.Obj kvs) ->
+            List.filter_map
+              (fun (id, v) -> Option.map (fun r -> (id, r)) (number v))
+              kvs
+        | Some _ -> fail "gate.ratios must be an object of id -> ratio"
+        | None -> []
+      in
+      let floors =
+        match Experiment.Json.member "floors" g with
+        | Some (Experiment.Json.List fs) ->
+            List.map
+              (fun f ->
+                let str k =
+                  match Experiment.Json.member k f with
+                  | Some (Experiment.Json.String s) -> Some s
+                  | _ -> None
+                in
+                match
+                  ( str "id",
+                    str "table",
+                    str "value",
+                    Option.bind (Experiment.Json.member "min" f) number )
+                with
+                | Some f_id, Some f_table, Some f_value, Some f_min ->
+                    { f_id; f_table; f_row = str "row"; f_value; f_min }
+                | _ ->
+                    fail
+                      "gate.floors entries need string \"id\", \"table\", \
+                       \"value\" and numeric \"min\"")
+              fs
+        | Some _ -> fail "gate.floors must be a list"
+        | None -> []
+      in
+      (ratios, floors)
+
+(* The [floor.f_value] entries of the named table's rows, as
+   (first-cell, value) pairs — [None] when the experiment is absent
+   from the document (not an error: the floor then does not apply to
+   this run). *)
+let floor_candidates doc floor =
+  let exps =
+    match Experiment.Json.member "experiments" doc with
+    | Some (Experiment.Json.List exps) -> exps
+    | _ -> []
+  in
+  match
+    List.find_opt
+      (fun exp ->
+        Experiment.Json.member "id" exp
+        = Some (Experiment.Json.String floor.f_id))
+      exps
+  with
+  | None -> None
+  | Some exp ->
+      let tables =
+        match Experiment.Json.member "tables" exp with
+        | Some (Experiment.Json.List ts) -> ts
+        | _ -> []
+      in
+      let table =
+        match
+          List.find_opt
+            (fun t ->
+              Experiment.Json.member "title" t
+              = Some (Experiment.Json.String floor.f_table))
+            tables
+        with
+        | Some t -> t
+        | None ->
+            fail "floor on %s: no table titled %S in current document"
+              floor.f_id floor.f_table
+      in
+      let rows =
+        match Experiment.Json.member "rows" table with
+        | Some (Experiment.Json.List rows) -> rows
+        | _ -> []
+      in
+      Some
+        (List.filter_map
+           (fun row ->
+             let label =
+               match Experiment.Json.member "cells" row with
+               | Some (Experiment.Json.List (Experiment.Json.String c :: _))
+                 ->
+                   c
+               | _ -> "?"
+             in
+             match Experiment.Json.member "values" row with
+             | Some vals ->
+                 Option.bind (Experiment.Json.member floor.f_value vals)
+                   (fun v -> Option.map (fun v -> (label, v)) (number v))
+             | None -> None)
+           rows)
+
+let check_floor doc floor =
+  match floor_candidates doc floor with
+  | None ->
+      Printf.printf "floor %-10s %-32s %8s  skipped (not in current)\n"
+        floor.f_id floor.f_value "-";
+      false
+  | Some candidates ->
+      let relevant =
+        match floor.f_row with
+        | None -> candidates
+        | Some r -> List.filter (fun (label, _) -> label = r) candidates
+      in
+      let best =
+        List.fold_left (fun acc (_, v) -> Float.max acc v) neg_infinity
+          relevant
+      in
+      if relevant = [] then
+        fail "floor on %s: table %S has no row carrying %S%s" floor.f_id
+          floor.f_table floor.f_value
+          (match floor.f_row with
+          | Some r -> Printf.sprintf " at row %S" r
+          | None -> "");
+      let ok = best >= floor.f_min in
+      Printf.printf "floor %-10s %-32s %8.2f  %s (min %.2f%s)\n" floor.f_id
+        floor.f_value best
+        (if ok then "ok" else "BELOW FLOOR")
+        floor.f_min
+        (match floor.f_row with
+        | Some r -> Printf.sprintf ", row %s" r
+        | None -> ", best row");
+      not ok
 
 let env_float name default =
   match Sys.getenv_opt name with
@@ -80,9 +242,17 @@ let () =
     | [ b; c ] -> (b, c)
     | _ -> fail "usage: perf_gate.exe BASELINE CURRENT [--ratio R] [--min-wall S]"
   in
-  let baseline = wall_times (read_doc baseline_path) in
-  let current = wall_times (read_doc current_path) in
-  Printf.printf "perf gate: ratio %.2fx, floor %.3fs (%s vs %s)\n" ratio
+  let baseline_doc = read_doc baseline_path in
+  let current_doc = read_doc current_path in
+  let baseline = wall_times baseline_doc in
+  let current = wall_times current_doc in
+  let ratios, floors = gate_of baseline_doc in
+  let ratio_for id =
+    match List.assoc_opt id ratios with Some r -> r | None -> ratio
+  in
+  Printf.printf "perf gate: ratio %.2fx (%d override%s), floor %.3fs (%s vs %s)\n"
+    ratio (List.length ratios)
+    (if List.length ratios = 1 then "" else "s")
     min_wall baseline_path current_path;
   Printf.printf "%-12s %12s %12s %8s  %s\n" "experiment" "baseline(s)"
     "current(s)" "ratio" "verdict";
@@ -92,11 +262,13 @@ let () =
       match List.assoc_opt id current with
       | None -> Printf.printf "%-12s %12.3f %12s %8s  missing from current\n" id base "-" "-"
       | Some cur ->
+          let limit = ratio_for id in
           let r = if base > 0. then cur /. base else infinity in
-          let regressed = cur > min_wall && base > 0. && r > ratio in
+          let regressed = cur > min_wall && base > 0. && r > limit in
           if regressed then incr regressions;
           Printf.printf "%-12s %12.3f %12.3f %8.2f  %s\n" id base cur r
-            (if regressed then "REGRESSED"
+            (if regressed then
+               Printf.sprintf "REGRESSED (limit %.2fx)" limit
              else if cur <= min_wall then "ok (below floor)"
              else "ok"))
     baseline;
@@ -105,8 +277,14 @@ let () =
       if not (List.mem_assoc id baseline) then
         Printf.printf "%-12s %12s %12.3f %8s  new (no baseline)\n" id "-" cur "-")
     current;
-  if !regressions > 0 then begin
-    Printf.printf "perf gate: %d regression(s) beyond %.2fx\n" !regressions ratio;
+  let floor_failures =
+    List.fold_left
+      (fun acc floor -> if check_floor current_doc floor then acc + 1 else acc)
+      0 floors
+  in
+  if !regressions > 0 || floor_failures > 0 then begin
+    Printf.printf "perf gate: %d wall-time regression(s), %d floor failure(s)\n"
+      !regressions floor_failures;
     exit 1
   end;
   print_endline "perf gate: ok"

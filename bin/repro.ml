@@ -58,6 +58,23 @@ let rule_arg =
   Arg.(value & opt conv_rule (Core.Scheduling_rule.abku 2)
        & info [ "rule" ] ~docv:"RULE" ~doc)
 
+let repr_arg =
+  let conv_repr =
+    let parse s =
+      match Core.Repr.of_string s with
+      | Ok r -> Ok r
+      | Error m -> Error (`Msg m)
+    in
+    Arg.conv (parse, fun fmt r -> Format.fprintf fmt "%s" (Core.Repr.name r))
+  in
+  let doc =
+    "Representation backend for the hot path: " ^ Core.Repr.help
+    ^ ".  counts-sampled switches ABKU insertion to the cutoff table \
+       (equal in law, different draw trace)."
+  in
+  Arg.(value & opt conv_repr Core.Repr.Array_backed
+       & info [ "repr" ] ~docv:"REPR" ~doc)
+
 let steps_arg ~default =
   let doc = "Number of process steps." in
   Arg.(value & opt int default & info [ "steps" ] ~docv:"STEPS" ~doc)
@@ -542,28 +559,37 @@ let removal_cmd =
 
 (* ---- bench: the experiment framework ---- *)
 
-let bench ids list_only full seed domains csv json trace checkpoint resume tags
-    =
+let bench ids list_only verbose full seed domains csv json trace checkpoint
+    resume tags repr =
   let specs = Experiments.Registry.all in
-  if list_only then Experiment.Driver.print_list specs
+  (match repr with
+  | Some r when not (Experiment.Config.valid_repr r) ->
+      Printf.eprintf "repro bench: --repr expects one of %s, got %S\n%!"
+        (String.concat " | " Experiment.Config.repr_names)
+        r;
+      exit 2
+  | _ -> ());
+  let base = Experiment.Config.load () in
+  let cfg =
+    {
+      Experiment.Config.full = base.full || full;
+      seed = Option.value seed ~default:base.seed;
+      domains = Option.value domains ~default:base.domains;
+      csv_dir = (match csv with Some _ -> csv | None -> base.csv_dir);
+      json_dir = (match json with Some _ -> json | None -> base.json_dir);
+      trace = (match trace with Some _ -> trace | None -> base.trace);
+      checkpoint_dir =
+        (match checkpoint with
+        | Some _ -> checkpoint
+        | None -> base.checkpoint_dir);
+      resume = base.resume || resume;
+      metrics_dump = base.metrics_dump;
+      repr = Option.value repr ~default:base.repr;
+    }
+  in
+  if list_only then
+    Experiment.Driver.print_list ~verbose ~repr:cfg.repr specs
   else begin
-    let base = Experiment.Config.load () in
-    let cfg =
-      {
-        Experiment.Config.full = base.full || full;
-        seed = Option.value seed ~default:base.seed;
-        domains = Option.value domains ~default:base.domains;
-        csv_dir = (match csv with Some _ -> csv | None -> base.csv_dir);
-        json_dir = (match json with Some _ -> json | None -> base.json_dir);
-        trace = (match trace with Some _ -> trace | None -> base.trace);
-        checkpoint_dir =
-          (match checkpoint with
-          | Some _ -> checkpoint
-          | None -> base.checkpoint_dir);
-        resume = base.resume || resume;
-        metrics_dump = base.metrics_dump;
-      }
-    in
     let ids = List.map String.lowercase_ascii ids in
     match Experiment.Driver.select specs ~ids ~tags with
     | Error e ->
@@ -581,6 +607,12 @@ let bench_cmd =
   let list_only =
     Arg.(value & flag
          & info [ "list" ] ~doc:"List experiment ids, claims and tags.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "v"; "verbose" ]
+             ~doc:"With --list: show each spec's quick/full grid and the \
+                   representation backend it will run with.")
   in
   let full =
     Arg.(value & flag
@@ -629,10 +661,17 @@ let bench_cmd =
              ~doc:"Keep only experiments carrying one of the comma-separated \
                    tags.")
   in
+  let repr =
+    Arg.(value & opt (some string) None
+         & info [ "repr" ] ~docv:"NAME"
+             ~doc:"Stepper state backend (BENCH_REPR): array (the default \
+                   oracle), counts, or counts-sampled. Only experiments \
+                   flagged in --list -v honour it.")
+  in
   Cmd.v
     (Cmd.info "bench" ~doc:"Run the paper's experiment suite")
-    Term.(const bench $ ids $ list_only $ full $ seed $ domains $ csv $ json
-          $ trace $ checkpoint $ resume $ tags)
+    Term.(const bench $ ids $ list_only $ verbose $ full $ seed $ domains
+          $ csv $ json $ trace $ checkpoint $ resume $ tags $ repr)
 
 (* ---- validate: statistical conformance (lib/validate) ---- *)
 
@@ -749,10 +788,10 @@ let connect_arg =
   Arg.(value & opt address_conv default_address
        & info [ "connect" ] ~docv:"ADDR" ~doc)
 
-let serve seed n m scenario rule listen shards dir snapshot_every sync domains
-    max_batch quiet =
+let serve seed n m scenario rule repr listen shards dir snapshot_every sync
+    domains max_batch quiet =
   let m = resolve_m n m in
-  let cluster = { Serve.Cluster.n; m; shards; scenario; rule; seed } in
+  let cluster = { Serve.Cluster.n; m; shards; scenario; rule; repr; seed } in
   let domains =
     match domains with
     | Some d -> d
@@ -811,7 +850,7 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the allocation service daemon")
     Term.(const serve $ seed_arg $ n_arg $ m_arg $ scenario_arg $ rule_arg
-          $ listen $ shards $ dir $ snapshot_every $ sync $ domains
+          $ repr_arg $ listen $ shards $ dir $ snapshot_every $ sync $ domains
           $ max_batch $ quiet)
 
 let parse_mix s =

@@ -33,13 +33,24 @@ val step_probes : t -> Prng.Rng.t -> Loadvec.Mutable_vector.t -> int
 (** Like {!step_in_place} but returns the number of probes the insertion
     used (of interest for the ADAP ablation). *)
 
+val step_counts_in_place :
+  t -> Prng.Rng.t -> Loadvec.Count_vector.t -> unit
+(** One step on the count-vector (multiset) state.  Consumes the
+    generator in exactly the order of {!step_in_place}: on states with
+    equal multisets the two backends produce bit-identical
+    trajectories.  O(max_load) per step instead of O(n).
+    @raise Invalid_argument on a dimension mismatch or empty state. *)
+
+val step_counts_probes :
+  t -> Prng.Rng.t -> Loadvec.Count_vector.t -> int
+(** Like {!step_counts_in_place} but returns the probe count. *)
+
 val chain : t -> Loadvec.Load_vector.t Markov.Chain.t
-(** Functional view.
-    @deprecated for simulation: each step copies the state through
-    {!Loadvec.Mutable_vector.of_load_vector}/[to_load_vector] (two array
-    allocations plus a sort).  Use {!sim} with the {!Engine.Sim} drivers
-    instead; [chain] remains for exact-analysis-style functional
-    states. *)
+(** Functional one-step view on immutable vectors (each step copies the
+    state through {!Loadvec.Mutable_vector.of_load_vector}, so this is
+    for exact-analysis-style functional composition — e.g. feeding
+    {!Markov.Empirical} — not for simulation loops; those use {!sim}
+    or {!sim_repr} with the {!Engine.Sim} drivers). *)
 
 val sim :
   ?metrics:Engine.Metrics.t ->
@@ -49,6 +60,29 @@ val sim :
 (** Zero-allocation stepper on the given state buffer (adopted and
     mutated; the caller may keep it for cheap reads).  The probe is the
     maximum load; probes and RNG draws are counted per step.
+    @raise Invalid_argument on a dimension mismatch. *)
+
+val sim_repr :
+  ?metrics:Engine.Metrics.t ->
+  ?repr:Repr.t ->
+  t ->
+  Loadvec.Load_vector.t ->
+  Loadvec.Load_vector.t Engine.Sim.t
+(** Representation-selectable stepper, started from the given state.
+
+    - {!Repr.Array_backed} (default): {!sim} on a fresh
+      {!Loadvec.Mutable_vector} — the oracle.
+    - {!Repr.Count_backed}: {!Loadvec.Count_vector} state; same RNG
+      draw order as the oracle, bit-identical trajectories.
+    - {!Repr.Count_sampled}: count-vector state with branch-free
+      ABKU\[d\] insertion via {!Scheduling_rule.Abku_table} — one float
+      draw replaces the [d] probe draws, so trajectories are equal in
+      law but not in trace (checked by {!Validate}); ADAP rules fall
+      back to [Count_backed].
+
+    The probe metric always records the law's probe count; the draw
+    metric records actual RNG consumption (2 per step for the sampled
+    backend, [1 + probes] otherwise).
     @raise Invalid_argument on a dimension mismatch. *)
 
 val exact_transitions :

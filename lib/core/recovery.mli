@@ -17,11 +17,15 @@ val adversarial_bins : spec -> Bins.t
 (** All [m] balls in bin 0 — the worst state for the max-load measure. *)
 
 val time_to_max_load :
+  ?repr:Repr.t ->
   rng:Prng.Rng.t -> spec -> target:int -> limit:int -> int option
-(** Steps from the adversarial state until [max_load <= target]. *)
+(** Steps from the adversarial state until [max_load <= target].
+    [repr] selects the state backend (default {!Repr.Array_backed}, the
+    oracle with the historical draw order). *)
 
 val measure_with_metrics :
   ?domains:int ->
+  ?repr:Repr.t ->
   rng:Prng.Rng.t -> reps:int -> spec -> target:int -> limit:int ->
   Coupling.Coalescence.measurement * Engine.Metrics.snapshot
 (** Like {!measure}, additionally returning the aggregated engine
@@ -30,6 +34,7 @@ val measure_with_metrics :
 
 val measure :
   ?domains:int ->
+  ?repr:Repr.t ->
   rng:Prng.Rng.t -> reps:int -> spec -> target:int -> limit:int ->
   Coupling.Coalescence.measurement
 (** Repeated {!time_to_max_load} (failures = runs hitting [limit]).
@@ -37,6 +42,8 @@ val measure :
     (default 1) fans repetitions over OCaml domains with bit-identical
     results (generators split before the fan-out), and with
     [BENCH_METRICS=1] the aggregated engine counters are printed.
+    [repr] as in {!time_to_max_load}; backends that preserve the draw
+    order leave every measurement bit-identical.
     @raise Invalid_argument if [reps <= 0]. *)
 
 val trajectory :

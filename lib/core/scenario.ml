@@ -25,6 +25,21 @@ let remove_rank sc v ~u =
       let s = Mv.support v in
       Stdlib.min (int_of_float (u *. float_of_int s)) (s - 1)
 
+(* Count-vector form of [remove_rank]: same single float draw, same
+   branch decisions (Cv.level_of_ball replays the scenario-A prefix
+   scan over level blocks), returning the load class the removal hits
+   instead of a rank — which by Fact 3.2 is all a normalized state
+   needs. *)
+let remove_level sc cv ~u =
+  let module Cv = Loadvec.Count_vector in
+  let m = Cv.total cv in
+  if m <= 0 then invalid_arg "Scenario.remove_level: no balls";
+  match sc with
+  | A -> Cv.level_of_ball cv ~target:(u *. float_of_int m)
+  | B ->
+      let s = Cv.support cv in
+      Cv.level_of_rank cv (Stdlib.min (int_of_float (u *. float_of_int s)) (s - 1))
+
 let removal_distribution sc ~loads =
   let n = Array.length loads in
   let m = Array.fold_left ( + ) 0 loads in

@@ -16,6 +16,15 @@ val remove_rank : t -> Loadvec.Mutable_vector.t -> u:float -> int
     same [u] yields the monotone removal coupling.
     @raise Invalid_argument if the vector is empty of balls. *)
 
+val remove_level : t -> Loadvec.Count_vector.t -> u:float -> int
+(** Count-vector form of {!remove_rank}: same variate, same branch
+    decisions, but the answer is the load class hit by the removal
+    (which determines the normalized successor by Fact 3.2).  On any
+    pair of states with equal multisets, [remove_level] on the count
+    vector and [remove_rank] on the array pick the same class for every
+    [u] — the contract behind the bit-identical count-backed stepper.
+    @raise Invalid_argument if the vector is empty of balls. *)
+
 val removal_distribution : t -> loads:int array -> float array
 (** Exact law over ranks for a normalized [loads] vector; used to build
     exact transition matrices.

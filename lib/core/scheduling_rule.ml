@@ -39,6 +39,89 @@ let choose_rank rule ~loads ~probe =
       in
       go 1
 
+(* Branch-free ABKU[d] insertion: on a normalized vector the chosen
+   rank is the maximum of d uniform ranks, whose CDF at the level
+   boundaries is B(l) = (g(l)/n)^d with g(l) the number of bins of load
+   >= l.  The table keeps g and B per level; an elementary shift of one
+   bin between adjacent levels changes a single g entry, so maintenance
+   is O(1) per move, and a draw is one float plus an ascending scan of
+   the occupied levels (no per-probe branching or memory chasing). *)
+module Abku_table = struct
+  type table = {
+    d : int;
+    n : int;
+    mutable geq : int array;  (* geq.(l) = #bins with load >= l *)
+    mutable b : float array;  (* b.(l) = (geq.(l) / n)^d *)
+    mutable max_level : int;  (* highest l with geq.(l) > 0 *)
+  }
+
+  let cdf t l = (float_of_int t.geq.(l) /. float_of_int t.n) ** float_of_int t.d
+
+  let create ~d ~n ~max_level ~count =
+    if d < 1 then invalid_arg "Abku_table.create: d must be >= 1";
+    if n <= 0 then invalid_arg "Abku_table.create: n must be positive";
+    let cap = max_level + 2 in
+    let t =
+      { d; n; geq = Array.make cap 0; b = Array.make cap 0.; max_level }
+    in
+    (* Suffix sums of the level counts. *)
+    let acc = ref 0 in
+    for l = max_level downto 1 do
+      acc := !acc + count l;
+      t.geq.(l) <- !acc;
+      t.b.(l) <- cdf t l
+    done;
+    t.geq.(0) <- n;
+    t.b.(0) <- 1.;
+    while t.max_level > 0 && t.geq.(t.max_level) = 0 do
+      t.max_level <- t.max_level - 1
+    done;
+    t
+
+  let grow t l =
+    if l >= Array.length t.geq then begin
+      let cap = Stdlib.max (l + 1) (2 * Array.length t.geq) in
+      let geq = Array.make cap 0 and b = Array.make cap 0. in
+      Array.blit t.geq 0 geq 0 (Array.length t.geq);
+      Array.blit t.b 0 b 0 (Array.length t.b);
+      t.geq <- geq;
+      t.b <- b
+    end
+
+  (* A bin rose from level [l - 1] to [l]: only g(l) changes. *)
+  let on_gain t l =
+    if l < 1 then invalid_arg "Abku_table.on_gain: level must be >= 1";
+    grow t l;
+    t.geq.(l) <- t.geq.(l) + 1;
+    t.b.(l) <- cdf t l;
+    if l > t.max_level then t.max_level <- l
+
+  (* A bin fell from level [l] to [l - 1]: only g(l) changes. *)
+  let on_loss t l =
+    if l < 1 || t.geq.(l) <= 0 then
+      invalid_arg "Abku_table.on_loss: no bin at level";
+    t.geq.(l) <- t.geq.(l) - 1;
+    t.b.(l) <- cdf t l;
+    while t.max_level > 0 && t.geq.(t.max_level) = 0 do
+      t.max_level <- t.max_level - 1
+    done
+
+  (* P(level = l) = B(l) - B(l + 1): exactly the mass the rank law
+     ((j+1)/n)^d - (j/n)^d puts on the rank class of level l. *)
+  let draw_level t g =
+    let u = Prng.Rng.float g in
+    let l = ref 0 in
+    while !l < t.max_level && u < t.b.(!l + 1) do
+      incr l
+    done;
+    !l
+
+  let level_distribution t =
+    Array.init (t.max_level + 1) (fun l ->
+        let hi = if l = t.max_level then 0. else t.b.(l + 1) in
+        t.b.(l) -. hi)
+end
+
 (* Dynamic program over (probe count, best rank so far): alive.(r) is the
    probability mass that has taken t probes, has best rank r, and has not
    yet stopped.  A state stops at time t iff x_{load r} <= t. *)

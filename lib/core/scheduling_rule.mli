@@ -39,6 +39,43 @@ val choose_rank : t -> loads:int array -> probe:Probe.t -> int * int
     vector [loads] (sorted non-increasingly) reading ranks from [probe].
     Returns [(rank, probes_used)]. *)
 
+(** Branch-free ABKU\[d\] insertion sampling.  On a normalized vector
+    the inserted rank is the maximum of [d] uniform ranks; grouped by
+    load level its CDF at the class boundaries is [B(l) = (g(l)/n)^d]
+    with [g(l)] the number of bins of load at least [l].  The table
+    precomputes [B] and keeps it current under the elementary moves of
+    the dynamic processes — each move changes a single [g] entry, so
+    maintenance is O(1) — turning a d-probe insertion into one float
+    draw plus a short ascending scan.  This is the sampler behind the
+    [counts-sampled] backend of {!Repr}; it spends its randomness
+    differently from the probe-by-probe oracle, so it is equal in law
+    but not in trace. *)
+module Abku_table : sig
+  type table
+
+  val create : d:int -> n:int -> max_level:int -> count:(int -> int) -> table
+  (** Build from level counts: [count l] must return the number of bins
+      carrying exactly [l] balls, for [0 <= l <= max_level].
+      @raise Invalid_argument if [d < 1] or [n <= 0]. *)
+
+  val on_gain : table -> int -> unit
+  (** [on_gain t l]: a bin rose from level [l - 1] to [l]. *)
+
+  val on_loss : table -> int -> unit
+  (** [on_loss t l]: a bin fell from level [l] to [l - 1].
+      @raise Invalid_argument if no bin sits at level [l]. *)
+
+  val draw_level : table -> Prng.Rng.t -> int
+  (** Sample the level of the bin that receives the ball (its load
+      {e before} the insertion), using one float draw. *)
+
+  val level_distribution : table -> float array
+  (** Exact law of {!draw_level}: entry [l] is the probability the ball
+      lands in a bin of current load [l].  Sums to 1; used by the
+      conformance tests to check the table against
+      {!rank_distribution}. *)
+end
+
 val rank_distribution : t -> loads:int array -> float array
 (** The exact law of [choose_rank]'s rank on the given normalized vector:
     entry [j] is the probability the new ball lands at rank [j].  Closed

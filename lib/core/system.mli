@@ -7,8 +7,13 @@
 
 type t
 
-val create : Scenario.t -> Scheduling_rule.t -> Bins.t -> t
-(** Adopts (and will mutate) the given bins.
+val create : ?repr:Repr.t -> Scenario.t -> Scheduling_rule.t -> Bins.t -> t
+(** Adopts (and will mutate) the given bins.  [repr] (default
+    {!Repr.Array_backed}) selects the insertion machinery:
+    [Count_sampled] with an ABKU rule enables the bins'
+    {!Bins.enable_sampled_insertion} cutoff table (2 draws per insert,
+    equal in law but not in trace); [Count_backed] is identical to
+    [Array_backed] here, since {!Bins} is already count-indexed.
     @raise Invalid_argument if the bins hold no balls. *)
 
 val scenario : t -> Scenario.t

@@ -17,9 +17,9 @@
     {!Core.Open_process.sim}, {!Coupling.Coupled_chain.sim},
     {!Edgeorient.Orientation.sim}, …).  The rep-loop drivers below are
     [Step]-event streams over {!apply} — bit-identical to the historical
-    step loops — and mirror {!Markov.Chain}'s API so call sites migrate
-    mechanically; the chain drivers remain only for exact-analysis-style
-    functional states and are deprecated for simulation.  The serve
+    step loops.  They are the only driver loops in the repository:
+    {!Markov.Chain} is now just the functional one-step view for
+    exact-analysis-style immutable states.  The serve
     layer ({!Serve}) drives the same machines with the full vocabulary
     behind a socket front end. *)
 

@@ -17,7 +17,19 @@ type t = {
   metrics_dump : bool;
       (** Print the engine counter tables (steps, probes, draws,
           phases) after instrumented measurements. *)
+  repr : string;
+      (** State-representation backend for the stepper hot paths.  Kept
+          as a validated {e name} — the experiment layer sits below
+          [Core] in the dependency order, so the harnesses parse it with
+          [Core.Repr.of_string] at the point of use. *)
 }
+
+(* Must match the [Core.Repr.name] spellings; validated here so a typo
+   in BENCH_REPR/--repr fails loudly instead of silently running the
+   default backend. *)
+let repr_names = [ "array"; "counts"; "counts-sampled" ]
+
+let valid_repr name = List.mem name repr_names
 
 let default =
   {
@@ -30,6 +42,7 @@ let default =
     checkpoint_dir = None;
     resume = false;
     metrics_dump = false;
+    repr = "array";
   }
 
 (* The single source of truth for the harness environment.  [load]
@@ -45,6 +58,7 @@ let env_table =
     ("BENCH_METRICS", "flag", "dump engine counter tables (steps, probes, draws, phases)");
     ("BENCH_CHECKPOINT", "dir", "snapshot long exact-analysis runs into DIR");
     ("BENCH_RESUME", "flag", "resume from snapshots left in BENCH_CHECKPOINT");
+    ("BENCH_REPR", "name", "stepper state backend: array (default), counts, counts-sampled");
     ("REPRO_TRACE", "file", "write a Chrome/Perfetto trace of the run to FILE");
   ]
 
@@ -68,6 +82,15 @@ let env_int name ~min ~default =
       match int_of_string_opt s with Some v when v >= min -> v | _ -> default)
   | None -> default
 
+let env_repr name ~default =
+  match Sys.getenv_opt name with
+  | Some s when valid_repr s -> s
+  | Some s ->
+      invalid_arg
+        (Printf.sprintf "%s: unknown representation %S (expected %s)" name s
+           (String.concat " | " repr_names))
+  | None -> default
+
 let load () =
   {
     full = env_flag "BENCH_FULL";
@@ -79,6 +102,7 @@ let load () =
     checkpoint_dir = Sys.getenv_opt "BENCH_CHECKPOINT";
     resume = env_flag "BENCH_RESUME";
     metrics_dump = env_flag "BENCH_METRICS";
+    repr = env_repr "BENCH_REPR" ~default:"array";
   }
 
 let mode_name cfg = if cfg.full then "FULL" else "quick"

@@ -17,7 +17,21 @@ type t = {
       (** Print engine counter tables after instrumented measurements
           ([BENCH_METRICS]); {!Driver.run} forwards this to
           {!Engine.Metrics.set_dump}. *)
+  repr : string;
+      (** State-representation backend for the stepper hot paths
+          ([BENCH_REPR] / [--repr]): one of {!repr_names}.  The
+          experiment layer sits below [Core] in the dependency order, so
+          the value is kept as a validated name and parsed with
+          [Core.Repr.of_string] by the harness at the point of use.
+          Specs that honour it are flagged {!Spec.t.uses_repr}; all
+          others run the array oracle regardless. *)
 }
+
+val repr_names : string list
+(** The accepted {!t.repr} spellings, matching [Core.Repr.name]:
+    ["array"], ["counts"], ["counts-sampled"]. *)
+
+val valid_repr : string -> bool
 
 val default : t
 (** Quick mode, seed [0xB0B], one domain, no file sinks, no trace. *)
@@ -31,7 +45,8 @@ val env_help : unit -> string
 (** {!env_table} rendered for [--help] output. *)
 
 val load : unit -> t
-(** [default] overridden by the environment per {!env_table}. *)
+(** [default] overridden by the environment per {!env_table}.
+    @raise Invalid_argument if [BENCH_REPR] names an unknown backend. *)
 
 val mode_name : t -> string
 (** ["quick"] or ["FULL"] — for result provenance. *)

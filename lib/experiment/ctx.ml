@@ -52,6 +52,7 @@ let id t = t.id
 let full t = t.config.Config.full
 let domains t = t.config.Config.domains
 let seed t = t.config.Config.seed
+let repr t = t.config.Config.repr
 let rng t ~experiment = Config.rng_for t.config ~experiment
 
 let sizes t =

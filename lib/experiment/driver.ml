@@ -49,14 +49,16 @@ let select specs ~ids ~tags =
     in
     if selected = [] then Error Empty_selection else Ok selected
 
-let print_list ?(verbose = false) specs =
+let print_list ?(verbose = false) ?(repr = "array") specs =
   List.iter
     (fun (s : Spec.t) ->
       Printf.printf "%-6s %s%s\n" s.id s.claim
         (match s.tags with
         | [] -> ""
         | tags -> Printf.sprintf "  [%s]" (String.concat " " tags));
-      if verbose then
+      if verbose then begin
+        Printf.printf "       repr: %s\n"
+          (if s.uses_repr then repr else "array (fixed)");
         match s.grid with
         | None -> Printf.printf "       grid: none\n"
         | Some g ->
@@ -69,7 +71,8 @@ let print_list ?(verbose = false) specs =
             let fmt ns = String.concat " " (List.map string_of_int ns) in
             Printf.printf "       %s: quick %d cells [%s]%s; full %d cells [%s]%s\n"
               g.Grid.axis (cells false) (fmt (sizes false)) (reps_str false)
-              (cells true) (fmt (sizes true)) (reps_str true))
+              (cells true) (fmt (sizes true)) (reps_str true)
+      end)
     specs
 
 let print_banner config =
@@ -124,6 +127,7 @@ let results_json ~config outcomes =
           [
             ("mode", Json.String (Config.mode_name config));
             ("seed", Json.Int config.Config.seed);
+            ("repr", Json.String config.Config.repr);
             ("domains", Json.Int config.Config.domains);
           ] );
       ( "experiments",

@@ -22,10 +22,12 @@ val select :
     [default = true]) and then keep only specs carrying at least one of
     [tags] ([[]] keeps all). *)
 
-val print_list : ?verbose:bool -> Spec.t list -> unit
-(** One line per spec: id, claim, tags.  With [~verbose:true], a second
-    line per spec shows the grid axis with the quick and full cell
-    counts, sizes and replication counts. *)
+val print_list : ?verbose:bool -> ?repr:string -> Spec.t list -> unit
+(** One line per spec: id, claim, tags.  With [~verbose:true], extra
+    lines per spec show which representation backend the grid will use —
+    [repr] (default ["array"]) for specs with {!Spec.t.uses_repr},
+    ["array (fixed)"] otherwise — and the grid axis with the quick and
+    full cell counts, sizes and replication counts. *)
 
 val print_banner : Config.t -> unit
 

@@ -582,3 +582,175 @@ let spmv k ~src ~dst = ignore (run k ~stat:No_stat ~src ~dst)
 let step_l1 k ~src ~dst = run k ~stat:L1_diff ~src ~dst
 let step_tv k ~pi ~src ~dst = run k ~stat:(Tv pi) ~src ~dst /. 2.
 let kernel_parallel k = Option.is_some k.pool
+
+(* {2 Multi-vector fused products}
+
+   Advance a whole batch of distribution vectors through one traversal
+   of the matrix.  The matrix is the dominant memory traffic of a fused
+   step (nnz column indices + values versus a handful of dense vectors),
+   so amortizing its read over B vectors is close to a Bx reduction in
+   traffic — the win the batched mixing sweeps in {!Exact} are built on.
+
+   Bit-identity with the single-vector path is preserved per vector: a
+   contribution [src.(row) * v] is added to [dst.(j)] if and only if
+   [src.(row) <> 0.] (the same skip {!seq_spmv} performs), and each
+   [dst.(j)] accumulates over rows in increasing global row order —
+   exactly the single-vector summation order.  The fused statistic is
+   likewise accumulated per column chunk and reduced in chunk order
+   independently for every vector, so
+   [step_tv_multi k ~pi ~srcs ~dsts] returns exactly the values the B
+   separate [step_tv] calls would. *)
+
+(* Sequential batched scatter.  The row's entries are the innermost
+   loop, replayed once per vector with the source value and destination
+   array in registers: a row (a few hundred bytes of CSR data) is pulled
+   from the block once and re-read from L1 by the remaining B-1 vectors,
+   which is where the traffic amortization comes from.  Entry-innermost
+   ordering (one pass over the row updating all B vectors per entry)
+   measures slower: it pays an [rv] load, a branch and a [dsts.(b)]
+   indirection per (entry, vector) while saving only L1-hot re-reads. *)
+let seq_spmv_multi t ~srcs ~dsts ~nb =
+  for b = 0 to nb - 1 do
+    Array.fill dsts.(b) 0 t.cols 0.
+  done;
+  for blk = 0 to block_count t - 1 do
+    with_shard t blk (fun ~row0 s ->
+        let rp = s.row_ptr and ci = s.col_idx and vs = s.values in
+        let nrows = Array.length rp - 1 in
+        for r = 0 to nrows - 1 do
+          let row = row0 + r in
+          let k0 = Array.unsafe_get rp r in
+          let k1 = Array.unsafe_get rp (r + 1) in
+          for b = 0 to nb - 1 do
+            let sv = Array.unsafe_get (Array.unsafe_get srcs b) row in
+            if sv <> 0. then begin
+              let d = Array.unsafe_get dsts b in
+              for k = k0 to k1 - 1 do
+                let j = Array.unsafe_get ci k in
+                Array.unsafe_set d j
+                  (Array.unsafe_get d j +. (sv *. Array.unsafe_get vs k))
+              done
+            end
+          done
+        done)
+  done
+
+(* Batched worker slice: the column-owner-computes split of
+   {!slice_spmv}, with the same vector-outermost replay of each row's
+   owned entry range as {!seq_spmv_multi}.  [any] gates the binary
+   search to [j0] (one per row, shared by the batch); the per-vector
+   scan then walks the L1-hot entries until it leaves the owned
+   column range. *)
+let slice_spmv_multi mat ~srcs ~dsts ~nb ~j0 ~j1 =
+  for b = 0 to nb - 1 do
+    Array.fill dsts.(b) j0 (j1 - j0) 0.
+  done;
+  Array.iteri
+    (fun blk st ->
+      match st with
+      | Disk _ -> assert false
+      | Mem s ->
+          let row0 = blk * mat.block_rows in
+          let rp = s.row_ptr and ci = s.col_idx and vs = s.values in
+          let nrows = Array.length rp - 1 in
+          for r = 0 to nrows - 1 do
+            let row = row0 + r in
+            let any = ref false in
+            for b = 0 to nb - 1 do
+              if Array.unsafe_get (Array.unsafe_get srcs b) row <> 0. then
+                any := true
+            done;
+            if !any then begin
+              let kend = Array.unsafe_get rp (r + 1) in
+              let lo = ref (Array.unsafe_get rp r) and hi = ref kend in
+              if j0 > 0 then
+                while !lo < !hi do
+                  let mid = (!lo + !hi) / 2 in
+                  if Array.unsafe_get ci mid < j0 then lo := mid + 1
+                  else hi := mid
+                done;
+              let k0 = !lo in
+              for b = 0 to nb - 1 do
+                let sv = Array.unsafe_get (Array.unsafe_get srcs b) row in
+                if sv <> 0. then begin
+                  let d = Array.unsafe_get dsts b in
+                  let k = ref k0 in
+                  let continue_ = ref (k0 < kend) in
+                  while !continue_ do
+                    let j = Array.unsafe_get ci !k in
+                    if j >= j1 then continue_ := false
+                    else begin
+                      Array.unsafe_set d j
+                        (Array.unsafe_get d j
+                        +. (sv *. Array.unsafe_get vs !k));
+                      incr k;
+                      if !k >= kend then continue_ := false
+                    end
+                  done
+                end
+              done
+            end
+          done)
+    mat.blocks
+
+let run_multi k ~stat ~srcs ~dsts =
+  let mat = k.mat in
+  let nb = Array.length srcs in
+  if Array.length dsts <> nb then
+    invalid_arg "Blocked_csr.step_tv_multi: srcs/dsts length mismatch";
+  if nb = 0 then [||]
+  else if nb = 1 then [| run k ~stat ~src:srcs.(0) ~dst:dsts.(0) |]
+  else begin
+    for b = 0 to nb - 1 do
+      if Array.length srcs.(b) <> mat.rows || Array.length dsts.(b) <> mat.cols
+      then invalid_arg "Blocked_csr.spmv: dimension mismatch"
+    done;
+    Obs.Counter.incr spmv_counter;
+    (* Per-chunk, per-vector partials: chunk c of vector b lives at
+       [c * nb + b], written by the (unique) worker owning chunk c. *)
+    let chunk_stat =
+      match stat with
+      | No_stat -> [||]
+      | _ -> Array.make (k.nchunks * nb) 0.
+    in
+    let stat_chunks ~c0 ~c1 =
+      match stat with
+      | No_stat -> ()
+      | _ ->
+          for c = c0 to c1 - 1 do
+            let j0, j1 = chunk_bounds mat c in
+            for b = 0 to nb - 1 do
+              chunk_stat.((c * nb) + b) <-
+                chunk_stat_value ~stat ~src:srcs.(b) ~dst:dsts.(b) ~j0 ~j1
+            done
+          done
+    in
+    (match k.pool with
+    | None ->
+        seq_spmv_multi mat ~srcs ~dsts ~nb;
+        stat_chunks ~c0:0 ~c1:k.nchunks
+    | Some pool ->
+        Parallel.Pool.run pool (fun w _ ->
+            let c0 = k.ranges.(w) and c1 = k.ranges.(w + 1) in
+            if c1 > c0 then begin
+              let j0 = c0 * chunk_cols
+              and j1 = Stdlib.min mat.cols (c1 * chunk_cols) in
+              slice_spmv_multi mat ~srcs ~dsts ~nb ~j0 ~j1;
+              stat_chunks ~c0 ~c1
+            end));
+    match stat with
+    | No_stat -> Array.make nb 0.
+    | _ ->
+        let totals = Array.make nb 0. in
+        for c = 0 to k.nchunks - 1 do
+          for b = 0 to nb - 1 do
+            totals.(b) <- totals.(b) +. chunk_stat.((c * nb) + b)
+          done
+        done;
+        totals
+  end
+
+let spmv_multi k ~srcs ~dsts = ignore (run_multi k ~stat:No_stat ~srcs ~dsts)
+
+let step_tv_multi k ~pi ~srcs ~dsts =
+  Array.map (fun s -> s /. 2.) (run_multi k ~stat:(Tv pi) ~srcs ~dsts)

@@ -105,3 +105,29 @@ val step_tv :
   kernel -> pi:float array -> src:float array -> dst:float array -> float
 (** Fused evolution step: [dst ← src · P], returning
     [½ ‖dst − pi‖₁] — the TV distance driving mixing searches. *)
+
+val spmv_multi :
+  kernel -> srcs:float array array -> dsts:float array array -> unit
+(** Batched product without a fused statistic: [dsts.(b) ← srcs.(b) · P]
+    for every vector in one traversal of the matrix, each result
+    bit-identical to the corresponding {!spmv} call. *)
+
+val step_tv_multi :
+  kernel ->
+  pi:float array ->
+  srcs:float array array ->
+  dsts:float array array ->
+  float array
+(** Batched fused evolution step: [dsts.(b) ← srcs.(b) · P] for every
+    vector of the batch in {e one} traversal of the matrix, returning
+    the per-vector TV distances [½ ‖dsts.(b) − pi‖₁].  The matrix —
+    indices plus values — dominates the memory traffic of a fused step,
+    so a batch of B vectors costs close to one single-vector product
+    instead of B; disk-backed matrices are streamed once per batch
+    instead of once per vector.  Every [dsts.(b)] and every returned
+    statistic is bit-identical to the corresponding single-vector
+    {!step_tv} call (same contribution skips, same per-entry summation
+    order, same chunk-order reduction), for any pool size.  See
+    [DESIGN.md], "The representation layer".
+    @raise Invalid_argument if [srcs] and [dsts] differ in length or any
+    vector has the wrong dimension. *)

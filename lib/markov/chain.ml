@@ -1,48 +1,3 @@
 type 'state t = { step : Prng.Rng.t -> 'state -> 'state }
 
 let make step = { step }
-
-let iterate c g s t =
-  if t < 0 then invalid_arg "Chain.iterate: negative step count";
-  let state = ref s in
-  for _ = 1 to t do
-    state := c.step g !state
-  done;
-  !state
-
-let fold c g s t ~init ~f =
-  if t < 0 then invalid_arg "Chain.fold: negative step count";
-  let acc = ref init in
-  let state = ref s in
-  for i = 1 to t do
-    state := c.step g !state;
-    acc := f !acc i !state
-  done;
-  !acc
-
-let trajectory c g s t =
-  if t < 0 then invalid_arg "Chain.trajectory: negative step count";
-  let state = ref s in
-  Array.init t (fun _ ->
-      state := c.step g !state;
-      !state)
-
-let first_hit c g s ~pred ~limit =
-  if limit < 0 then invalid_arg "Chain.first_hit: negative limit";
-  let rec go t state =
-    if pred state then Some t
-    else if t >= limit then None
-    else go (t + 1) (c.step g state)
-  in
-  go 0 s
-
-let sample_every c g s ~burn_in ~every ~samples obs =
-  if burn_in < 0 || every <= 0 || samples < 0 then
-    invalid_arg "Chain.sample_every: bad parameters";
-  let state = ref (iterate c g s burn_in) in
-  let out = ref [] in
-  for _ = 1 to samples do
-    state := iterate c g !state every;
-    out := obs !state :: !out
-  done;
-  List.rev !out

@@ -1,17 +1,18 @@
-(** Simulable discrete-time Markov chains.
+(** Discrete-time Markov chains as bare transition functions.
 
-    A chain is just a randomized transition function; the allocation
-    processes of the paper (Section 3.3) and the edge-orientation chain
-    (Section 6) are instances.  This module holds the generic driving
-    loops used by experiments.
+    A chain is just a randomized one-step map over an immutable state;
+    the allocation processes of the paper (Section 3.3) and the
+    edge-orientation chain (Section 6) are instances.  This functional
+    view is the composition point for exact-analysis-style consumers —
+    {!Markov.Empirical} drives it to estimate observable TV decay, and
+    couplings pair two of them over a shared draw.
 
-    @deprecated For {e simulation} prefer [Engine.Sim]: each process
-    module exposes a [sim] adapter whose steppers mutate preallocated
-    buffers instead of rebuilding functional states, and whose drivers
-    ([iterate], [fold], [first_hit], [trajectory], [sample_every])
-    mirror the ones here with always-on instrumentation.  This module
-    remains the right tool for chains over immutable states (exact
-    analysis, couplings built with [of_identity]). *)
+    Simulation {e drivers} live elsewhere: [Engine.Sim] steppers mutate
+    preallocated buffers and carry always-on instrumentation ([iterate],
+    [fold], [first_hit], [trajectory], [sample_every]); every process
+    module exposes a [sim] adapter (and representation-selecting
+    [sim_repr]) onto them.  The historical driver loops this module once
+    held were deleted in favour of those. *)
 
 type 'state t = {
   step : Prng.Rng.t -> 'state -> 'state;
@@ -19,28 +20,3 @@ type 'state t = {
 }
 
 val make : (Prng.Rng.t -> 'state -> 'state) -> 'state t
-
-val iterate : 'state t -> Prng.Rng.t -> 'state -> int -> 'state
-(** [iterate c g s t] runs [t] steps from [s].
-    @raise Invalid_argument if [t < 0]. *)
-
-val fold : 'state t -> Prng.Rng.t -> 'state -> int ->
-  init:'acc -> f:('acc -> int -> 'state -> 'acc) -> 'acc
-(** [fold c g s t ~init ~f] runs [t] steps, folding [f acc step_index
-    state] over the state {e after} each step. *)
-
-val trajectory : 'state t -> Prng.Rng.t -> 'state -> int -> 'state array
-(** States after steps 1..t (length [t]). *)
-
-val first_hit : 'state t -> Prng.Rng.t -> 'state ->
-  pred:('state -> bool) -> limit:int -> int option
-(** [first_hit c g s ~pred ~limit] is [Some t] for the smallest
-    [0 <= t <= limit] such that the state after [t] steps satisfies
-    [pred] ([t = 0] checks the initial state), or [None] if the predicate
-    never holds within [limit] steps. *)
-
-val sample_every : 'state t -> Prng.Rng.t -> 'state ->
-  burn_in:int -> every:int -> samples:int -> ('state -> 'a) -> 'a list
-(** [sample_every c g s ~burn_in ~every ~samples obs] runs [burn_in]
-    steps, then records [obs state] every [every] steps until [samples]
-    observations are collected.  Used to estimate stationary quantities. *)

@@ -245,11 +245,67 @@ let resolve_starts ~what c = function
         s;
       s
 
+(* {2 Batched per-start sweeps}
+
+   All-start analyses (TV profiles, mixing searches) evolve one point
+   mass per start through repeated fused products.  The matrix read —
+   nnz indices plus values — dominates each product's memory traffic, so
+   the sweeps below advance starts in {e batches} through
+   {!Blocked_csr.step_tv_multi}: one traversal of the matrix per time
+   step serves the whole batch, bit-identically per vector (see
+   [DESIGN.md], "The representation layer").  The worthwhile batch width
+   grows with the mean row density nnz/n (the same quantity the
+   [bcsr.block_nnz] histogram reports per block): the denser the matrix,
+   the more vector traffic one amortized traversal pays for.  The cap
+   keeps a batch's 2B dense vectors within reach of the outer cache. *)
+let multi_batch c =
+  Stdlib.max 4
+    (Stdlib.min 16 (Blocked_csr.nnz c.bcsr / Stdlib.max 1 (size c)))
+
+let chunk_starts bsz starts =
+  let m = Array.length starts in
+  Array.init
+    ((m + bsz - 1) / bsz)
+    (fun g -> Array.sub starts (g * bsz) (Stdlib.min bsz (m - (g * bsz))))
+
+(* One point mass per start of the batch, plus matching scratch. *)
+let point_masses ~n batch =
+  Array.map
+    (fun start ->
+      let a = Array.make n 0. in
+      a.(start) <- 1.;
+      a)
+    batch
+
 let worst_tv_after ?domains c ~pi t =
+  if t < 0 then invalid_arg "Exact.distribution_after: negative t";
+  let n = size c in
   let domains = if fan_out_safe c then domains else Some 1 in
+  let batches = chunk_starts (multi_batch c) (Array.init n Fun.id) in
   let tvs =
-    Parallel.init_array ?domains (size c) (fun start ->
-        tv_to_pi pi (distribution_after c ~start t))
+    Parallel.map_array ?domains
+      (fun batch ->
+        let cur = ref (point_masses ~n batch) in
+        if t = 0 then
+          Array.fold_left
+            (fun acc d -> Float.max acc (tv_to_pi pi d))
+            0. !cur
+        else begin
+          let kern = Blocked_csr.kernel c.bcsr in
+          let nxt = ref (Array.map (fun _ -> Array.make n 0.) batch) in
+          for _ = 1 to t do
+            Blocked_csr.spmv_multi kern ~srcs:!cur ~dsts:!nxt;
+            let tmp = !cur in
+            cur := !nxt;
+            nxt := tmp
+          done;
+          (* The final distance is taken flat over the vector — the same
+             summation order the historical per-start scan used. *)
+          Array.fold_left
+            (fun acc d -> Float.max acc (tv_to_pi pi d))
+            0. !cur
+        end)
+      batches
   in
   Array.fold_left Float.max 0. tvs
 
@@ -259,52 +315,73 @@ let stationary_expectation c ?pi ~f () =
   Array.iteri (fun i s -> acc := !acc +. (pi.(i) *. f s)) c.states;
   !acc
 
-(* Per-start TV decay curves.  Each start evolves its own distribution
-   vector by repeated fused products — work is independent per start, so
-   the sweep fans out over domains; the per-start curves (and hence
-   their pointwise max) are identical for any domain count.  A start
-   whose TV has fallen to ≤ drop_below stops evolving and keeps its last
-   value: per-start TV to π is non-increasing, so the profile error is
-   at most drop_below (exact for the default drop_below = 0). *)
+(* Per-start TV decay curves, swept in fused batches.  Work is
+   independent per start, so the batches fan out over domains; within a
+   batch every still-active start advances through one shared matrix
+   traversal per time step, with per-vector results bit-identical to the
+   historical one-start-at-a-time sweep (so the curves — and hence their
+   pointwise max — are identical for any domain count and batch shape).
+   A start whose TV has fallen to ≤ drop_below stops evolving (it drops
+   out of the batch) and keeps its last value: per-start TV to π is
+   non-increasing, so the profile error is at most drop_below (exact for
+   the default drop_below = 0). *)
 let worst_tv_profile ?domains ?(drop_below = 0.) ?starts c ~max_t =
   if max_t < 0 then invalid_arg "Exact.worst_tv_profile: negative max_t";
   let starts = resolve_starts ~what:"worst_tv_profile" c starts in
   let pi = stationary_cached c in
   let n = size c in
   let domains = if fan_out_safe c then domains else Some 1 in
-  let per_start =
+  let batches = chunk_starts (multi_batch c) starts in
+  let per_batch =
     Parallel.map_array ?domains
-      (fun start ->
+      (fun batch ->
         let kern = Blocked_csr.kernel c.bcsr in
-        let tvs = Array.make (max_t + 1) 0. in
-        let cur = ref (Array.make n 0.) in
-        let nxt = ref (Array.make n 0.) in
-        !cur.(start) <- 1.;
-        tvs.(0) <- tv_to_pi pi !cur;
+        let m = Array.length batch in
+        let tvs = Array.init m (fun _ -> Array.make (max_t + 1) 0.) in
+        let cur = point_masses ~n batch in
+        let nxt = Array.map (fun _ -> Array.make n 0.) batch in
+        (* [act.(0 .. nact-1)] are the batch positions still evolving;
+           a retired start holds its last value through max_t. *)
+        let act = Array.init m Fun.id in
+        let retire i t =
+          for u = t + 1 to max_t do
+            tvs.(i).(u) <- tvs.(i).(t)
+          done
+        in
+        let nact = ref 0 in
+        for i = 0 to m - 1 do
+          tvs.(i).(0) <- tv_to_pi pi cur.(i);
+          if tvs.(i).(0) <= drop_below then retire i 0
+          else begin
+            act.(!nact) <- i;
+            incr nact
+          end
+        done;
         let t = ref 1 in
-        let stopped = tvs.(0) <= drop_below in
-        let stopped = ref stopped in
-        if !stopped then
-          for u = 1 to max_t do
-            tvs.(u) <- tvs.(0)
+        while !nact > 0 && !t <= max_t do
+          let srcs = Array.init !nact (fun p -> cur.(act.(p))) in
+          let dsts = Array.init !nact (fun p -> nxt.(act.(p))) in
+          let ds = Blocked_csr.step_tv_multi kern ~pi ~srcs ~dsts in
+          let w = ref 0 in
+          for p = 0 to !nact - 1 do
+            let i = act.(p) in
+            let tmp = cur.(i) in
+            cur.(i) <- nxt.(i);
+            nxt.(i) <- tmp;
+            tvs.(i).(!t) <- ds.(p);
+            if ds.(p) <= drop_below then retire i !t
+            else begin
+              act.(!w) <- i;
+              incr w
+            end
           done;
-        while (not !stopped) && !t <= max_t do
-          let d = Blocked_csr.step_tv kern ~pi ~src:!cur ~dst:!nxt in
-          let tmp = !cur in
-          cur := !nxt;
-          nxt := tmp;
-          tvs.(!t) <- d;
-          if d <= drop_below then begin
-            for u = !t + 1 to max_t do
-              tvs.(u) <- d
-            done;
-            stopped := true
-          end;
+          nact := !w;
           incr t
         done;
         tvs)
-      starts
+      batches
   in
+  let per_start = Array.concat (Array.to_list per_batch) in
   Array.init (max_t + 1) (fun t ->
       Array.fold_left (fun acc tvs -> Float.max acc tvs.(t)) 0. per_start)
 
@@ -494,6 +571,51 @@ let search_crossing ~kern c ~pi ~eps ~max_t ~tau_hat ?save ?resume start =
       bump ();
       !hi
 
+(* Certify a batch of starts against the shared lower bound in fused
+   steps: all their point masses evolve together — one matrix traversal
+   per time step — and a start drops out of the batch as soon as its
+   (monotone) TV crosses ε at some t ≤ guess ≤ τ-so-far, since it can no
+   longer raise the maximum.  Starts still above ε at the bound are
+   returned for an exact individual {!search_crossing}.  The per-start
+   TVs are bit-identical to the single-vector pruning probe's, so the
+   certification decisions — and through them the final τ — match the
+   unbatched search exactly. *)
+let batch_prune ~kern c ~pi ~eps ~max_t ~tau_hat batch =
+  let n = size c in
+  let m = Array.length batch in
+  let guess = Stdlib.min (Atomic.get tau_hat) max_t in
+  let sp =
+    if Obs.enabled () then
+      Obs.begin_span "exact.prune_batch"
+        ~args:[ ("starts", Obs.Int m); ("guess", Obs.Int guess) ]
+    else Obs.null_span
+  in
+  let cur = point_masses ~n batch in
+  let nxt = Array.map (fun _ -> Array.make n 0.) batch in
+  let act = Array.init m Fun.id in
+  let nact = ref m in
+  let t = ref 0 in
+  while !nact > 0 && !t < guess do
+    incr t;
+    let srcs = Array.init !nact (fun p -> cur.(act.(p))) in
+    let dsts = Array.init !nact (fun p -> nxt.(act.(p))) in
+    let ds = Blocked_csr.step_tv_multi kern ~pi ~srcs ~dsts in
+    let w = ref 0 in
+    for p = 0 to !nact - 1 do
+      let i = act.(p) in
+      let tmp = cur.(i) in
+      cur.(i) <- nxt.(i);
+      nxt.(i) <- tmp;
+      if ds.(p) > eps then begin
+        act.(!w) <- i;
+        incr w
+      end
+    done;
+    nact := !w
+  done;
+  Obs.end_span ~args:[ ("survivors", Obs.Int !nact) ] sp;
+  Array.to_list (Array.init !nact (fun p -> batch.(act.(p))))
+
 let mixing_time_impl ~eps ~max_t ~domains ?starts ?checkpoint c =
   let n = size c in
   let starts = resolve_starts ~what:"mixing_time" c starts in
@@ -501,12 +623,7 @@ let mixing_time_impl ~eps ~max_t ~domains ?starts ?checkpoint c =
   (* A checkpointed search runs the starts sequentially so the snapshot
      is a single well-defined cursor; pooled products keep the domains
      busy instead.  Either way the answer is identical (see above). *)
-  let sequential =
-    Option.is_some checkpoint
-    || Array.length starts <= 2
-    || domains = 1
-    || not (fan_out_safe c)
-  in
+  let sequential = Option.is_some checkpoint || Array.length starts <= 2 in
   let body pool =
     (* Restore a matching mixing snapshot before π is computed: it
        carries the converged π, so a resumed run skips the solve. *)
@@ -628,24 +745,51 @@ let mixing_time_impl ~eps ~max_t ~domains ?starts ?checkpoint c =
         !best
       end
       else begin
-        (* Reserve one trace track per surviving start before the
-           fan-out so the merged trace groups each start's probes
-           together regardless of which domain ran it.  (The probe
-           *schedule* still depends on the shared pruning bound, so span
-           counts may vary across runs; the final τ does not.) *)
-        let track0 =
-          if Obs.enabled () then Obs.task_base ~count:(Array.length order)
-          else 0
+        (* Fused-batch search: the farthest-from-π start is searched
+           exactly first, so the shared bound is tight from the outset;
+           the remaining starts are then certified against it in fused
+           batches — one matrix traversal per time step serves a whole
+           batch — and the rare survivors (starts that can still raise
+           the maximum) get exact individual searches.  τ is identical
+           to the unbatched per-start fan-out: certified starts provably
+           cannot raise the maximum, and every survivor's exact crossing
+           bumps the shared bound.  (Batches fan out over domains when
+           every shard is resident; the probe *schedule* still depends
+           on the shared bound, so span counts may vary across runs; the
+           final τ does not.) *)
+        let kern = Blocked_csr.kernel c.bcsr in
+        let first = search_crossing ~kern c ~pi ~eps ~max_t ~tau_hat order.(0) in
+        let rest = Array.sub order 1 (Array.length order - 1) in
+        let batches = chunk_starts (multi_batch c) rest in
+        let batch_domains = if fan_out_safe c then domains else 1 in
+        let survivors =
+          if Array.length batches = 0 then [||]
+          else begin
+            (* One trace track per batch, reserved before the fan-out so
+               the merged trace groups each batch's probes together
+               regardless of which domain ran it. *)
+            let track0 =
+              if Obs.enabled () then
+                Obs.task_base ~count:(Array.length batches)
+              else 0
+            in
+            Parallel.map_array ~domains:batch_domains
+              (fun (g, batch) ->
+                Obs.in_task (track0 + g) (fun () ->
+                    let kern = Blocked_csr.kernel c.bcsr in
+                    batch_prune ~kern c ~pi ~eps ~max_t ~tau_hat batch))
+              (Array.mapi (fun g batch -> (g, batch)) batches)
+          end
         in
-        let crossings =
-          Parallel.map_array ~domains
-            (fun (k, start) ->
-              Obs.in_task (track0 + k) (fun () ->
-                  let kern = Blocked_csr.kernel c.bcsr in
-                  search_crossing ~kern c ~pi ~eps ~max_t ~tau_hat start))
-            (Array.mapi (fun k start -> (k, start)) order)
-        in
-        Array.fold_left max 1 crossings
+        let best = ref (max 1 first) in
+        Array.iter
+          (List.iter (fun start ->
+               let tau =
+                 search_crossing ~kern c ~pi ~eps ~max_t ~tau_hat start
+               in
+               if tau > !best then best := tau))
+          survivors;
+        max !best (Atomic.get tau_hat)
       end
     end
   in

@@ -60,3 +60,18 @@ let alias_sample g { prob; alias } =
   let n = Array.length prob in
   let i = Rng.int g n in
   if Rng.float g < prob.(i) then i else alias.(i)
+
+(* The law [alias_sample] actually draws from, computed symbolically
+   from the table: column i is hit directly with mass prob.(i)/n and
+   as the alias of every column pointing at it with the complementary
+   mass.  Lets tests check table construction exactly, with no
+   sampling noise. *)
+let alias_induced { prob; alias } =
+  let n = Array.length prob in
+  let p = Array.make n 0. in
+  for i = 0 to n - 1 do
+    p.(i) <- p.(i) +. prob.(i);
+    if prob.(i) < 1. then p.(alias.(i)) <- p.(alias.(i)) +. (1. -. prob.(i))
+  done;
+  let fn = float_of_int n in
+  Array.map (fun x -> x /. fn) p

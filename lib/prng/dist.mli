@@ -33,3 +33,10 @@ val alias_of_weights : float array -> alias
 
 val alias_sample : Rng.t -> alias -> int
 (** O(1) draw from the table. *)
+
+val alias_induced : alias -> float array
+(** The exact law of {!alias_sample} on the given table, recovered
+    symbolically from its probability and alias columns.  For a table
+    built by {!alias_of_weights} this equals the normalized input
+    weights up to float rounding — the property the conformance tests
+    pin down without sampling noise. *)

@@ -20,6 +20,7 @@ type config = {
   shards : int;
   scenario : Core.Scenario.t;
   rule : Core.Scheduling_rule.t;
+  repr : Core.Repr.t;
   seed : int;
 }
 
@@ -94,7 +95,7 @@ let create ?pool config =
             always works) or lower the shard count"
            s config.n config.m config.shards);
     Shard.create ~id:s ~lo ~scenario:config.scenario ~rule:config.rule
-      ~loads:slice ~rng:(Prng.Rng.split root)
+      ~repr:config.repr ~loads:slice ~rng:(Prng.Rng.split root)
   in
   let t = build ~pool config mk in
   (* Overwrite the placeholder router with the derived stream. *)
@@ -269,7 +270,7 @@ let of_state ?pool config (st : state) =
     if shard_st.Shard.bins.Core.Bins.sn_n <> len then
       invalid_arg "Serve.Cluster.of_state: shard width mismatch";
     Shard.of_state ~id:s ~lo ~scenario:config.scenario ~rule:config.rule
-      shard_st
+      ~repr:config.repr shard_st
   in
   let t = build ~pool config mk in
   let t = { t with router = Prng.Rng.restore st.router } in

@@ -24,6 +24,13 @@ type config = {
   shards : int;
   scenario : Core.Scenario.t;
   rule : Core.Scheduling_rule.t;
+  repr : Core.Repr.t;
+      (** Representation backend for the shards' insertion machinery.
+          [Count_sampled] with an ABKU rule switches every shard to
+          cutoff-table insertion (see {!Core.Bins.insert_sampled});
+          [Array_backed] and [Count_backed] are identical here, since
+          {!Core.Bins} is already count-indexed.  Part of the durability
+          fingerprint: snapshots and journals record it. *)
   seed : int;
 }
 

@@ -1,23 +1,27 @@
 (* Durability for the allocation service: a snapshot file plus an
    append-only event journal.
 
-   Snapshot schema "repro.serve-snapshot/2" (integers int64 LE,
+   Snapshot schema "repro.serve-snapshot/3" (integers int64 LE,
    strings length-prefixed):
 
-     magic[23] = "repro.serve-snapshot/2\n"
-     fingerprint            — n, m, shards, seed, scenario, rule
+     magic[23] = "repro.serve-snapshot/3\n"
+     fingerprint            — n, m, shards, seed, scenario, rule, repr
      seq                    — mutations routed when the snapshot was cut
      router[5]              — router generator words
      counts[shards]         — router ball accounting
      per shard: applied, watermark, rng[5],
-                registry (n, balls[...], slot_order[...], nonempty[...])
+                registry (n, balls[...], slot_order[...], nonempty[...],
+                          levels: count then one int array per load level)
 
    Schema /2 replaced the per-shard load vector with the full
    {!Core.Bins} registry snapshot: loads alone do not replay
-   bit-identically because removals sample registry orders.
+   bit-identically because removals sample registry orders.  Schema /3
+   added the representation backend to the fingerprint and the
+   per-level bucket orders to the registry: sampled insertion picks
+   uniformly inside a bucket, so bucket order is replayable state too.
 
-   Journal schema "repro.serve-journal/1" : the same fingerprint
-   header, then records
+   Journal schema "repro.serve-journal/2" (bumped alongside /3 for the
+   fingerprint's repr field): the same fingerprint header, then records
 
      [seq i64][count i64][count x event][trailer "JRNL"]
      event = tag u8: 0 = Step | 1 = Insert key:i64 | 2 = Remove
@@ -31,8 +35,8 @@
    snapshot cut at a record boundary is exactly: apply each record with
    [record.seq >= snapshot.seq]. *)
 
-let snapshot_magic = "repro.serve-snapshot/2\n"
-let journal_magic = "repro.serve-journal/1\n"
+let snapshot_magic = "repro.serve-snapshot/3\n"
+let journal_magic = "repro.serve-journal/2\n"
 let trailer = "JRNL"
 
 type fingerprint = {
@@ -42,16 +46,18 @@ type fingerprint = {
   seed : int;
   scenario : string;
   rule : string;
+  repr : string;
 }
 
 let fingerprint_of_config (c : Cluster.config) =
   { n = c.n; m = c.m; shards = c.shards; seed = c.seed;
     scenario = Core.Scenario.name c.scenario;
-    rule = Core.Scheduling_rule.name c.rule }
+    rule = Core.Scheduling_rule.name c.rule;
+    repr = Core.Repr.name c.repr }
 
 let fingerprint_to_string fp =
-  Printf.sprintf "n=%d m=%d shards=%d seed=%d scenario=%s rule=%s" fp.n fp.m
-    fp.shards fp.seed fp.scenario fp.rule
+  Printf.sprintf "n=%d m=%d shards=%d seed=%d scenario=%s rule=%s repr=%s" fp.n
+    fp.m fp.shards fp.seed fp.scenario fp.rule fp.repr
 
 (* {2 Encoding} *)
 
@@ -76,7 +82,8 @@ let put_fingerprint buf fp =
   put_i64 buf fp.shards;
   put_i64 buf fp.seed;
   put_str buf fp.scenario;
-  put_str buf fp.rule
+  put_str buf fp.rule;
+  put_str buf fp.repr
 
 exception Corrupt
 
@@ -134,7 +141,8 @@ let get_fingerprint c =
   let seed = get_i64 c in
   let scenario = get_str c in
   let rule = get_str c in
-  { n; m; shards; seed; scenario; rule }
+  let repr = get_str c in
+  { n; m; shards; seed; scenario; rule; repr }
 
 let read_all path =
   match open_in_bin path with
@@ -166,7 +174,9 @@ let save_snapshot ~path fp (st : Cluster.state) =
       put_i64 buf sh.bins.Core.Bins.sn_n;
       put_ints buf sh.bins.Core.Bins.sn_balls;
       put_ints buf sh.bins.Core.Bins.sn_slot_order;
-      put_ints buf sh.bins.Core.Bins.sn_nonempty)
+      put_ints buf sh.bins.Core.Bins.sn_nonempty;
+      put_i64 buf (Array.length sh.bins.Core.Bins.sn_levels);
+      Array.iter (put_ints buf) sh.bins.Core.Bins.sn_levels)
     st.shards;
   let tmp = path ^ ".tmp" in
   let ch = open_out_bin tmp in
@@ -196,11 +206,21 @@ let load_snapshot ~path =
               let sn_balls = get_ints c in
               let sn_slot_order = get_ints c in
               let sn_nonempty = get_ints c in
+              let nl = get_i64 c in
+              if nl < 0 || nl > Bytes.length bytes - c.pos then raise Corrupt;
+              let sn_levels = Array.init nl (fun _ -> get_ints c) in
               {
                 Shard.applied;
                 watermark;
                 rng;
-                bins = { Core.Bins.sn_n; sn_balls; sn_slot_order; sn_nonempty };
+                bins =
+                  {
+                    Core.Bins.sn_n;
+                    sn_balls;
+                    sn_slot_order;
+                    sn_nonempty;
+                    sn_levels;
+                  };
               })
         in
         if c.pos <> Bytes.length bytes then raise Corrupt;

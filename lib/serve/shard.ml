@@ -15,7 +15,7 @@ type t = {
   mutable applied : int;  (* mutations applied (all accepted) *)
 }
 
-let create ~id ~lo ~scenario ~rule ~loads ~rng =
+let create ~id ~lo ~scenario ~rule ~repr ~loads ~rng =
   if Array.length loads = 0 then invalid_arg "Serve.Shard.create: no bins";
   let balls = Array.fold_left ( + ) 0 loads in
   if balls = 0 then
@@ -24,7 +24,9 @@ let create ~id ~lo ~scenario ~rule ~loads ~rng =
          "Serve.Shard.create: shard %d starts empty — every shard needs at \
           least one initial ball (raise m or lower the shard count)"
          id);
-  let system = Core.System.create scenario rule (Core.Bins.of_loads loads) in
+  let system =
+    Core.System.create ~repr scenario rule (Core.Bins.of_loads loads)
+  in
   let machine = Core.System.sim system in
   (* Seed the watermark with the initial maximum so [Watermark] covers
      the whole service history, not just post-boot mutations. *)
@@ -77,13 +79,21 @@ let state (t : t) : state =
    refuses empty systems, but a shard may have been legitimately
    drained to zero balls by snapshot time: boot those with one phantom
    ball and clear it (an empty registry has no order to lose). *)
-let of_state ~id ~lo ~scenario ~rule (st : state) =
+let of_state ~id ~lo ~scenario ~rule ~repr (st : state) =
   let bins = Core.Bins.of_snapshot st.bins in
   let n = Core.Bins.n bins in
   let drained = Core.Bins.num_balls bins = 0 in
-  if drained then Core.Bins.add_ball bins 0;
-  let system = Core.System.create scenario rule bins in
+  (* Give the phantom to the bin at the TAIL of the level-0 bucket:
+     moving that one out and back is a push-pop on both buckets, so the
+     add/reset pair below leaves every recorded bucket order intact
+     (bucket order is replayable state for sampled insertion). *)
+  if drained then begin
+    let l0 = st.bins.Core.Bins.sn_levels.(0) in
+    Core.Bins.add_ball bins l0.(Array.length l0 - 1)
+  end;
+  let system = Core.System.create ~repr scenario rule bins in
   if drained then Core.Bins.reset_loads bins (Array.make n 0);
+  assert ((not drained) || Core.Bins.snapshot bins = st.bins);
   let machine = Core.System.sim system in
   Engine.Metrics.watermark (Engine.Sim.metrics machine) st.watermark;
   {

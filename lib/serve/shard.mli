@@ -13,10 +13,12 @@ val create :
   lo:int ->
   scenario:Core.Scenario.t ->
   rule:Core.Scheduling_rule.t ->
+  repr:Core.Repr.t ->
   loads:int array ->
   rng:Prng.Rng.t ->
   t
-(** @raise Invalid_argument when [loads] is empty or holds no balls
+(** [repr] selects the insertion machinery (see {!Core.System.create}).
+    @raise Invalid_argument when [loads] is empty or holds no balls
     (every shard must start with at least one ball, because the
     underlying {!Core.System} forbids empty systems). *)
 
@@ -67,6 +69,7 @@ val of_state :
   lo:int ->
   scenario:Core.Scenario.t ->
   rule:Core.Scheduling_rule.t ->
+  repr:Core.Repr.t ->
   state ->
   t
 (** Accepts a drained state (zero balls) even though {!create} refuses

@@ -18,7 +18,7 @@ let name (P s) = s.name
 let family (P s) = s.family
 let state_count (P s) = Array.length s.states
 
-let balls ?block_rows scenario rule ~n ~m =
+let balls ?block_rows ?(repr = Core.Repr.Array_backed) scenario rule ~n ~m =
   let p = Core.Dynamic_process.make scenario rule ~n in
   let start = Lv.all_in_one ~n ~m in
   let bound =
@@ -29,15 +29,24 @@ let balls ?block_rows scenario rule ~n ~m =
         Some ("Claim 5.3", Theory.Bounds.claim53 ~n ~m ~eps:0.25)
     | Core.Scenario.B, Core.Scheduling_rule.Adap _ -> None
   in
+  let suffix =
+    match repr with
+    | Core.Repr.Array_backed -> ""
+    | r -> Printf.sprintf " (%s)" (Core.Repr.name r)
+  in
   P
     {
       name =
-        Printf.sprintf "%s n=%d m=%d" (Core.Dynamic_process.name p) n m;
+        Printf.sprintf "%s n=%d m=%d%s" (Core.Dynamic_process.name p) n m
+          suffix;
       family = "balls";
       states = Markov.Partition_space.enumerate ~n ~m;
       transitions = Core.Dynamic_process.exact_transitions p;
       fresh_sim =
-        (fun () -> Core.Dynamic_process.sim p (Mv.of_load_vector start));
+        (match repr with
+        | Core.Repr.Array_backed ->
+            fun () -> Core.Dynamic_process.sim p (Mv.of_load_vector start)
+        | r -> fun () -> Core.Dynamic_process.sim_repr ~repr:r p start);
       start;
       bound;
       block_rows;
@@ -106,22 +115,35 @@ let relocation scenario ~d ~relocations ~n ~m =
 
 (* One subject per catalog opts into a blocked chain with a tiny block
    size, so the conformance net exercises the multi-block code path on
-   every CI run. *)
+   every CI run.  The counts-sampled subjects pair the cutoff-table
+   sampler against the same exact law its array oracle is checked
+   against: the sampled backend redistributes RNG draws, so this
+   equality-in-law net is its correctness argument (DESIGN.md, "The
+   representation layer") — the draw-order-preserving count backend
+   needs no subject of its own, being bit-identical to the oracle. *)
 let quick_catalog () =
   [
     balls Core.Scenario.A (Core.Scheduling_rule.abku 2) ~n:4 ~m:4;
+    balls ~repr:Core.Repr.Count_sampled Core.Scenario.A
+      (Core.Scheduling_rule.abku 2) ~n:4 ~m:4;
     edge ~block_rows:4 ~n:3 ();
   ]
 
 let full_catalog () =
   [
     balls Core.Scenario.A (Core.Scheduling_rule.abku 2) ~n:4 ~m:4;
+    balls ~repr:Core.Repr.Count_sampled Core.Scenario.A
+      (Core.Scheduling_rule.abku 2) ~n:4 ~m:4;
     balls Core.Scenario.A (Core.Scheduling_rule.abku 3) ~n:4 ~m:5;
+    balls ~repr:Core.Repr.Count_sampled Core.Scenario.A
+      (Core.Scheduling_rule.abku 3) ~n:4 ~m:5;
     balls Core.Scenario.A
       (Core.Scheduling_rule.adap (Core.Adaptive.of_list [ 1; 2; 2; 3 ]))
       ~n:4 ~m:4;
     balls ~block_rows:8 Core.Scenario.B (Core.Scheduling_rule.abku 2) ~n:4
       ~m:4;
+    balls ~repr:Core.Repr.Count_sampled Core.Scenario.B
+      (Core.Scheduling_rule.abku 2) ~n:4 ~m:4;
     balls Core.Scenario.B
       (Core.Scheduling_rule.adap (Core.Adaptive.linear ()))
       ~n:4 ~m:5;

@@ -37,11 +37,17 @@ val state_count : t -> int
 
 val balls :
   ?block_rows:int ->
+  ?repr:Core.Repr.t ->
   Core.Scenario.t -> Core.Scheduling_rule.t -> n:int -> m:int -> t
 (** A closed dynamic allocation process over Ω_m (state space
     {!Markov.Partition_space.enumerate}), starting from all-in-one-bin.
     Scenario A carries the Theorem 1 bound; scenario B with an ABKU rule
-    the Claim 5.3 bound. *)
+    the Claim 5.3 bound.  [repr] (default {!Core.Repr.Array_backed})
+    selects the simulator's state backend through
+    {!Core.Dynamic_process.sim_repr}; the exact law is the same for
+    every backend, so a non-array subject is precisely the
+    equality-in-law check the non-draw-order-preserving backends are
+    held to. *)
 
 val edge : ?block_rows:int -> n:int -> unit -> t
 (** The Section 6 edge-orientation class chain, state space reachable

@@ -52,14 +52,125 @@ let test_chain_agrees_with_in_place () =
     (fun p ->
       let v0 = Lv.of_array [| 5; 3; 1; 0 |] in
       let g1 = rng ~seed:9 () and g2 = rng ~seed:9 () in
-      let via_chain = Markov.Chain.iterate (Dp.chain p) g1 v0 50 in
+      let step = (Dp.chain p).Markov.Chain.step in
+      let via_chain = ref v0 in
+      for _ = 1 to 50 do
+        via_chain := step g1 !via_chain
+      done;
       let mv = Mv.of_load_vector v0 in
       for _ = 1 to 50 do
         Dp.step_in_place p g2 mv
       done;
       Alcotest.(check bool) "same trajectory" true
-        (Lv.equal via_chain (Mv.to_load_vector mv)))
+        (Lv.equal !via_chain (Mv.to_load_vector mv)))
     (all_processes ~n:4)
+
+(* The count-vector backend consumes the generator in exactly the order
+   of the array backend, so from equal seeds the two trajectories must
+   agree state-for-state — not just in law. *)
+let qcheck_counts_trace_bit_identical =
+  QCheck.Test.make ~name:"count-vector stepper = array stepper (trace)"
+    ~count:120
+    QCheck.(triple small_int (int_range 2 9) (int_range 2 25))
+    (fun (seed, n, m) ->
+      List.for_all
+        (fun p ->
+          let g = rng ~seed () in
+          let v0 = random_vector g ~n ~m in
+          let g1 = rng ~seed:(seed + 1) () and g2 = rng ~seed:(seed + 1) () in
+          let mv = Mv.of_load_vector v0 in
+          let cv = Loadvec.Count_vector.of_load_vector v0 in
+          let ok = ref true in
+          for _ = 1 to 60 do
+            let pa = Dp.step_probes p g1 mv in
+            let pc = Dp.step_counts_probes p g2 cv in
+            if pa <> pc then ok := false;
+            if
+              not
+                (Lv.equal (Mv.to_load_vector mv)
+                   (Loadvec.Count_vector.to_load_vector cv))
+            then ok := false
+          done;
+          !ok)
+        (all_processes ~n))
+
+(* Same contract through the Engine.Sim adapters (covers reset/observe/
+   probe of the count backends). *)
+let test_sim_repr_counts_trace () =
+  List.iter
+    (fun p ->
+      let v0 = Lv.of_array [| 4; 3; 2; 1; 0; 0 |] in
+      let sim_a = Dp.sim_repr ~repr:Core.Repr.Array_backed p v0 in
+      let sim_c = Dp.sim_repr ~repr:Core.Repr.Count_backed p v0 in
+      let g1 = rng ~seed:31 () and g2 = rng ~seed:31 () in
+      for i = 1 to 40 do
+        Engine.Sim.step sim_a g1;
+        Engine.Sim.step sim_c g2;
+        if Engine.Sim.probe sim_a <> Engine.Sim.probe sim_c then
+          Alcotest.failf "%s: probes diverge at step %d" (Dp.name p) i;
+        if not (Lv.equal (Engine.Sim.observe sim_a) (Engine.Sim.observe sim_c))
+        then Alcotest.failf "%s: states diverge at step %d" (Dp.name p) i
+      done;
+      (* Reset rewinds both backends to the same state. *)
+      Engine.Sim.reset sim_a v0;
+      Engine.Sim.reset sim_c v0;
+      Alcotest.(check bool) "reset state equal" true
+        (Lv.equal (Engine.Sim.observe sim_a) (Engine.Sim.observe sim_c)))
+    (all_processes ~n:6)
+
+(* The cutoff table's insertion law equals the closed-form ABKU rank law
+   grouped by load class — exactly, not statistically — and stays exact
+   under incremental maintenance across random elementary moves. *)
+let qcheck_abku_table_law_exact =
+  QCheck.Test.make ~name:"Abku_table law = rank_distribution by class"
+    ~count:200
+    QCheck.(
+      quad small_int (int_range 2 9) (int_range 2 25) (int_range 1 4))
+    (fun (seed, n, m, d) ->
+      let g = rng ~seed () in
+      let v0 = random_vector g ~n ~m in
+      let cv = Loadvec.Count_vector.of_load_vector v0 in
+      let table =
+        Sr.Abku_table.create ~d ~n
+          ~max_level:(Loadvec.Count_vector.max_load cv)
+          ~count:(Loadvec.Count_vector.count cv)
+      in
+      let p = Dp.make Core.Scenario.A (Sr.abku d) ~n in
+      let agree () =
+        let rank_law =
+          Sr.rank_distribution (Sr.abku d)
+            ~loads:(Lv.to_array (Loadvec.Count_vector.to_load_vector cv))
+        in
+        let level_law = Sr.Abku_table.level_distribution table in
+        (* Fold the rank law into per-level masses. *)
+        let loads = Lv.to_array (Loadvec.Count_vector.to_load_vector cv) in
+        let by_level = Array.make (Array.length level_law) 0. in
+        Array.iteri
+          (fun j pr ->
+            if loads.(j) < Array.length by_level then
+              by_level.(loads.(j)) <- by_level.(loads.(j)) +. pr)
+          rank_law;
+        let ok = ref true in
+        Array.iteri
+          (fun l pr ->
+            if Float.abs (pr -. by_level.(l)) > 1e-12 then ok := false)
+          level_law;
+        !ok
+      in
+      let ok = ref (agree ()) in
+      (* Drive the state through real steps, maintaining the table
+         through its on_loss/on_gain hooks, and recheck exactness. *)
+      for _ = 1 to 15 do
+        let u = Prng.Rng.float g in
+        let level = Core.Scenario.remove_level (Dp.scenario p) cv ~u in
+        Loadvec.Count_vector.shift_down cv level;
+        Sr.Abku_table.on_loss table level;
+        let dest = Sr.Abku_table.draw_level table g in
+        Loadvec.Count_vector.shift_up cv dest;
+        Sr.Abku_table.on_gain table (dest + 1);
+        if not (agree ()) then ok := false
+      done;
+      !ok)
 
 let test_exact_transitions_sum_to_one () =
   let g = rng () in
@@ -358,6 +469,7 @@ let suite =
       ("process names", test_names);
       ("step preserves total/dim", test_step_preserves_total_and_dim);
       ("chain = in-place step", test_chain_agrees_with_in_place);
+      ("sim_repr counts trace", test_sim_repr_counts_trace);
       ("exact transitions sum to 1", test_exact_transitions_sum_to_one);
       ("exact law matches simulation", test_exact_matches_simulation);
       ("exact chain stochastic", test_exact_chain_is_stochastic);
@@ -374,6 +486,8 @@ let suite =
     ]
   @ List.map QCheck_alcotest.to_alcotest
       [
+        qcheck_counts_trace_bit_identical;
+        qcheck_abku_table_law_exact;
         qcheck_lemma_3_3;
         qcheck_lemma_3_4_right_oriented;
         qcheck_lemma_4_1;

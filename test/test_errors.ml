@@ -91,9 +91,14 @@ let test_markov_errors () =
       ignore
         (Markov.Sparse.spmv [| 1.; 0. |]
            (Markov.Sparse.of_rows ~rows:1 ~cols:1 (fun _ -> [ (0, 1.) ]))));
-  inv "Chain.iterate: negative step count" (fun () ->
+  inv "Empirical.observable_tv: negative t" (fun () ->
       ignore
-        (Markov.Chain.iterate (Markov.Chain.make (fun _ s -> s)) (g ()) 0 (-1)));
+        (Markov.Empirical.observable_tv
+           (Markov.Chain.make (fun _ s -> s))
+           ~rng:(g ())
+           ~x0:(fun () -> 0)
+           ~y0:(fun () -> 0)
+           ~t:(-1) ~reps:1 ~observable:(fun s -> s)));
   inv "Empirical.observable_tv: reps must be positive" (fun () ->
       ignore
         (Markov.Empirical.observable_tv

@@ -2,6 +2,7 @@
 
 module Lv = Loadvec.Load_vector
 module Mv = Loadvec.Mutable_vector
+module Cv = Loadvec.Count_vector
 
 (* Reference implementation of oplus/ominus: mutate then fully re-sort. *)
 let ref_oplus v i =
@@ -188,6 +189,103 @@ let test_mutable_decr_empty () =
     (Invalid_argument "Mutable_vector.decr_at: empty bin") (fun () ->
       ignore (Mv.decr_at mv 1))
 
+(* {2 Count-vector backend} *)
+
+let test_counts_basics () =
+  let cv = Cv.of_load_vector (Lv.of_array [| 3; 3; 1; 0 |]) in
+  Alcotest.(check int) "dim" 4 (Cv.dim cv);
+  Alcotest.(check int) "total" 7 (Cv.total cv);
+  Alcotest.(check int) "support" 3 (Cv.support cv);
+  Alcotest.(check int) "max" 3 (Cv.max_load cv);
+  Alcotest.(check int) "min" 0 (Cv.min_load cv);
+  Alcotest.(check int) "count 3" 2 (Cv.count cv 3);
+  Alcotest.(check int) "count 2" 0 (Cv.count cv 2);
+  Alcotest.(check int) "count above max" 0 (Cv.count cv 9);
+  Alcotest.(check (array int)) "round trip" [| 3; 3; 1; 0 |]
+    (Lv.to_array (Cv.to_load_vector cv))
+
+let test_counts_level_of_rank () =
+  let cv = Cv.of_load_vector (Lv.of_array [| 3; 3; 1; 0; 0 |]) in
+  Alcotest.(check int) "rank 0" 3 (Cv.level_of_rank cv 0);
+  Alcotest.(check int) "rank 1" 3 (Cv.level_of_rank cv 1);
+  Alcotest.(check int) "rank 2" 1 (Cv.level_of_rank cv 2);
+  Alcotest.(check int) "rank 4" 0 (Cv.level_of_rank cv 4);
+  Alcotest.check_raises "bad rank"
+    (Invalid_argument "Count_vector.level_of_rank") (fun () ->
+      ignore (Cv.level_of_rank cv 5))
+
+let test_counts_shifts () =
+  let cv = Cv.of_load_vector (Lv.of_array [| 2; 1; 0 |]) in
+  Cv.shift_down cv 2;
+  Alcotest.(check (array int)) "after shift_down" [| 1; 1; 0 |]
+    (Lv.to_array (Cv.to_load_vector cv));
+  Cv.shift_up cv 1;
+  Alcotest.(check (array int)) "after shift_up" [| 2; 1; 0 |]
+    (Lv.to_array (Cv.to_load_vector cv));
+  Alcotest.(check int) "max maintained" 2 (Cv.max_load cv);
+  Alcotest.check_raises "shift_down empty level"
+    (Invalid_argument "Count_vector.shift_down: no bin at level") (fun () ->
+      Cv.shift_down cv 9)
+
+let test_counts_copy_independent () =
+  let a = Cv.of_load_vector (Lv.of_array [| 2; 1 |]) in
+  let b = Cv.copy a in
+  Cv.shift_up a 1;
+  Alcotest.(check bool) "copy unchanged" false (Cv.equal a b)
+
+(* The count vector mirrors the mutable vector under the elementary
+   moves of the processes: decrement at a class, increment at a class. *)
+let qcheck_counts_track_mutable =
+  QCheck.Test.make ~name:"count vector tracks mutable vector" ~count:300
+    QCheck.(triple small_int (int_range 1 8) (int_range 2 25))
+    (fun (seed, n, m) ->
+      let g = Prng.Rng.create ~seed () in
+      let v0 = random_vector g ~n ~m in
+      let mv = Mv.of_load_vector v0 in
+      let cv = Cv.of_load_vector v0 in
+      let ok = ref true in
+      for _ = 1 to 40 do
+        (if Prng.Rng.bool g && Mv.support mv > 0 then begin
+           let i = Prng.Rng.int g (Mv.support mv) in
+           let level = Mv.get mv i in
+           ignore (Mv.decr_at mv i);
+           Cv.shift_down cv level
+         end
+         else begin
+           let i = Prng.Rng.int g n in
+           let level = Mv.get mv i in
+           ignore (Mv.incr_at mv i);
+           Cv.shift_up cv level
+         end);
+        if not (Lv.equal (Mv.to_load_vector mv) (Cv.to_load_vector cv)) then
+          ok := false;
+        if Cv.support cv <> Mv.support mv then ok := false;
+        if Cv.total cv <> Mv.total mv then ok := false;
+        if Cv.max_load cv <> Mv.max_load mv then ok := false
+      done;
+      !ok)
+
+(* level_of_ball replays the scenario-A prefix scan exactly: compare
+   against the rank-by-rank reference on the expanded array. *)
+let qcheck_counts_level_of_ball =
+  QCheck.Test.make ~name:"level_of_ball = rank scan's level" ~count:500
+    QCheck.(quad small_int (int_range 1 8) (int_range 1 25) (float_range 0. 1.))
+    (fun (seed, n, m, u) ->
+      let u = if u >= 1. then 0.9999999 else u in
+      let g = Prng.Rng.create ~seed () in
+      let v = random_vector g ~n ~m in
+      let cv = Cv.of_load_vector v in
+      let loads = Lv.to_array v in
+      let target = u *. float_of_int m in
+      let rec scan i acc =
+        if i = n - 1 then i
+        else
+          let acc = acc + loads.(i) in
+          if target < float_of_int acc then i else scan (i + 1) acc
+      in
+      let rank = scan 0 0 in
+      loads.(rank) = Cv.level_of_ball cv ~target)
+
 let suite =
   List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
     [
@@ -207,6 +305,10 @@ let suite =
       ("mutable basics", test_mutable_basics);
       ("mutable copy independent", test_mutable_copy_independent);
       ("mutable decr empty", test_mutable_decr_empty);
+      ("counts basics", test_counts_basics);
+      ("counts level_of_rank", test_counts_level_of_rank);
+      ("counts shifts", test_counts_shifts);
+      ("counts copy independent", test_counts_copy_independent);
     ]
   @ List.map QCheck_alcotest.to_alcotest
       [
@@ -214,4 +316,6 @@ let suite =
         qcheck_ominus_matches_reference;
         qcheck_delta_metric;
         qcheck_mutable_matches_immutable;
+        qcheck_counts_track_mutable;
+        qcheck_counts_level_of_ball;
       ]

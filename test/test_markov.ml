@@ -53,39 +53,35 @@ let test_matrix_invalid () =
     (Invalid_argument "Matrix.mul: dimension mismatch") (fun () ->
       ignore (M.mul a b))
 
-let test_chain_iterate () =
+(* Chain is now only the functional one-step view; driving loops live
+   in Engine.Sim.  The step field composes like any function. *)
+let test_chain_step_view () =
   let c = Markov.Chain.make (fun _g s -> s + 1) in
   let g = Prng.Rng.create () in
-  Alcotest.(check int) "10 steps" 10 (Markov.Chain.iterate c g 0 10);
-  Alcotest.(check int) "0 steps" 0 (Markov.Chain.iterate c g 0 0)
+  let s = ref 0 in
+  for _ = 1 to 10 do
+    s := c.Markov.Chain.step g !s
+  done;
+  Alcotest.(check int) "10 steps" 10 !s;
+  let doubler = Markov.Chain.make (fun _g s -> s * 2) in
+  Alcotest.(check int) "composes" 22
+    (doubler.Markov.Chain.step g (c.Markov.Chain.step g 10))
 
-let test_chain_fold_trajectory () =
-  let c = Markov.Chain.make (fun _g s -> s * 2) in
-  let g = Prng.Rng.create () in
-  let states = Markov.Chain.trajectory c g 1 4 in
-  Alcotest.(check (array int)) "trajectory" [| 2; 4; 8; 16 |] states;
-  let sum =
-    Markov.Chain.fold c g 1 4 ~init:0 ~f:(fun acc _i s -> acc + s)
+(* The randomness really flows through: a coin-flip walk driven by two
+   identically-seeded generators replays; a different seed diverges. *)
+let test_chain_step_uses_rng () =
+  let c = Markov.Chain.make (fun g s -> s + if Prng.Rng.bool g then 1 else -1) in
+  let run seed =
+    let g = Prng.Rng.create ~seed () in
+    let s = ref 0 in
+    for _ = 1 to 100 do
+      s := c.Markov.Chain.step g !s
+    done;
+    !s
   in
-  Alcotest.(check int) "fold" 30 sum
-
-let test_chain_first_hit () =
-  let c = Markov.Chain.make (fun _g s -> s + 1) in
-  let g = Prng.Rng.create () in
-  Alcotest.(check (option int)) "hits" (Some 5)
-    (Markov.Chain.first_hit c g 0 ~pred:(fun s -> s >= 5) ~limit:10);
-  Alcotest.(check (option int)) "initial state" (Some 0)
-    (Markov.Chain.first_hit c g 7 ~pred:(fun s -> s >= 5) ~limit:10);
-  Alcotest.(check (option int)) "never" None
-    (Markov.Chain.first_hit c g 0 ~pred:(fun s -> s > 100) ~limit:10)
-
-let test_chain_sample_every () =
-  let c = Markov.Chain.make (fun _g s -> s + 1) in
-  let g = Prng.Rng.create () in
-  let samples =
-    Markov.Chain.sample_every c g 0 ~burn_in:10 ~every:5 ~samples:3 (fun s -> s)
-  in
-  Alcotest.(check (list int)) "samples" [ 15; 20; 25 ] samples
+  Alcotest.(check int) "same seed replays" (run 5) (run 5);
+  Alcotest.(check bool) "walk moved or cancelled, parity even" true
+    ((run 5 + 100) mod 2 = 0)
 
 let test_partition_count_small () =
   (* Partitions of 4 into at most 2 parts: 4, 3+1, 2+2. *)
@@ -410,6 +406,54 @@ let test_blocked_spill_roundtrip () =
       check_same_sparse "reopened roundtrip" s (B.to_sparse reopened);
       B.close reopened)
 
+let test_blocked_multi_bitwise () =
+  (* The batched kernel must reproduce the single-vector fused products
+     bit for bit, vector by vector — dst contents and TV statistics —
+     across several chained steps, for both in-memory and mixed batch
+     widths.  This is the contract the batched sweeps in Exact (TV
+     profiles, mixing pruning) rely on for their exactness claims. *)
+  let n = 37 in
+  let s = stochastic_sparse n in
+  let b = B.of_sparse ~block_rows:5 s in
+  let kern = B.kernel b in
+  let pi = Array.init n (fun i -> float_of_int (1 + (i mod 3)) /. 74.) in
+  (* Not a distribution; irrelevant — only summation order matters. *)
+  List.iter
+    (fun nb ->
+      let mk_start v =
+        let a = Array.make n 0. in
+        a.(v mod n) <- 1.;
+        a
+      in
+      let multi_cur = Array.init nb (fun v -> mk_start (v * 11)) in
+      let multi_nxt = Array.init nb (fun _ -> Array.make n nan) in
+      let single_cur = Array.init nb (fun v -> mk_start (v * 11)) in
+      let single_nxt = Array.init nb (fun _ -> Array.make n nan) in
+      for step = 1 to 4 do
+        let ds =
+          B.step_tv_multi kern ~pi ~srcs:multi_cur ~dsts:multi_nxt
+        in
+        for v = 0 to nb - 1 do
+          let d =
+            B.step_tv kern ~pi ~src:single_cur.(v) ~dst:single_nxt.(v)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "nb=%d step=%d vec=%d: tv bits" nb step v)
+            true
+            (Int64.equal (Int64.bits_of_float d) (Int64.bits_of_float ds.(v)));
+          Alcotest.(check bool)
+            (Printf.sprintf "nb=%d step=%d vec=%d: dst bits" nb step v)
+            true
+            (Array.for_all2
+               (fun a b ->
+                 Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+               single_nxt.(v) multi_nxt.(v));
+          Array.blit multi_nxt.(v) 0 multi_cur.(v) 0 n;
+          Array.blit single_nxt.(v) 0 single_cur.(v) 0 n
+        done
+      done)
+    [ 1; 2; 3; 7 ]
+
 let test_blocked_killed_build_rejected () =
   let path = Filename.temp_file "bcsr" ".blk" in
   Fun.protect
@@ -575,10 +619,8 @@ let suite =
       ("matrix vec_mul", test_matrix_vec_mul);
       ("matrix stochastic", test_matrix_stochastic);
       ("matrix invalid", test_matrix_invalid);
-      ("chain iterate", test_chain_iterate);
-      ("chain fold/trajectory", test_chain_fold_trajectory);
-      ("chain first_hit", test_chain_first_hit);
-      ("chain sample_every", test_chain_sample_every);
+      ("chain step view", test_chain_step_view);
+      ("chain step uses rng", test_chain_step_uses_rng);
       ("partition count small", test_partition_count_small);
       ("partition enumerate", test_partition_enumerate);
       ("partition count sweep", test_partition_count_matches_enumerate_sweep);
@@ -600,6 +642,7 @@ let suite =
       ("state index basics", test_state_index_basics);
       ("blocked csr roundtrip", test_blocked_roundtrip);
       ("blocked csr spill roundtrip", test_blocked_spill_roundtrip);
+      ("blocked multi-vector kernel bitwise", test_blocked_multi_bitwise);
       ("blocked csr killed build rejected", test_blocked_killed_build_rejected);
       ("blocked csr builder invalid", test_blocked_builder_invalid);
       ("streaming build = direct build", test_builder_streaming_equals_direct);

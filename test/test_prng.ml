@@ -204,6 +204,25 @@ let test_weighted_skips_zeros () =
     if i <> 1 && i <> 3 then Alcotest.failf "picked zero-weight index %d" i
   done
 
+(* Alias-table vs naive-sampler distribution equality, without
+   sampling noise: the symbolic law of the table must equal the
+   normalized weights (which is also the law of [weighted]'s inverse
+   CDF) up to float rounding. *)
+let qcheck_alias_law_equals_weights =
+  QCheck.Test.make ~name:"alias table law = normalized weights" ~count:500
+    QCheck.(list_of_size (Gen.int_range 1 20) (float_range 0. 10.))
+    (fun ws ->
+      let w = Array.of_list ws in
+      let total = Array.fold_left ( +. ) 0. w in
+      QCheck.assume (total > 0.);
+      let induced = Prng.Dist.alias_induced (Prng.Dist.alias_of_weights w) in
+      let ok = ref true in
+      Array.iteri
+        (fun i wi ->
+          if Float.abs (induced.(i) -. (wi /. total)) > 1e-9 then ok := false)
+        w;
+      !ok)
+
 let qcheck_int_in_range =
   QCheck.Test.make ~name:"Rng.int stays in range" ~count:500
     QCheck.(pair small_int (int_range 1 1000))
@@ -247,4 +266,8 @@ let suite =
       ("weighted skips zeros", test_weighted_skips_zeros);
     ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ qcheck_int_in_range; qcheck_inverse_cdf_valid ]
+      [
+        qcheck_int_in_range;
+        qcheck_inverse_cdf_valid;
+        qcheck_alias_law_equals_weights;
+      ]

@@ -6,13 +6,15 @@
 
 let rng_of seed = Prng.Rng.create ~seed ()
 
-let mk_config ?(seed = 0x5EED) ?(m_factor = 2) ~n ~shards () =
+let mk_config ?(seed = 0x5EED) ?(m_factor = 2) ?(repr = Core.Repr.Array_backed)
+    ~n ~shards () =
   {
     Serve.Cluster.n;
     m = m_factor * n;
     shards;
     scenario = (if seed land 1 = 0 then Core.Scenario.A else Core.Scenario.B);
     rule = Core.Scheduling_rule.abku 2;
+    repr;
     seed;
   }
 
@@ -109,12 +111,9 @@ let qcheck_pool_invariance =
           Serve.Cluster.state serial = Serve.Cluster.state fanned
           && replies_serial = replies_fanned))
 
-let qcheck_state_roundtrip =
-  QCheck.Test.make ~name:"cluster of_state . state is the identity" ~count:100
-    QCheck.(triple small_int (int_range 4 40) (int_range 1 4))
-    (fun (seed, n, shards) ->
+let state_roundtrip_prop ?repr (seed, n, shards) =
       let shards = min shards n in
-      let config = mk_config ~seed ~n ~shards () in
+      let config = mk_config ~seed ?repr ~n ~shards () in
       let g = rng_of (seed + 31) in
       let cluster = Serve.Cluster.create config in
       ignore (Serve.Cluster.apply_batch cluster (gen_events g 80));
@@ -126,19 +125,27 @@ let qcheck_state_roundtrip =
       let b = Serve.Cluster.apply_batch revived tail in
       st = Serve.Cluster.state (Serve.Cluster.of_state config st)
       && a = b
-      && Serve.Cluster.state cluster = Serve.Cluster.state revived)
+      && Serve.Cluster.state cluster = Serve.Cluster.state revived
+
+let qcheck_state_roundtrip =
+  QCheck.Test.make ~name:"cluster of_state . state is the identity" ~count:100
+    QCheck.(triple small_int (int_range 4 40) (int_range 1 4))
+    state_roundtrip_prop
+
+(* The counts-sampled backend samples the per-level bucket orders, so
+   the /3 snapshot's [sn_levels] must carry them: without that, replies
+   after a restore would diverge from the never-restored cluster. *)
+let qcheck_sampled_state_roundtrip =
+  QCheck.Test.make
+    ~name:"sampled-repr of_state . state is the identity" ~count:80
+    QCheck.(triple small_int (int_range 4 40) (int_range 1 4))
+    (state_roundtrip_prop ~repr:Core.Repr.Count_sampled)
 
 (* {2 Crash-recovery properties} *)
 
-let qcheck_kill_and_restore =
-  QCheck.Test.make
-    ~name:"store restore after kill replays to the never-killed state"
-    ~count:60
-    QCheck.(
-      quad small_int (int_range 4 32) (int_range 1 4) (int_range 1 60))
-    (fun (seed, n, shards, snapshot_every) ->
+let kill_and_restore_prop ?repr (seed, n, shards, snapshot_every) =
       let shards = min shards n in
-      let config = mk_config ~seed ~n ~shards () in
+      let config = mk_config ~seed ?repr ~n ~shards () in
       let g = rng_of (seed + 41) in
       let chunks = random_chunks g (gen_events g (20 + Prng.Rng.int g 150)) in
       let cut = Prng.Rng.int g (List.length chunks + 1) in
@@ -172,7 +179,21 @@ let qcheck_kill_and_restore =
             = Serve.Cluster.state reference
           in
           Serve.Store.close reopened;
-          restored_ok && ref_replies = rev_replies && final_ok))
+          restored_ok && ref_replies = rev_replies && final_ok)
+
+let qcheck_kill_and_restore =
+  QCheck.Test.make
+    ~name:"store restore after kill replays to the never-killed state"
+    ~count:60
+    QCheck.(quad small_int (int_range 4 32) (int_range 1 4) (int_range 1 60))
+    kill_and_restore_prop
+
+let qcheck_sampled_kill_and_restore =
+  QCheck.Test.make
+    ~name:"sampled-repr store restore replays to the never-killed state"
+    ~count:40
+    QCheck.(quad small_int (int_range 4 32) (int_range 1 4) (int_range 1 60))
+    (kill_and_restore_prop ~repr:Core.Repr.Count_sampled)
 
 let qcheck_torn_tail =
   QCheck.Test.make
@@ -276,11 +297,19 @@ let test_fingerprint_mismatch () =
       let s = store_exn ~dir config in
       ignore (Serve.Store.apply_batch s (gen_events (rng_of 9) 30));
       Serve.Store.close s;
-      match Serve.Store.open_ ~dir { config with seed = config.seed + 1 } with
+      (match Serve.Store.open_ ~dir { config with seed = config.seed + 1 } with
       | Error _ -> ()
       | Ok s ->
           Serve.Store.close s;
-          Alcotest.fail "foreign state directory was accepted")
+          Alcotest.fail "foreign state directory was accepted");
+      (* The representation backend is part of the fingerprint too: a
+         sampled-repr service must not adopt an array-repr directory. *)
+      match Serve.Store.open_ ~dir { config with repr = Core.Repr.Count_sampled }
+      with
+      | Error _ -> ()
+      | Ok s ->
+          Serve.Store.close s;
+          Alcotest.fail "state directory with another repr was accepted")
 
 let test_rng_save_restore () =
   let g = rng_of 123 in
@@ -398,6 +427,8 @@ let suite =
         qcheck_batch_invariance;
         qcheck_pool_invariance;
         qcheck_state_roundtrip;
+        qcheck_sampled_state_roundtrip;
         qcheck_kill_and_restore;
+        qcheck_sampled_kill_and_restore;
         qcheck_torn_tail;
       ]
