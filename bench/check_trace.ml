@@ -1,12 +1,21 @@
 (* Validate a Chrome/Perfetto trace-event file written by --trace.
 
-     dune exec bench/check_trace.exe -- t.json
+     dune exec bench/check_trace.exe -- t.json [--serve]
 
    Checks the structural contract the Perfetto UI relies on: an object
    with a "traceEvents" array whose entries carry name / ph / ts / pid /
    tid with the right types, complete ("X") events a duration, and
    counter ("C") events a numeric value argument.  Exits non-zero with a
-   message on the first violation, so CI can gate on it. *)
+   message on the first violation, so CI can gate on it.
+
+   With --serve it additionally checks the serve daemon's sampled
+   request-tracing contract: at least one "serve.request" span, each
+   containing a "serve.decode" child on the same track; complete spans
+   on each track properly nested (no partial overlap — the daemon
+   samples at most one request per round precisely so this holds); and
+   per track the span start timestamps non-decreasing in file order
+   (spans carry the sequence number of their begin_span, so the merged
+   (track, seq) order is begin order). *)
 
 let fail fmt =
   Printf.ksprintf
@@ -63,11 +72,110 @@ let check_event i ev =
           fail "%s" (ctx "event %d: \"C\" event needs args.value" i))
   | _ -> ())
 
+(* ---- serve request-tracing contract ---- *)
+
+type span = { s_name : string; s_tid : int; s_ts : float; s_end : float }
+
+(* Timestamps round-trip through microseconds with 3 decimals, so
+   comparisons tolerate one-nanosecond rounding. *)
+let eps = 0.0015
+
+(* Complete ("X") spans in file order, which is emission (end) order. *)
+let spans_of events =
+  List.filter_map
+    (fun ev ->
+      match Json.member "ph" ev with
+      | Some (Json.String "X") ->
+          let name =
+            match Json.member "name" ev with
+            | Some (Json.String s) -> s
+            | _ -> "?"
+          in
+          let tid =
+            match Json.member "tid" ev with Some (Json.Int t) -> t | _ -> 0
+          in
+          let ts = Option.value ~default:0. (number (Json.member "ts" ev)) in
+          let dur = Option.value ~default:0. (number (Json.member "dur" ev)) in
+          Some { s_name = name; s_tid = tid; s_ts = ts; s_end = ts +. dur }
+      | _ -> None)
+    events
+
+let contains outer inner =
+  outer.s_tid = inner.s_tid
+  && inner.s_ts >= outer.s_ts -. eps
+  && inner.s_end <= outer.s_end +. eps
+
+let check_serve events =
+  let spans = spans_of events in
+  let tids = List.sort_uniq compare (List.map (fun s -> s.s_tid) spans) in
+  (* Start timestamps non-decreasing per track in file order (file
+     order is (track, seq) = begin order). *)
+  List.iter
+    (fun tid ->
+      let starts =
+        List.filter_map
+          (fun s -> if s.s_tid = tid then Some s.s_ts else None)
+          spans
+      in
+      ignore
+        (List.fold_left
+           (fun prev ts ->
+             if ts < prev -. eps then
+               fail
+                 "track %d: span timestamps go backwards (%.3f after %.3f)"
+                 tid ts prev;
+             Float.max prev ts)
+           neg_infinity starts))
+    tids;
+  (* Proper nesting per track: sweep spans by start time (ties: longer
+     first) with a stack of enclosing intervals. *)
+  List.iter
+    (fun tid ->
+      let track = List.filter (fun s -> s.s_tid = tid) spans in
+      let sorted =
+        List.sort
+          (fun a b ->
+            match compare a.s_ts b.s_ts with
+            | 0 -> compare b.s_end a.s_end
+            | c -> c)
+          track
+      in
+      ignore
+        (List.fold_left
+           (fun stack s ->
+             let stack =
+               List.filter (fun top -> s.s_ts < top.s_end -. eps) stack
+             in
+             (match stack with
+             | top :: _ when s.s_end > top.s_end +. eps ->
+                 fail
+                   "track %d: %S [%.3f, %.3f] partially overlaps %S [%.3f, \
+                    %.3f]"
+                   tid s.s_name s.s_ts s.s_end top.s_name top.s_ts top.s_end
+             | _ -> ());
+             s :: stack)
+           [] sorted))
+    tids;
+  (* Every sampled request carries its decode child. *)
+  let requests = List.filter (fun s -> s.s_name = "serve.request") spans in
+  if requests = [] then fail "no \"serve.request\" span in the trace";
+  let decodes = List.filter (fun s -> s.s_name = "serve.decode") spans in
+  List.iter
+    (fun r ->
+      if not (List.exists (fun d -> contains r d) decodes) then
+        fail "serve.request [%.3f, %.3f] has no serve.decode child" r.s_ts
+          r.s_end)
+    requests;
+  Printf.printf
+    "serve contract: OK, %d sampled requests (%d spans, %d tracks)\n"
+    (List.length requests) (List.length spans) (List.length tids)
+
 let () =
-  let path =
+  let path, serve =
     match Sys.argv with
-    | [| _; p |] -> p
-    | _ -> fail "usage: check_trace.exe TRACE.json"
+    | [| _; p |] -> (p, false)
+    | [| _; "--serve"; p |] | [| _; p; "--serve" |] -> (p, true)
+    | _ -> fail "usage: check_trace.exe TRACE.json [--serve]"
   in
   let doc =
     match Json.of_string (read_file path) with
@@ -81,4 +189,5 @@ let () =
   in
   if events = [] then fail "%s: empty trace" path;
   List.iteri check_event events;
+  if serve then check_serve events;
   Printf.printf "%s: OK, %d events\n" path (List.length events)

@@ -569,7 +569,8 @@ let obs_overhead ctx =
       Obs.with_span "micro.overhead_span" (fun () -> ()));
   Ctx.note table
     "contract: with tracing off, each entry point is one load-and-branch \
-     and allocates nothing";
+     and allocates nothing; quantile and merge work on snapshots only, so \
+     the record path is unchanged by the percentile additions";
   Ctx.emit ctx table
 
 (* The serve daemon's hot path in isolation: [Serve.Cluster.apply_batch]
@@ -596,7 +597,9 @@ let serve_throughput ctx =
   in
   let table =
     Ctx.table ctx ~title:"serve cluster throughput, in process"
-      ~columns:[ "shards"; "batch"; "kops/s" ]
+      ~columns:
+        [ "config"; "kops/s"; "batch p50(us)"; "batch p99(us)";
+          "batch p999(us)" ]
   in
   List.iter
     (fun shards ->
@@ -617,27 +620,37 @@ let serve_throughput ctx =
           (fun size ->
             let batch = batch_of size in
             ignore (Sys.opaque_identity (Serve.Cluster.apply_batch cluster batch));
+            let lat = Obs.Hist.create () in
             let t0 = Unix.gettimeofday () in
             let events = ref 0 in
             while Unix.gettimeofday () -. t0 < budget do
+              let t1 = Obs.Clock.now_ns () in
               ignore
                 (Sys.opaque_identity (Serve.Cluster.apply_batch cluster batch));
+              Obs.Hist.observe lat (Int64.to_int (Obs.Clock.ns_since t1));
               events := !events + size
             done;
             let rate =
               float_of_int !events /. (Unix.gettimeofday () -. t0)
             in
+            let snap = Obs.Hist.snapshot lat in
+            let p q = Obs.Hist.quantile snap q /. 1e3 in
             Ctx.row table
               ~values:
                 [
                   ("shards", float_of_int shards);
                   ("batch", float_of_int size);
                   ("ops_per_sec", rate);
+                  ("batch_p50_us", p 0.5);
+                  ("batch_p99_us", p 0.99);
+                  ("batch_p999_us", p 0.999);
                 ]
               [
-                string_of_int shards;
-                string_of_int size;
+                Printf.sprintf "%d shards x %d" shards size;
                 Printf.sprintf "%.0f" (rate /. 1e3);
+                Printf.sprintf "%.1f" (p 0.5);
+                Printf.sprintf "%.1f" (p 0.99);
+                Printf.sprintf "%.1f" (p 0.999);
               ])
           [ 64; 512; 4096 ]
       in
@@ -648,8 +661,9 @@ let serve_throughput ctx =
     [ 1; 2; 4; 8 ];
   Ctx.note table
     "in-process Cluster.apply_batch, mixed 45/45/10 insert/remove/probe; \
-     excludes socket and JSON framing (see `repro load`); pooled rows need \
-     >1 physical core to show wall-clock speedup";
+     excludes socket and JSON framing (see `repro load`); batch percentiles \
+     are whole-batch apply latency; pooled rows need >1 physical core to \
+     show wall-clock speedup";
   Ctx.emit ctx table
 
 let run ctx =

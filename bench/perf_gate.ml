@@ -17,6 +17,10 @@
        "floors": [
          { "id": "micro", "table": "stepper state backends",
            "row": "counts", "value": "speedup_vs_array", "min": 5.0 }
+       ],
+       "ceilings": [
+         { "id": "micro", "table": "serve cluster throughput, in process",
+           "row": "1 shards x 512", "value": "batch_p99_us", "max": 20000.0 }
        ]
      }
 
@@ -24,11 +28,13 @@
    [floors] are value gates on table cells of the CURRENT document: the
    named row (or, with "row" omitted, the best row) of the named table
    must carry [value] >= [min] — this is how the representation-backend
-   and fused-kernel speedups are held above their committed claims.  A
-   floor whose experiment is absent from the current document is
-   reported and skipped, so the same baseline serves both the pinned
-   e1/e8 run and the micro run.  PERF_GATE_RATIO and PERF_GATE_MIN_WALL
-   override the defaults in CI without a rebuild.
+   and fused-kernel speedups are held above their committed claims.
+   [ceilings] are the mirror image ([value] <= [max], best = lowest
+   row), gating latency percentiles that must not regress upward.  A
+   floor or ceiling whose experiment is absent from the current
+   document is reported and skipped, so the same baseline serves both
+   the pinned e1/e8 run and the micro run.  PERF_GATE_RATIO and
+   PERF_GATE_MIN_WALL override the defaults in CI without a rebuild.
 
    Experiments present on only one side are reported but do not fail
    the gate: the baseline is refreshed by committing a new file, and a
@@ -68,14 +74,46 @@ let wall_times doc =
         exps
   | _ -> fail "document has no \"experiments\" list"
 
-(* The baseline's optional "gate" section. *)
-type floor = {
-  f_id : string;
-  f_table : string;
-  f_row : string option;
-  f_value : string;
-  f_min : float;
+(* The baseline's optional "gate" section.  Floors and ceilings share
+   one shape; [b_dir] says which way the limit cuts. *)
+type direction = Floor | Ceiling
+
+type bound = {
+  b_dir : direction;
+  b_id : string;
+  b_table : string;
+  b_row : string option;
+  b_value : string;
+  b_limit : float;
 }
+
+let bounds_of g ~key ~limit_key ~dir =
+  match Experiment.Json.member key g with
+  | Some (Experiment.Json.List fs) ->
+      List.map
+        (fun f ->
+          let str k =
+            match Experiment.Json.member k f with
+            | Some (Experiment.Json.String s) -> Some s
+            | _ -> None
+          in
+          match
+            ( str "id",
+              str "table",
+              str "value",
+              Option.bind (Experiment.Json.member limit_key f) number )
+          with
+          | Some b_id, Some b_table, Some b_value, Some b_limit ->
+              { b_dir = dir; b_id; b_table; b_row = str "row"; b_value;
+                b_limit }
+          | _ ->
+              fail
+                "gate.%s entries need string \"id\", \"table\", \"value\" \
+                 and numeric \"%s\""
+                key limit_key)
+        fs
+  | Some _ -> fail "gate.%s must be a list" key
+  | None -> []
 
 let gate_of doc =
   match Experiment.Json.member "gate" doc with
@@ -90,39 +128,19 @@ let gate_of doc =
         | Some _ -> fail "gate.ratios must be an object of id -> ratio"
         | None -> []
       in
-      let floors =
-        match Experiment.Json.member "floors" g with
-        | Some (Experiment.Json.List fs) ->
-            List.map
-              (fun f ->
-                let str k =
-                  match Experiment.Json.member k f with
-                  | Some (Experiment.Json.String s) -> Some s
-                  | _ -> None
-                in
-                match
-                  ( str "id",
-                    str "table",
-                    str "value",
-                    Option.bind (Experiment.Json.member "min" f) number )
-                with
-                | Some f_id, Some f_table, Some f_value, Some f_min ->
-                    { f_id; f_table; f_row = str "row"; f_value; f_min }
-                | _ ->
-                    fail
-                      "gate.floors entries need string \"id\", \"table\", \
-                       \"value\" and numeric \"min\"")
-              fs
-        | Some _ -> fail "gate.floors must be a list"
-        | None -> []
+      let bounds =
+        bounds_of g ~key:"floors" ~limit_key:"min" ~dir:Floor
+        @ bounds_of g ~key:"ceilings" ~limit_key:"max" ~dir:Ceiling
       in
-      (ratios, floors)
+      (ratios, bounds)
 
-(* The [floor.f_value] entries of the named table's rows, as
+let direction_name = function Floor -> "floor" | Ceiling -> "ceiling"
+
+(* The [bound.b_value] entries of the named table's rows, as
    (first-cell, value) pairs — [None] when the experiment is absent
-   from the document (not an error: the floor then does not apply to
+   from the document (not an error: the bound then does not apply to
    this run). *)
-let floor_candidates doc floor =
+let bound_candidates doc bound =
   let exps =
     match Experiment.Json.member "experiments" doc with
     | Some (Experiment.Json.List exps) -> exps
@@ -132,7 +150,7 @@ let floor_candidates doc floor =
     List.find_opt
       (fun exp ->
         Experiment.Json.member "id" exp
-        = Some (Experiment.Json.String floor.f_id))
+        = Some (Experiment.Json.String bound.b_id))
       exps
   with
   | None -> None
@@ -147,13 +165,13 @@ let floor_candidates doc floor =
           List.find_opt
             (fun t ->
               Experiment.Json.member "title" t
-              = Some (Experiment.Json.String floor.f_table))
+              = Some (Experiment.Json.String bound.b_table))
             tables
         with
         | Some t -> t
         | None ->
-            fail "floor on %s: no table titled %S in current document"
-              floor.f_id floor.f_table
+            fail "%s on %s: no table titled %S in current document"
+              (direction_name bound.b_dir) bound.b_id bound.b_table
       in
       let rows =
         match Experiment.Json.member "rows" table with
@@ -172,39 +190,53 @@ let floor_candidates doc floor =
              in
              match Experiment.Json.member "values" row with
              | Some vals ->
-                 Option.bind (Experiment.Json.member floor.f_value vals)
+                 Option.bind (Experiment.Json.member bound.b_value vals)
                    (fun v -> Option.map (fun v -> (label, v)) (number v))
              | None -> None)
            rows)
 
-let check_floor doc floor =
-  match floor_candidates doc floor with
+let check_bound doc bound =
+  let name = direction_name bound.b_dir in
+  match bound_candidates doc bound with
   | None ->
-      Printf.printf "floor %-10s %-32s %8s  skipped (not in current)\n"
-        floor.f_id floor.f_value "-";
+      Printf.printf "%-7s %-10s %-32s %8s  skipped (not in current)\n" name
+        bound.b_id bound.b_value "-";
       false
   | Some candidates ->
       let relevant =
-        match floor.f_row with
+        match bound.b_row with
         | None -> candidates
         | Some r -> List.filter (fun (label, _) -> label = r) candidates
       in
-      let best =
-        List.fold_left (fun acc (_, v) -> Float.max acc v) neg_infinity
-          relevant
-      in
       if relevant = [] then
-        fail "floor on %s: table %S has no row carrying %S%s" floor.f_id
-          floor.f_table floor.f_value
-          (match floor.f_row with
+        fail "%s on %s: table %S has no row carrying %S%s" name bound.b_id
+          bound.b_table bound.b_value
+          (match bound.b_row with
           | Some r -> Printf.sprintf " at row %S" r
           | None -> "");
-      let ok = best >= floor.f_min in
-      Printf.printf "floor %-10s %-32s %8.2f  %s (min %.2f%s)\n" floor.f_id
-        floor.f_value best
-        (if ok then "ok" else "BELOW FLOOR")
-        floor.f_min
-        (match floor.f_row with
+      let best =
+        match bound.b_dir with
+        | Floor ->
+            List.fold_left (fun acc (_, v) -> Float.max acc v) neg_infinity
+              relevant
+        | Ceiling ->
+            List.fold_left (fun acc (_, v) -> Float.min acc v) infinity
+              relevant
+      in
+      let ok =
+        match bound.b_dir with
+        | Floor -> best >= bound.b_limit
+        | Ceiling -> best <= bound.b_limit
+      in
+      Printf.printf "%-7s %-10s %-32s %8.2f  %s (%s %.2f%s)\n" name
+        bound.b_id bound.b_value best
+        (if ok then "ok"
+         else match bound.b_dir with
+           | Floor -> "BELOW FLOOR"
+           | Ceiling -> "ABOVE CEILING")
+        (match bound.b_dir with Floor -> "min" | Ceiling -> "max")
+        bound.b_limit
+        (match bound.b_row with
         | Some r -> Printf.sprintf ", row %s" r
         | None -> ", best row");
       not ok
@@ -246,7 +278,7 @@ let () =
   let current_doc = read_doc current_path in
   let baseline = wall_times baseline_doc in
   let current = wall_times current_doc in
-  let ratios, floors = gate_of baseline_doc in
+  let ratios, bounds = gate_of baseline_doc in
   let ratio_for id =
     match List.assoc_opt id ratios with Some r -> r | None -> ratio
   in
@@ -277,14 +309,15 @@ let () =
       if not (List.mem_assoc id baseline) then
         Printf.printf "%-12s %12s %12.3f %8s  new (no baseline)\n" id "-" cur "-")
     current;
-  let floor_failures =
+  let bound_failures =
     List.fold_left
-      (fun acc floor -> if check_floor current_doc floor then acc + 1 else acc)
-      0 floors
+      (fun acc bound -> if check_bound current_doc bound then acc + 1 else acc)
+      0 bounds
   in
-  if !regressions > 0 || floor_failures > 0 then begin
-    Printf.printf "perf gate: %d wall-time regression(s), %d floor failure(s)\n"
-      !regressions floor_failures;
+  if !regressions > 0 || bound_failures > 0 then begin
+    Printf.printf
+      "perf gate: %d wall-time regression(s), %d floor/ceiling failure(s)\n"
+      !regressions bound_failures;
     exit 1
   end;
   print_endline "perf gate: ok"

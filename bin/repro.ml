@@ -789,7 +789,7 @@ let connect_arg =
        & info [ "connect" ] ~docv:"ADDR" ~doc)
 
 let serve seed n m scenario rule repr listen shards dir snapshot_every sync
-    domains max_batch quiet =
+    domains max_batch quiet trace trace_sample =
   let m = resolve_m n m in
   let cluster = { Serve.Cluster.n; m; shards; scenario; rule; repr; seed } in
   let domains =
@@ -799,7 +799,7 @@ let serve seed n m scenario rule repr listen shards dir snapshot_every sync
   in
   let config =
     { Serve.Server.listen; cluster; dir; snapshot_every; sync; domains;
-      max_batch; quiet }
+      max_batch; quiet; trace; trace_sample }
   in
   try Serve.Server.run config
   with Failure msg | Invalid_argument msg ->
@@ -847,11 +847,24 @@ let serve_cmd =
                    change results).")
   in
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"No banner.") in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record span trees for sampled requests and write a \
+                   Perfetto trace to FILE on graceful shutdown.")
+  in
+  let trace_sample =
+    Arg.(value & opt int 64
+         & info [ "trace-sample" ] ~docv:"N"
+             ~doc:"With --trace, sample every Nth request (at most one per \
+                   select round) for a full \
+                   request/decode/apply/reply span tree.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the allocation service daemon")
     Term.(const serve $ seed_arg $ n_arg $ m_arg $ scenario_arg $ rule_arg
           $ repr_arg $ listen $ shards $ dir $ snapshot_every $ sync $ domains
-          $ max_batch $ quiet)
+          $ max_batch $ quiet $ trace $ trace_sample)
 
 let parse_mix s =
   match String.split_on_char ':' s |> List.map int_of_string_opt with
@@ -864,7 +877,16 @@ let load connect ops batch mix seed =
   match Serve.Load_gen.run ~connect ~ops ~batch ~mix ~seed () with
   | Ok r ->
       Printf.printf "repro load: %d ops in %.3f s -> %.0f ops/sec (%d errors)\n"
-        r.Serve.Load_gen.ops r.seconds r.ops_per_sec r.errors
+        r.Serve.Load_gen.ops r.seconds r.ops_per_sec r.errors;
+      let lat = r.Serve.Load_gen.latency in
+      if lat.Obs.Hist.count > 0 then begin
+        let p q = Obs.Hist.quantile lat q /. 1e3 in
+        Printf.printf
+          "repro load: rtt p50 %.1f us, p90 %.1f us, p99 %.1f us, p999 %.1f \
+           us (max %.1f us)\n"
+          (p 0.5) (p 0.9) (p 0.99) (p 0.999)
+          (float_of_int lat.Obs.Hist.max /. 1e3)
+      end
   | Error msg ->
       prerr_endline ("repro load: " ^ msg);
       exit 1
@@ -932,6 +954,162 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Send one-shot requests to a running service")
     Term.(const query $ connect_arg $ ops)
 
+(* ---- stat: the telemetry client (dashboard / --json / --prom) ---- *)
+
+let stat_die msg =
+  prerr_endline ("repro stat: " ^ msg);
+  exit 1
+
+let fetch_stats connect fmt =
+  let line =
+    match fmt with
+    | `Json -> {|{"op":"stats"}|}
+    | `Prom -> {|{"op":"stats","format":"prom"}|}
+  in
+  match Serve.Load_gen.query ~connect [ line ] with
+  | Ok [ reply ] -> reply
+  | Ok _ -> stat_die "unexpected reply count"
+  | Error msg -> stat_die msg
+
+let jint ?(default = 0) name j =
+  match Experiment.Json.member name j with
+  | Some (Experiment.Json.Int i) -> i
+  | Some (Experiment.Json.Float f) -> int_of_float f
+  | _ -> default
+
+let jfloat ?(default = 0.) name j =
+  match Experiment.Json.member name j with
+  | Some (Experiment.Json.Float f) -> f
+  | Some (Experiment.Json.Int i) -> float_of_int i
+  | _ -> default
+
+let render_dashboard j =
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "uptime %.1fs  seq %d  balls %d  max_load %d  watermark %d\n"
+    (jfloat "uptime_s" j) (jint "seq" j) (jint "balls" j) (jint "max_load" j)
+    (jint "watermark" j);
+  add
+    "clients %d (of %d connections)  requests %d  events %d  errors %d  \
+     rounds %d\n"
+    (jint "clients" j) (jint "connections" j) (jint "requests" j)
+    (jint "events" j) (jint "errors" j) (jint "rounds" j);
+  (match Experiment.Json.member "round_ns" j with
+  | Some r when jint "count" r > 0 ->
+      add "rounds: mean %.1f us, p99 %.1f us; mean batch %.1f events\n"
+        (jfloat "mean" r /. 1e3)
+        (jfloat "p99" r /. 1e3)
+        (match Experiment.Json.member "batch_events" j with
+        | Some be -> jfloat "mean" be
+        | None -> 0.)
+  | _ -> ());
+  (match Experiment.Json.member "ops" j with
+  | Some (Experiment.Json.Obj ops) when ops <> [] ->
+      add "\n%-10s %10s %11s %11s %11s %11s\n" "op" "count" "p50(us)"
+        "p90(us)" "p99(us)" "p999(us)";
+      List.iter
+        (fun (name, o) ->
+          match Experiment.Json.member "latency_ns" o with
+          | Some lat when jint "count" lat > 0 ->
+              add "%-10s %10d %11.1f %11.1f %11.1f %11.1f\n" name
+                (jint "count" lat)
+                (jfloat "p50" lat /. 1e3)
+                (jfloat "p90" lat /. 1e3)
+                (jfloat "p99" lat /. 1e3)
+                (jfloat "p999" lat /. 1e3)
+          | _ -> ())
+        ops
+  | _ -> ());
+  (match Experiment.Json.member "shards" j with
+  | Some (Experiment.Json.List shards) when shards <> [] ->
+      add "\n%-6s %10s %9s %10s %8s %10s %12s\n" "shard" "balls" "max_load"
+        "applied" "queue" "drains" "drain p99us";
+      List.iter
+        (fun s ->
+          let drain = Experiment.Json.member "drain_ns" s in
+          add "%-6d %10d %9d %10d %8d %10d %12.1f\n" (jint "shard" s)
+            (jint "balls" s) (jint "max_load" s) (jint "applied" s)
+            (jint "queue_depth" s)
+            (match drain with Some d -> jint "count" d | None -> 0)
+            (match drain with Some d -> jfloat "p99" d /. 1e3 | None -> 0.))
+        shards
+  | _ -> ());
+  (match Experiment.Json.member "durability" j with
+  | Some d ->
+      add
+        "\ndurability: journal %d bytes (flushed %.1fs ago%s), snapshot seq \
+         %d (%.1fs ago), %d mutations since\n"
+        (jint "journal_bytes" d)
+        (jfloat "flush_age_s" d)
+        (match Experiment.Json.member "sync_age_s" d with
+        | Some (Experiment.Json.Float s) -> Printf.sprintf ", fsynced %.1fs ago" s
+        | _ -> "")
+        (jint "snapshot_seq" d)
+        (jfloat "snapshot_age_s" d)
+        (jint "since_snapshot" d)
+  | None -> ());
+  Buffer.contents b
+
+let stat connect json prom interval count =
+  if json && prom then stat_die "--json and --prom are mutually exclusive";
+  if json then print_endline (fetch_stats connect `Json)
+  else if prom then begin
+    match Experiment.Json.of_string (fetch_stats connect `Prom) with
+    | Ok j -> (
+        match Experiment.Json.member "text" j with
+        | Some (Experiment.Json.String text) -> print_string text
+        | _ -> stat_die "malformed reply: no text field")
+    | Error msg -> stat_die ("bad reply: " ^ msg)
+  end
+  else begin
+    if interval <= 0. then stat_die "--interval must be positive";
+    let forever = count <= 0 in
+    let i = ref 0 in
+    while forever || !i < count do
+      (match Experiment.Json.of_string (fetch_stats connect `Json) with
+      | Error msg -> stat_die ("bad reply: " ^ msg)
+      | Ok j ->
+          if !i > 0 && Unix.isatty Unix.stdout then
+            (* redraw in place between refreshes *)
+            print_string "\027[2J\027[H";
+          print_string (render_dashboard j);
+          flush stdout);
+      incr i;
+      if forever || !i < count then
+        try ignore (Unix.select [] [] [] interval)
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  end
+
+let stat_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"One-shot: print the raw stats reply (one JSON line) and \
+                   exit.")
+  in
+  let prom =
+    Arg.(value & flag
+         & info [ "prom" ]
+             ~doc:"One-shot: print the Prometheus text exposition and exit.")
+  in
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECS"
+             ~doc:"Dashboard refresh interval.")
+  in
+  let count =
+    Arg.(value & opt int 1
+         & info [ "count" ] ~docv:"N"
+             ~doc:"Dashboard renders before exiting (0 = refresh until \
+                   interrupted).")
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:"Show live telemetry of a running service (latency percentiles, \
+             stage costs, shard and durability gauges)")
+    Term.(const stat $ connect_arg $ json $ prom $ interval $ count)
+
 (* ---- entry point ---- *)
 
 let () =
@@ -943,5 +1121,5 @@ let () =
           [
             simulate_cmd; recover_cmd; couple_cmd; edge_cmd; exact_cmd;
             fluid_cmd; tv_cmd; weighted_cmd; parallel_cmd; removal_cmd;
-            bench_cmd; validate_cmd; serve_cmd; load_cmd; query_cmd;
+            bench_cmd; validate_cmd; serve_cmd; load_cmd; query_cmd; stat_cmd;
           ]))

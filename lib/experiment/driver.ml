@@ -90,10 +90,13 @@ let print_banner config =
 let telemetry_json () =
   let hist_json (s : Obs.Hist.snapshot) =
     Json.Obj
-      [
-        ("count", Json.Int s.count);
-        ("sum", Json.Int s.sum);
-        ("max", Json.Int s.max);
+      ([
+         ("count", Json.Int s.count);
+         ("sum", Json.Int s.sum);
+         ("max", Json.Int s.max);
+       ]
+      @ List.map (fun (k, v) -> (k, Json.Float v)) (Obs.Hist.percentiles s)
+      @ [
         ( "buckets",
           Json.List
             (List.map
@@ -105,7 +108,7 @@ let telemetry_json () =
                      ("count", Json.Int c);
                    ])
                s.buckets) );
-      ]
+      ])
   in
   Json.Obj
     [

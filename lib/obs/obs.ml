@@ -103,6 +103,63 @@ module Hist = struct
 
   let mean (s : snapshot) =
     if s.count = 0 then nan else float_of_int s.sum /. float_of_int s.count
+
+  let empty : snapshot = { count = 0; sum = 0; max = min_int; buckets = [] }
+
+  (* Buckets are keyed by their lower bound: two snapshots' bucket lists
+     are aligned like a sorted merge, so merging is associative and
+     commutative cell-by-cell (integer sums and max), which the qcheck
+     properties pin down. *)
+  let merge (a : snapshot) (b : snapshot) : snapshot =
+    let rec go xs ys =
+      match (xs, ys) with
+      | [], rest | rest, [] -> rest
+      | ((alo, ahi, ac) as x) :: xs', ((blo, _, bc) as y) :: ys' ->
+          if alo = blo then (alo, ahi, ac + bc) :: go xs' ys'
+          else if alo < blo then x :: go xs' ys
+          else y :: go xs ys'
+    in
+    {
+      count = a.count + b.count;
+      sum = a.sum + b.sum;
+      max = Stdlib.max a.max b.max;
+      buckets = go a.buckets b.buckets;
+    }
+
+  (* Within-bucket linear interpolation: walk the buckets to the one
+     holding rank [q * count] and place the estimate proportionally
+     inside its [lo, hi] range.  The last bucket's upper edge is pulled
+     in to the recorded max (the true largest observation lives there),
+     so p999 never exceeds an observed value.  The estimate is exact to
+     within the width of the bucket containing the true order statistic
+     — the resolution contract of a log-bucketed histogram. *)
+  let quantile (s : snapshot) q =
+    if s.count = 0 then nan
+    else begin
+      let q = if q < 0. then 0. else if q > 1. then 1. else q in
+      let interpolate lo hi c remaining =
+        let frac =
+          Float.max 0. (Float.min 1. (remaining /. float_of_int c))
+        in
+        float_of_int lo +. (frac *. float_of_int (hi - lo))
+      in
+      let rec go remaining = function
+        | [] -> float_of_int s.max
+        | [ (lo, hi, c) ] ->
+            let hi = if s.max >= lo && s.max <= hi then s.max else hi in
+            interpolate lo hi c remaining
+        | (lo, hi, c) :: rest ->
+            let fc = float_of_int c in
+            if remaining <= fc then interpolate lo hi c remaining
+            else go (remaining -. fc) rest
+      in
+      go (q *. float_of_int s.count) s.buckets
+    end
+
+  let percentiles (s : snapshot) =
+    List.map
+      (fun (name, q) -> (name, quantile s q))
+      [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99); ("p999", 0.999) ]
 end
 
 (* ---- named-instrument registries ---- *)

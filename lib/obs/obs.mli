@@ -73,6 +73,28 @@ module Hist : sig
   val snapshot : t -> snapshot
   val reset : t -> unit
   val mean : snapshot -> float
+
+  val empty : snapshot
+  (** The identity of {!merge}. *)
+
+  val merge : snapshot -> snapshot -> snapshot
+  (** Combine two snapshots as if their observation streams had been
+      interleaved into one histogram: bucket counts, totals and the max
+      all combine cell-by-cell, so merging is associative and
+      commutative with {!empty} as identity, and
+      [merge (snapshot a) (snapshot b)] equals the snapshot of a
+      histogram fed both streams. *)
+
+  val quantile : snapshot -> float -> float
+  (** [quantile s q] estimates the [q]-quantile ([q] clamped to
+      [0..1]) by linear interpolation within the bucket holding rank
+      [q * count]; the top bucket's edge is pulled in to the recorded
+      max.  Monotone in [q]; exact to within the width of the bucket
+      containing the true order statistic; [nan] when empty. *)
+
+  val percentiles : snapshot -> (string * float) list
+  (** [("p50", _); ("p90", _); ("p99", _); ("p999", _)] via
+      {!quantile} — the latency summary the serve layer exports. *)
 end
 
 (** Named global counters (e.g. spmv calls).  [make] registers by name

@@ -39,6 +39,9 @@ type t = {
   mutable seq : int;  (* mutation events routed since creation *)
   pool : Parallel.Pool.t option;
   queues : queue array;
+  mutable tel : Telemetry.t option;
+      (* When attached, route and shard-apply stages are timed into it;
+         the telemetry-free path stays clock-call free. *)
 }
 
 let config t = t.config
@@ -46,6 +49,8 @@ let seq t = t.seq
 let shard_count t = Array.length t.shards
 let total_balls t = t.total
 let shard t i = t.shards.(i)
+let set_telemetry t tel = t.tel <- Some tel
+let queue_depths t = Array.map (fun q -> q.len) t.queues
 
 let validate_config c =
   if c.n <= 0 then invalid_arg "Serve.Cluster: n must be positive";
@@ -77,7 +82,8 @@ let build ~pool config mk_shard =
     counts;
     total = Array.fold_left ( + ) 0 counts;
     seq = 0; pool;
-    queues = Array.init config.shards (fun _ -> fresh_queue ()) }
+    queues = Array.init config.shards (fun _ -> fresh_queue ());
+    tel = None }
 
 let create ?pool config =
   validate_config config;
@@ -169,15 +175,37 @@ let drain_shard t replies s =
   let q = t.queues.(s) in
   let shard = t.shards.(s) in
   let lo = Shard.lo shard in
-  for i = 0 to q.len - 1 do
-    let reply =
-      match Shard.apply shard q.evs.(i) with
-      | Engine.Event.Placed bin -> Engine.Event.Placed (lo + bin)
-      | Engine.Event.Removed bin -> Engine.Event.Removed (lo + bin)
-      | reply -> reply
-    in
-    replies.(q.slots.(i)) <- reply
-  done;
+  (match t.tel with
+  | None ->
+      for i = 0 to q.len - 1 do
+        let reply =
+          match Shard.apply shard q.evs.(i) with
+          | Engine.Event.Placed bin -> Engine.Event.Placed (lo + bin)
+          | Engine.Event.Removed bin -> Engine.Event.Removed (lo + bin)
+          | reply -> reply
+        in
+        replies.(q.slots.(i)) <- reply
+      done
+  | Some tel ->
+      (* Same loop with the shard-apply stage timed per event.  Hist
+         cells are atomic, so recording is safe from pool workers. *)
+      let t0 = Obs.Clock.now_ns () in
+      for i = 0 to q.len - 1 do
+        let ev = q.evs.(i) in
+        let ta = Obs.Clock.now_ns () in
+        let reply =
+          match Shard.apply shard ev with
+          | Engine.Event.Placed bin -> Engine.Event.Placed (lo + bin)
+          | Engine.Event.Removed bin -> Engine.Event.Removed (lo + bin)
+          | reply -> reply
+        in
+        Telemetry.observe_stage tel Telemetry.Apply
+          ~op:(Telemetry.op_of_event ev)
+          (Obs.Clock.ns_since ta);
+        replies.(q.slots.(i)) <- reply
+      done;
+      Telemetry.observe_drain tel ~shard:s ~depth:q.len
+        (Obs.Clock.ns_since t0));
   q.len <- 0
 
 let flush t replies =
@@ -217,6 +245,11 @@ let answer_query t ev =
   | Engine.Event.Occupancy -> Engine.Event.Loads (loads t)
   | _ -> invalid_arg "Serve.Cluster.answer_query: not a query"
 
+let route_and_queue t replies ev i =
+  match route t ev with
+  | Some s -> push t.queues.(s) ev i
+  | None -> replies.(i) <- Engine.Event.Rejected "empty"
+
 let apply_batch t events =
   let n = Array.length events in
   let replies = Array.make n Engine.Event.Ack in
@@ -224,14 +257,27 @@ let apply_batch t events =
     let ev = events.(i) in
     if Engine.Event.is_mutation ev then begin
       t.seq <- t.seq + 1;
-      match route t ev with
-      | Some s -> push t.queues.(s) ev i
-      | None -> replies.(i) <- Engine.Event.Rejected "empty"
+      match t.tel with
+      | None -> route_and_queue t replies ev i
+      | Some tel ->
+          let t0 = Obs.Clock.now_ns () in
+          route_and_queue t replies ev i;
+          Telemetry.observe_stage tel Telemetry.Route
+            ~op:(Telemetry.op_of_event ev)
+            (Obs.Clock.ns_since t0)
     end
     else begin
       (* Queries are barriers: they observe all prior mutations. *)
       flush t replies;
-      replies.(i) <- answer_query t ev
+      match t.tel with
+      | None -> replies.(i) <- answer_query t ev
+      | Some tel ->
+          (* The global answer is the query's apply stage. *)
+          let t0 = Obs.Clock.now_ns () in
+          replies.(i) <- answer_query t ev;
+          Telemetry.observe_stage tel Telemetry.Apply
+            ~op:(Telemetry.op_of_event ev)
+            (Obs.Clock.ns_since t0)
     end
   done;
   flush t replies;

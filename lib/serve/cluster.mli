@@ -50,6 +50,15 @@ val shard_count : t -> int
 val total_balls : t -> int
 val shard : t -> int -> Shard.t
 
+val set_telemetry : t -> Telemetry.t -> unit
+(** Attach a telemetry bank: route and shard-apply stages (and drain
+    depth/duration per shard) are timed into it from then on.  Without
+    one the hot path performs no clock reads. *)
+
+val queue_depths : t -> int array
+(** Pending (queued, unflushed) events per shard — zero at batch
+    boundaries, non-zero only observed mid-batch. *)
+
 val max_load : t -> int
 val watermark : t -> int
 

@@ -300,7 +300,14 @@ let fold ~path ~init ~f =
 (* {2 Writer} *)
 
 module Writer = struct
-  type t = { ch : out_channel; buf : Buffer.t }
+  type t = {
+    ch : out_channel;
+    buf : Buffer.t;
+    (* Durability gauges for the stats report: when the journal last
+       reached the OS ([flush]) and the disk ([sync]). *)
+    mutable last_flush_ns : int64;
+    mutable last_sync_ns : int64 option;
+  }
 
   let header fp =
     let buf = Buffer.create 256 in
@@ -312,7 +319,8 @@ module Writer = struct
     let ch = open_out_bin path in
     Buffer.output_buffer ch (header fp);
     flush ch;
-    { ch; buf = Buffer.create 4096 }
+    { ch; buf = Buffer.create 4096;
+      last_flush_ns = Obs.Clock.now_ns (); last_sync_ns = None }
 
   let open_append ~path fp =
     match read_all path with
@@ -346,7 +354,8 @@ module Writer = struct
           let ch =
             open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
           in
-          { ch; buf = Buffer.create 4096 }
+          { ch; buf = Buffer.create 4096;
+            last_flush_ns = Obs.Clock.now_ns (); last_sync_ns = None }
         end
 
   let append t ~seq events =
@@ -354,11 +363,20 @@ module Writer = struct
     encode_record t.buf ~seq events;
     Buffer.output_buffer t.ch t.buf
 
-  let flush t = flush t.ch
+  let flush t =
+    flush t.ch;
+    t.last_flush_ns <- Obs.Clock.now_ns ()
 
   let sync t =
     flush t;
-    Unix.fsync (Unix.descr_of_out_channel t.ch)
+    Unix.fsync (Unix.descr_of_out_channel t.ch);
+    t.last_sync_ns <- Some (Obs.Clock.now_ns ())
 
   let close t = close_out t.ch
+
+  let bytes t = pos_out t.ch
+  (* Bytes written so far, buffered output included. *)
+
+  let flush_age_s t = Obs.Clock.seconds_since t.last_flush_ns
+  let sync_age_s t = Option.map Obs.Clock.seconds_since t.last_sync_ns
 end

@@ -68,4 +68,17 @@ module Writer : sig
       round-trip per batch. *)
 
   val close : t -> unit
+
+  (** {3 Durability gauges} *)
+
+  val bytes : t -> int
+  (** Bytes written to the journal so far (buffered output included) —
+      the on-disk size once flushed. *)
+
+  val flush_age_s : t -> float
+  (** Seconds since the journal last reached the OS. *)
+
+  val sync_age_s : t -> float option
+  (** Seconds since the last [fsync]; [None] when the writer has never
+      synced (the [--sync] flag is off). *)
 end

@@ -21,6 +21,7 @@ type result = {
   errors : int;
   seconds : float;
   ops_per_sec : float;
+  latency : Obs.Hist.snapshot;
 }
 
 let connect addr =
@@ -84,6 +85,10 @@ let run ~connect:addr ?(ops = 200_000) ?(batch = 512) ?(mix = default_mix)
       let buf = Buffer.create (batch * 32) in
       let errors = ref 0 in
       let sent = ref 0 in
+      (* Client-observed round-trip per reply, measured from the
+         batch's write: the honest closed-loop number — it includes
+         queueing behind the pipeline, not just server service time. *)
+      let lat = Obs.Hist.create () in
       let t0 = Unix.gettimeofday () in
       (try
          while !sent < ops do
@@ -94,8 +99,10 @@ let run ~connect:addr ?(ops = 200_000) ?(batch = 512) ?(mix = default_mix)
            done;
            Buffer.output_buffer oc buf;
            flush oc;
+           let t_send = Obs.Clock.now_ns () in
            for _ = 1 to k do
              let line = input_line ic in
+             Obs.Hist.observe lat (Int64.to_int (Obs.Clock.ns_since t_send));
              if reply_failed line then incr errors
            done;
            sent := !sent + k
@@ -103,7 +110,8 @@ let run ~connect:addr ?(ops = 200_000) ?(batch = 512) ?(mix = default_mix)
          let seconds = Unix.gettimeofday () -. t0 in
          Ok
            { ops = !sent; errors = !errors; seconds;
-             ops_per_sec = (if seconds > 0. then float_of_int !sent /. seconds else 0.) }
+             ops_per_sec = (if seconds > 0. then float_of_int !sent /. seconds else 0.);
+             latency = Obs.Hist.snapshot lat }
        with
       | End_of_file -> Error "server closed the connection mid-run"
       | Sys_error msg -> Error msg))

@@ -12,6 +12,11 @@ type result = {
   errors : int;  (** Replies with [ok:false] (rejections included). *)
   seconds : float;
   ops_per_sec : float;
+  latency : Obs.Hist.snapshot;
+      (** Client-observed round-trip nanoseconds per reply, measured
+          from the batch write — includes pipeline queueing, so it is
+          the end-to-end number a real client would see
+          ({!Obs.Hist.percentiles} extracts p50/p90/p99/p999). *)
 }
 
 val run :

@@ -5,9 +5,17 @@
    lines into one batch (arrival order), applies the batch — in chunks
    of at most [max_batch]; chunking cannot change the outcome because
    cluster application is batch-invariant — and appends the replies to
-   each client's output buffer in request order.  Ping and metrics are
-   answered by the server itself, after the batch, so a client that
-   interleaves them with events still sees ordered replies.
+   each client's output buffer in request order.  Ping, metrics and
+   stats are answered by the server itself, after the batch, so a
+   client that interleaves them with events still sees ordered replies.
+
+   Telemetry is always on: every request is timed through its
+   lifecycle stages (decode here, route/apply in the cluster, reply
+   here) into a {!Telemetry} bank the [stats] op reports from.  When
+   [trace] is set, the daemon additionally records Obs spans for a
+   sampled 1-in-[trace_sample] request per round — a full
+   request/decode/apply/reply span tree per sample — and writes the
+   Perfetto trace on graceful shutdown.
 
    SIGTERM / SIGINT stop the loop; shutdown flushes output buffers
    best-effort, snapshots the store and removes a Unix socket file, so
@@ -23,11 +31,14 @@ type config = {
   domains : int;
   max_batch : int;
   quiet : bool;
+  trace : string option;  (* Perfetto trace path, written on shutdown *)
+  trace_sample : int;  (* trace every Nth request (at most 1 per round) *)
 }
 
 let default_config ~listen ~cluster =
   { listen; cluster; dir = None; snapshot_every = 1_000_000; sync = false;
-    domains = 1; max_batch = 8192; quiet = false }
+    domains = 1; max_batch = 8192; quiet = false; trace = None;
+    trace_sample = 64 }
 
 type backend = Durable of Store.t | Ephemeral of Cluster.t
 
@@ -56,7 +67,21 @@ type client = {
 type slot =
   | Reply of int  (* index into the round's event array *)
   | Immediate of string  (* preformatted line(s) *)
-  | Metrics_slot of int option
+  | Metrics_slot
+  | Stats_slot of Wire.stats_format
+
+(* A parsed request of the current round, tagged for telemetry: its op
+   index, its decode-start timestamp (the service-time origin) and —
+   when sampled — its in-flight "serve.request" span. *)
+type pending = {
+  pc : client;
+  pid : int option;
+  pslot : slot;
+  pop : int;
+  pt0 : int64;
+  pspan : Obs.span;
+  ptraced : bool;
+}
 
 type stats = {
   started : float;
@@ -154,6 +179,42 @@ let run ?on_ready config =
     { started = Unix.gettimeofday (); connections = 0; live = 0; requests = 0;
       events = 0; errors = 0; rounds = 0 }
   in
+  let tel = Telemetry.create ~shards:config.cluster.Cluster.shards in
+  Cluster.set_telemetry (backend_cluster backend) tel;
+  (match config.trace with Some _ -> Obs.enable () | None -> ());
+  let trace_on = config.trace <> None && config.trace_sample > 0 in
+  (* Next request count at which to sample a trace; starts at 1 so even
+     a short run records at least one request tree. *)
+  let next_trace = ref 1 in
+  let telemetry_inputs () =
+    let cluster = backend_cluster backend in
+    let totals =
+      { Telemetry.connections = stats.connections; live = stats.live;
+        requests = stats.requests; events = stats.events;
+        errors = stats.errors; rounds = stats.rounds }
+    in
+    let cg =
+      { Telemetry.seq = Cluster.seq cluster;
+        balls_total = Cluster.total_balls cluster;
+        max_load = Cluster.max_load cluster;
+        watermark = Cluster.watermark cluster }
+    in
+    let depths = Cluster.queue_depths cluster in
+    let shards =
+      List.init (Cluster.shard_count cluster) (fun s ->
+          let sh = Cluster.shard cluster s in
+          { Telemetry.shard = s; bins = Shard.bin_count sh;
+            balls = Shard.balls sh; shard_max_load = Shard.max_load sh;
+            shard_watermark = Shard.watermark sh; applied = Shard.applied sh;
+            queue_depth = depths.(s) })
+    in
+    let durability =
+      match backend with
+      | Durable s -> Some (Store.durability s)
+      | Ephemeral _ -> None
+    in
+    (totals, cg, shards, durability)
+  in
   if not config.quiet then begin
     Printf.printf "repro serve: listening on %s (n=%d m=%d shards=%d rule=%s scenario=%s%s)\n"
       (Wire.address_to_string config.listen)
@@ -234,6 +295,10 @@ let run ?on_ready config =
     let lines = List.rev !lines in
     if lines <> [] then begin
       stats.rounds <- stats.rounds + 1;
+      let t_round = Obs.Clock.now_ns () in
+      (* At most one sampled request per round, so its span cleanly
+         contains the round-level apply span and its own reply span. *)
+      let traced_this_round = ref false in
       (* 2. parse into one batch *)
       let events = ref [] and nevents = ref 0 in
       let slots =
@@ -243,45 +308,106 @@ let run ?on_ready config =
           (List.fold_left
              (fun acc (c, line) ->
                stats.requests <- stats.requests + 1;
-               let slot =
-                 match Wire.parse line with
+               let traced =
+                 trace_on
+                 && (not !traced_this_round)
+                 && stats.requests >= !next_trace
+               in
+               if traced then begin
+                 traced_this_round := true;
+                 next_trace := stats.requests + config.trace_sample
+               end;
+               let pspan =
+                 if traced then Obs.begin_span "serve.request"
+                 else Obs.null_span
+               in
+               let dspan =
+                 if traced then Obs.begin_span "serve.decode"
+                 else Obs.null_span
+               in
+               let t0 = Obs.Clock.now_ns () in
+               let parsed = Wire.parse line in
+               let decode_ns = Obs.Clock.ns_since t0 in
+               Obs.end_span dspan;
+               let op, pid, pslot =
+                 match parsed with
                  | Error msg ->
                      stats.errors <- stats.errors + 1;
                      Buffer.clear line_buf;
                      Wire.add_error line_buf ~id:None msg;
-                     (c, None, Immediate (Buffer.contents line_buf))
+                     ( Telemetry.op_error, None,
+                       Immediate (Buffer.contents line_buf) )
                  | Ok (id, Wire.Ping) ->
                      Buffer.clear line_buf;
                      Wire.add_pong line_buf ~id;
-                     (c, id, Immediate (Buffer.contents line_buf))
-                 | Ok (id, Wire.Stats) -> (c, id, Metrics_slot id)
+                     (Telemetry.op_ping, id, Immediate (Buffer.contents line_buf))
+                 | Ok (id, Wire.Metrics) -> (Telemetry.op_metrics, id, Metrics_slot)
+                 | Ok (id, Wire.Stats fmt) ->
+                     (Telemetry.op_stats, id, Stats_slot fmt)
                  | Ok (id, Wire.Event ev) ->
                      let ix = !nevents in
                      events := ev :: !events;
                      incr nevents;
                      stats.events <- stats.events + 1;
-                     (c, id, Reply ix)
+                     (Telemetry.op_of_event ev, id, Reply ix)
                in
-               slot :: acc)
+               Telemetry.observe_stage tel Telemetry.Decode ~op decode_ns;
+               { pc = c; pid; pslot; pop = op; pt0 = t0; pspan;
+                 ptraced = traced }
+               :: acc)
              [] lines)
       in
       (* 3. apply *)
       let events = Array.of_list (List.rev !events) in
+      let aspan =
+        if !traced_this_round then
+          Obs.begin_span "serve.apply"
+            ~args:[ ("events", Obs.Int (Array.length events)) ]
+        else Obs.null_span
+      in
       let replies = apply_chunked events in
+      Obs.end_span aspan;
       (* 4. answer in request order *)
       List.iter
-        (fun (c, id, slot) ->
-          if not c.dead then
-            match slot with
-            | Immediate s -> Buffer.add_string c.out s
+        (fun p ->
+          if not p.pc.dead then begin
+            let t_reply = Obs.Clock.now_ns () in
+            let rspan =
+              if p.ptraced then Obs.begin_span "serve.reply" else Obs.null_span
+            in
+            (match p.pslot with
+            | Immediate s -> Buffer.add_string p.pc.out s
             | Reply ix ->
                 (match replies.(ix) with
                 | Engine.Event.Rejected _ -> stats.errors <- stats.errors + 1
                 | _ -> ());
-                Wire.add_reply c.out ~id replies.(ix)
-            | Metrics_slot id ->
-                Wire.add_metrics c.out ~id (metrics_fields backend stats))
-        slots
+                Wire.add_reply p.pc.out ~id:p.pid replies.(ix)
+            | Metrics_slot ->
+                Wire.add_metrics p.pc.out ~id:p.pid
+                  (metrics_fields backend stats)
+            | Stats_slot fmt -> (
+                let totals, cg, shards, durability = telemetry_inputs () in
+                match fmt with
+                | Wire.Stats_json ->
+                    Wire.add_stats p.pc.out ~id:p.pid
+                      (Telemetry.report_json tel ~totals ~cluster:cg ~shards
+                         ~durability)
+                | Wire.Stats_prom ->
+                    Wire.add_stats_text p.pc.out ~id:p.pid
+                      (Telemetry.report_prom tel ~totals ~cluster:cg ~shards
+                         ~durability)));
+            Obs.end_span rspan;
+            let t_end = Obs.Clock.now_ns () in
+            Telemetry.observe_stage tel Telemetry.Reply ~op:p.pop
+              (Int64.sub t_end t_reply);
+            Telemetry.observe_latency tel ~op:p.pop (Int64.sub t_end p.pt0);
+            if p.ptraced then
+              Obs.end_span p.pspan
+                ~args:[ ("op", Obs.Str (Telemetry.op_name p.pop)) ]
+          end)
+        slots;
+      Telemetry.observe_batch tel (Array.length events);
+      Telemetry.observe_round tel (Obs.Clock.ns_since t_round)
     end
   in
   let flush_client c =
@@ -342,6 +468,14 @@ let run ?on_ready config =
   | Wire.Tcp _ -> ());
   backend_close backend;
   (match pool with Some p -> Parallel.Pool.shutdown p | None -> ());
+  (match config.trace with
+  | Some path ->
+      Obs.write_trace ~path;
+      if not config.quiet then begin
+        Printf.printf "repro serve: trace written to %s\n" path;
+        flush stdout
+      end
+  | None -> ());
   Sys.set_signal Sys.sigterm old_term;
   Sys.set_signal Sys.sigint old_int;
   if not config.quiet then begin

@@ -9,7 +9,14 @@
     and answers each client in its own request order.  SIGTERM/SIGINT
     shut the loop down gracefully: flush, snapshot, unlink the Unix
     socket.  A [kill -9] is recovered on the next start by snapshot
-    load plus journal replay. *)
+    load plus journal replay.
+
+    Every request is timed through its lifecycle stages into an
+    always-on {!Telemetry} bank, reported by the [stats] wire op (JSON
+    or Prometheus text).  With [trace] set, a sampled
+    1-in-[trace_sample] request (at most one per round) additionally
+    records a [serve.request]/[serve.decode]/[serve.apply]/[serve.reply]
+    span tree, exported as a Perfetto trace on graceful shutdown. *)
 
 type config = {
   listen : Wire.address;
@@ -22,11 +29,17 @@ type config = {
   domains : int;  (** Pool width for shard application (1 = inline). *)
   max_batch : int;
   quiet : bool;
+  trace : string option;
+      (** Record sampled request spans and write a Perfetto trace here
+          on graceful shutdown ([None] = no tracing). *)
+  trace_sample : int;
+      (** Trace every Nth request, at most one per round ([<= 0]
+          disables sampling even when [trace] is set). *)
 }
 
 val default_config : listen:Wire.address -> cluster:Cluster.config -> config
 (** Ephemeral, single-domain, [max_batch = 8192],
-    [snapshot_every = 1_000_000]. *)
+    [snapshot_every = 1_000_000], no tracing ([trace_sample = 64]). *)
 
 val run : ?on_ready:(unit -> unit) -> config -> unit
 (** Serve until SIGTERM/SIGINT.  [on_ready] fires once the socket is

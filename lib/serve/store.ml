@@ -24,6 +24,7 @@ type t = {
   snapshot_every : int;
   sync : bool;
   mutable last_snapshot_seq : int;
+  mutable last_snapshot_ns : int64;  (* boot time until the first cut *)
   mutable closed : bool;
 }
 
@@ -85,7 +86,7 @@ let open_ ?pool ?(snapshot_every = 1_000_000) ?(sync = false) ~dir config =
     let writer = Journal.Writer.open_append ~path:journal_path fp in
     { config; fp; cluster; writer; journal_path; snapshot_path;
       snapshot_every; sync; last_snapshot_seq = Cluster.seq cluster;
-      closed = false }
+      last_snapshot_ns = Obs.Clock.now_ns (); closed = false }
   with
   | t -> Ok t
   | exception Failure msg -> Error msg
@@ -95,12 +96,23 @@ let cluster t = t.cluster
 let config t = t.config
 let seq t = Cluster.seq t.cluster
 
+let durability t : Telemetry.durability =
+  {
+    Telemetry.journal_bytes = Journal.Writer.bytes t.writer;
+    flush_age_s = Journal.Writer.flush_age_s t.writer;
+    sync_age_s = Journal.Writer.sync_age_s t.writer;
+    snapshot_seq = t.last_snapshot_seq;
+    snapshot_age_s = Obs.Clock.seconds_since t.last_snapshot_ns;
+    since_snapshot = Cluster.seq t.cluster - t.last_snapshot_seq;
+  }
+
 let snapshot_now t =
   Journal.save_snapshot ~path:t.snapshot_path t.fp (Cluster.state t.cluster);
   (* Compact: everything on disk is now covered by the snapshot. *)
   Journal.Writer.close t.writer;
   t.writer <- Journal.Writer.create ~path:t.journal_path t.fp;
-  t.last_snapshot_seq <- Cluster.seq t.cluster
+  t.last_snapshot_seq <- Cluster.seq t.cluster;
+  t.last_snapshot_ns <- Obs.Clock.now_ns ()
 
 let count_mutations events =
   Array.fold_left

@@ -31,6 +31,11 @@ val config : t -> Cluster.config
 val seq : t -> int
 (** Mutations routed over the service's whole history. *)
 
+val durability : t -> Telemetry.durability
+(** Point-in-time durability gauges for the stats report: journal size,
+    flush/fsync ages, last snapshot sequence and age, and mutations not
+    yet covered by a snapshot. *)
+
 val apply_batch : t -> Engine.Event.t array -> Engine.Event.reply array
 (** Journal the batch's mutations, then {!Cluster.apply_batch}. *)
 

@@ -10,6 +10,14 @@
      {"op":"occupancy"}                 -> {"ok":true,"reply":"loads","loads":[...]}
      {"op":"ping"}                      -> {"ok":true,"reply":"pong"}
      {"op":"metrics"}                   -> {"ok":true,"reply":"metrics",...}
+     {"op":"stats"}                     -> {"ok":true,"reply":"stats",...}
+     {"op":"stats","format":"prom"}     -> {"ok":true,"reply":"stats","format":"prom","text":"..."}
+
+   "metrics" is the legacy coarse counter dump; "stats" is the full
+   telemetry report (per-op stage histograms, latency quantiles,
+   per-shard gauges, durability state), as structured JSON fields by
+   default or, with "format":"prom", a Prometheus text exposition
+   carried in the "text" field.
 
    "id" is optional and echoed back verbatim when present; replies are
    written in request order, so correlation works without ids too.
@@ -45,7 +53,13 @@ let parse_address s =
       Error
         (Printf.sprintf "bad address %S (use unix:PATH or tcp:HOST:PORT)" s)
 
-type request = Event of Engine.Event.t | Ping | Stats
+type stats_format = Stats_json | Stats_prom
+
+type request =
+  | Event of Engine.Event.t
+  | Ping
+  | Metrics
+  | Stats of stats_format
 
 let parse line =
   match Experiment.Json.of_string line with
@@ -70,7 +84,17 @@ let parse line =
           | "occupancy" -> Ok (id, Event Engine.Event.Occupancy)
           | "watermark" -> Ok (id, Event Engine.Event.Watermark)
           | "ping" -> Ok (id, Ping)
-          | "metrics" -> Ok (id, Stats)
+          | "metrics" -> Ok (id, Metrics)
+          | "stats" -> (
+              match Experiment.Json.member "format" json with
+              | None | Some (Experiment.Json.String "json") ->
+                  Ok (id, Stats Stats_json)
+              | Some (Experiment.Json.String "prom") ->
+                  Ok (id, Stats Stats_prom)
+              | Some (Experiment.Json.String f) ->
+                  Error
+                    (Printf.sprintf "unknown stats format %S (json | prom)" f)
+              | Some _ -> Error "stats \"format\" must be a string")
           | op -> Error (Printf.sprintf "unknown op %S" op))
       | _ -> Error "missing \"op\"")
 
@@ -149,13 +173,28 @@ let add_error buf ~id msg =
   Buffer.add_char buf '"';
   close_reply buf
 
-let add_metrics buf ~id fields =
-  open_reply buf ~id ~ok:true ~reply:"metrics";
+let add_fields buf fields =
   List.iter
     (fun (k, v) ->
       Buffer.add_string buf ",\"";
       add_escaped buf k;
       Buffer.add_string buf "\":";
       Buffer.add_string buf (Experiment.Json.to_string ~indent:0 v))
-    fields;
+    fields
+
+let add_metrics buf ~id fields =
+  open_reply buf ~id ~ok:true ~reply:"metrics";
+  add_fields buf fields;
+  close_reply buf
+
+let add_stats buf ~id fields =
+  open_reply buf ~id ~ok:true ~reply:"stats";
+  add_fields buf fields;
+  close_reply buf
+
+let add_stats_text buf ~id text =
+  open_reply buf ~id ~ok:true ~reply:"stats";
+  Buffer.add_string buf ",\"format\":\"prom\",\"text\":\"";
+  add_escaped buf text;
+  Buffer.add_char buf '"';
   close_reply buf

@@ -4,7 +4,10 @@
     request order, with an optional client-chosen ["id"] echoed.  See
     the implementation header for the full vocabulary — the event ops
     mirror {!Engine.Event} ([step], [insert], [remove], [probe],
-    [occupancy], [watermark]) plus [ping] and [metrics]. *)
+    [occupancy], [watermark]) plus [ping], [metrics] (the legacy
+    coarse counter dump) and [stats] (the full telemetry report,
+    structured JSON or, with ["format":"prom"], a Prometheus text
+    exposition). *)
 
 (** Where a service listens (or a client connects). *)
 type address = Unix_sock of string | Tcp of string * int
@@ -15,10 +18,15 @@ val parse_address : string -> (address, string) result
 (** Accepts [unix:PATH] and [tcp:HOST:PORT] ([tcp::PORT] means
     127.0.0.1). *)
 
+type stats_format = Stats_json | Stats_prom
+
 type request =
   | Event of Engine.Event.t
   | Ping
-  | Stats  (** The [metrics] op — answered by the server, not the cluster. *)
+  | Metrics  (** The [metrics] op — answered by the server, not the cluster. *)
+  | Stats of stats_format
+      (** The [stats] op: the telemetry report, structured JSON by
+          default or Prometheus text with ["format":"prom"]. *)
 
 val parse : string -> (int option * request, string) result
 (** Parse one request line into its optional id and payload. *)
@@ -34,3 +42,11 @@ val add_error : Buffer.t -> id:int option -> string -> unit
 
 val add_metrics :
   Buffer.t -> id:int option -> (string * Experiment.Json.t) list -> unit
+
+val add_stats :
+  Buffer.t -> id:int option -> (string * Experiment.Json.t) list -> unit
+(** The [stats] reply with the report spliced in as top-level fields. *)
+
+val add_stats_text : Buffer.t -> id:int option -> string -> unit
+(** The [stats] reply carrying a text exposition escaped into the
+    ["text"] field, tagged ["format":"prom"]. *)

@@ -54,6 +54,95 @@ let test_hist_buckets () =
   Obs.Hist.reset h;
   Alcotest.(check int) "reset clears" 0 (Obs.Hist.snapshot h).Obs.Hist.count
 
+(* {2 Histogram quantile / merge laws} *)
+
+let snapshot_of values =
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.observe h) values;
+  Obs.Hist.snapshot h
+
+let test_hist_quantiles () =
+  Alcotest.(check bool)
+    "empty quantile is nan" true
+    (Float.is_nan (Obs.Hist.quantile Obs.Hist.empty 0.5));
+  Alcotest.(check (list string))
+    "percentile labels"
+    [ "p50"; "p90"; "p99"; "p999" ]
+    (List.map fst (Obs.Hist.percentiles Obs.Hist.empty));
+  let s = snapshot_of (List.init 100 (fun i -> i + 1)) in
+  (* 1..100: rank 50 is in bucket [32, 63], rank >= 90 in the top
+     bucket, whose upper edge is pulled in to the recorded max. *)
+  let q50 = Obs.Hist.quantile s 0.5 in
+  Alcotest.(check bool) "p50 lands in its bucket" true
+    (q50 >= 32. && q50 <= 63.);
+  let q90 = Obs.Hist.quantile s 0.9 in
+  Alcotest.(check bool) "p90 capped by the recorded max" true
+    (q90 >= 64. && q90 <= 100.);
+  Alcotest.(check (float 1e-9)) "q=1 is the max" 100. (Obs.Hist.quantile s 1.);
+  Alcotest.(check (float 1e-9)) "q clamps above 1" 100.
+    (Obs.Hist.quantile s 2.);
+  let one = snapshot_of [ 7 ] in
+  Alcotest.(check bool) "single observation stays in its bucket" true
+    (let q = Obs.Hist.quantile one 0.5 in
+     q >= 4. && q <= 7.)
+
+let values_gen = QCheck.(list_of_size (Gen.int_range 0 60) (int_range 0 5000))
+
+let qcheck_merge_matches_concatenation =
+  QCheck.Test.make ~name:"Hist.merge = snapshot of the concatenated stream"
+    ~count:300
+    QCheck.(pair values_gen values_gen)
+    (fun (xs, ys) ->
+      Obs.Hist.merge (snapshot_of xs) (snapshot_of ys) = snapshot_of (xs @ ys))
+
+let qcheck_merge_assoc_comm =
+  QCheck.Test.make
+    ~name:"Hist.merge is associative/commutative with empty identity"
+    ~count:300
+    QCheck.(triple values_gen values_gen values_gen)
+    (fun (xs, ys, zs) ->
+      let a = snapshot_of xs and b = snapshot_of ys and c = snapshot_of zs in
+      Obs.Hist.merge a (Obs.Hist.merge b c)
+      = Obs.Hist.merge (Obs.Hist.merge a b) c
+      && Obs.Hist.merge a b = Obs.Hist.merge b a
+      && Obs.Hist.merge a Obs.Hist.empty = a
+      && Obs.Hist.merge Obs.Hist.empty a = a)
+
+let qcheck_quantile_monotone =
+  QCheck.Test.make ~name:"Hist.quantile is monotone in q" ~count:300
+    QCheck.(triple values_gen (float_range 0. 1.) (float_range 0. 1.))
+    (fun (xs, q1, q2) ->
+      QCheck.assume (xs <> []);
+      let s = snapshot_of xs in
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      Obs.Hist.quantile s lo <= Obs.Hist.quantile s hi)
+
+(* The accuracy contract: the estimate lies inside the bucket holding
+   the true order statistic of rank ceil(q * count), i.e. it is exact
+   to within that bucket's width. *)
+let qcheck_quantile_bucket_exact =
+  QCheck.Test.make
+    ~name:"Hist.quantile lands in the true order statistic's bucket"
+    ~count:300
+    QCheck.(pair values_gen (float_range 0. 1.))
+    (fun (xs, q) ->
+      QCheck.assume (xs <> []);
+      let s = snapshot_of xs in
+      let est = Obs.Hist.quantile s q in
+      let sorted = List.sort compare xs in
+      let n = List.length xs in
+      let rank =
+        min n (max 1 (int_of_float (ceil (q *. float_of_int n))))
+      in
+      let v = List.nth sorted (rank - 1) in
+      match
+        List.find_opt (fun (lo, hi, _) -> lo <= v && v <= hi)
+          s.Obs.Hist.buckets
+      with
+      | None -> false
+      | Some (lo, hi, _) ->
+          est >= float_of_int lo && est <= float_of_int hi)
+
 let test_disabled_no_op () =
   Alcotest.(check bool) "disabled by default" false (Obs.enabled ());
   let c = Obs.Counter.make "test.disabled_counter" in
@@ -273,6 +362,7 @@ let suite =
     [
       ("monotonic clock", test_clock);
       ("histogram bucketing", test_hist_buckets);
+      ("histogram quantiles", test_hist_quantiles);
       ("disabled path records nothing", test_disabled_no_op);
       ("counter/histogram views", test_counters_and_histograms_view);
       ("nested span ordering", test_nested_span_ordering);
@@ -281,3 +371,10 @@ let suite =
       ("write_trace file", test_write_trace_file);
       ("task track reservation", test_task_tracks);
     ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        qcheck_merge_matches_concatenation;
+        qcheck_merge_assoc_comm;
+        qcheck_quantile_monotone;
+        qcheck_quantile_bucket_exact;
+      ]

@@ -345,7 +345,12 @@ let test_wire_parse () =
   ok {|{"op":"occupancy"}|} None (Serve.Wire.Event Engine.Event.Occupancy);
   ok {|{"op":"watermark"}|} None (Serve.Wire.Event Engine.Event.Watermark);
   ok {|{"op":"ping"}|} None Serve.Wire.Ping;
-  ok {|{"op":"metrics","id":9}|} (Some 9) Serve.Wire.Stats;
+  ok {|{"op":"metrics","id":9}|} (Some 9) Serve.Wire.Metrics;
+  ok {|{"op":"stats"}|} None (Serve.Wire.Stats Serve.Wire.Stats_json);
+  ok {|{"op":"stats","format":"json","id":4}|} (Some 4)
+    (Serve.Wire.Stats Serve.Wire.Stats_json);
+  ok {|{"op":"stats","format":"prom"}|} None
+    (Serve.Wire.Stats Serve.Wire.Stats_prom);
   List.iter
     (fun line ->
       match Serve.Wire.parse line with
@@ -354,9 +359,202 @@ let test_wire_parse () =
     [
       {|{"op":"insert"}|};  (* key required *)
       {|{"op":"fly"}|};
+      {|{"op":"stats","format":"xml"}|};
+      {|{"op":"stats","format":7}|};
       {|{"key":5}|};
       "not json";
     ]
+
+(* {2 Telemetry} *)
+
+let jget doc k =
+  match Experiment.Json.member k doc with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %S" k
+
+let jint doc k =
+  match jget doc k with
+  | Experiment.Json.Int i -> i
+  | _ -> Alcotest.failf "field %S is not an int" k
+
+let jfloat doc k =
+  match jget doc k with
+  | Experiment.Json.Float f -> f
+  | Experiment.Json.Int i -> float_of_int i
+  | _ -> Alcotest.failf "field %S is not a number" k
+
+let mk_totals =
+  { Serve.Telemetry.connections = 4; live = 2; requests = 51; events = 40;
+    errors = 1; rounds = 9 }
+
+let mk_cluster_gauges =
+  { Serve.Telemetry.seq = 40; balls_total = 11; max_load = 3; watermark = 4 }
+
+let mk_shard_gauges s =
+  { Serve.Telemetry.shard = s; bins = 8; balls = 5; shard_max_load = 2;
+    shard_watermark = 3; applied = 20; queue_depth = s }
+
+let populated_telemetry () =
+  let tel = Serve.Telemetry.create ~shards:2 in
+  for i = 1 to 50 do
+    Serve.Telemetry.observe_stage tel Serve.Telemetry.Decode
+      ~op:Serve.Telemetry.op_ping
+      (Int64.of_int (100 * i));
+    Serve.Telemetry.observe_latency tel ~op:Serve.Telemetry.op_ping
+      (Int64.of_int (1000 * i))
+  done;
+  Serve.Telemetry.observe_latency tel ~op:Serve.Telemetry.op_stats 5_000L;
+  Serve.Telemetry.observe_batch tel 64;
+  Serve.Telemetry.observe_round tel 5_000L;
+  Serve.Telemetry.observe_drain tel ~shard:1 ~depth:3 700L;
+  tel
+
+let test_telemetry_report_json () =
+  let tel = populated_telemetry () in
+  let doc =
+    Experiment.Json.Obj
+      (Serve.Telemetry.report_json tel ~totals:mk_totals
+         ~cluster:mk_cluster_gauges
+         ~shards:[ mk_shard_gauges 0; mk_shard_gauges 1 ]
+         ~durability:None)
+  in
+  Alcotest.(check int) "requests" 51 (jint doc "requests");
+  Alcotest.(check int) "seq" 40 (jint doc "seq");
+  Alcotest.(check bool) "uptime present" true (jfloat doc "uptime_s" >= 0.);
+  let ops = jget doc "ops" in
+  let ping = jget ops "ping" in
+  let lat = jget ping "latency_ns" in
+  Alcotest.(check int) "ping latency count" 50 (jint lat "count");
+  Alcotest.(check bool) "percentiles are monotone" true
+    (jfloat lat "p50" <= jfloat lat "p99"
+    && jfloat lat "p99" <= jfloat lat "p999");
+  Alcotest.(check bool) "decode stage recorded" true
+    (Experiment.Json.member "stage_ns_decode" ping <> None);
+  Alcotest.(check bool) "silent ops omitted" true
+    (Experiment.Json.member "step" ops = None);
+  (match jget doc "shards" with
+  | Experiment.Json.List [ _; s1 ] ->
+      Alcotest.(check int) "shard 1 drain count" 1
+        (jint (jget s1 "drain_ns") "count");
+      Alcotest.(check int) "shard 1 queue depth" 1 (jint s1 "queue_depth")
+  | _ -> Alcotest.fail "shards is not a 2-list");
+  Alcotest.(check bool) "no durability section for ephemeral" true
+    (Experiment.Json.member "durability" doc = None)
+
+let count_substring ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let k = ref 0 in
+  for i = 0 to hl - nl do
+    if String.sub hay i nl = needle then incr k
+  done;
+  !k
+
+let test_telemetry_report_prom () =
+  let tel = populated_telemetry () in
+  let durability =
+    Some
+      { Serve.Telemetry.journal_bytes = 1234; flush_age_s = 0.5;
+        sync_age_s = None; snapshot_seq = 30; snapshot_age_s = 2.0;
+        since_snapshot = 10 }
+  in
+  let text =
+    Serve.Telemetry.report_prom tel ~totals:mk_totals
+      ~cluster:mk_cluster_gauges
+      ~shards:[ mk_shard_gauges 0; mk_shard_gauges 1 ]
+      ~durability
+  in
+  let contains needle = count_substring ~needle text > 0 in
+  Alcotest.(check bool) "uptime help line" true
+    (contains "# HELP repro_serve_uptime_seconds");
+  Alcotest.(check bool) "quantile sample" true
+    (contains "repro_serve_latency_ns{op=\"ping\",quantile=\"0.99\"}");
+  Alcotest.(check bool) "count companion" true
+    (contains "repro_serve_latency_ns_count{op=\"ping\"} 50");
+  Alcotest.(check bool) "journal gauge" true
+    (contains "repro_serve_journal_bytes 1234");
+  Alcotest.(check bool) "never-synced gauge omitted" false
+    (contains "repro_serve_journal_sync_age_seconds");
+  (* Two ops and two shards share metric families: HELP/TYPE must not
+     repeat. *)
+  Alcotest.(check int) "latency family declared once" 1
+    (count_substring ~needle:"# TYPE repro_serve_latency_ns gauge" text);
+  Alcotest.(check int) "drain family declared once" 1
+    (count_substring ~needle:"# TYPE repro_serve_shard_drain_ns gauge" text);
+  Alcotest.(check bool) "ends with a newline" true
+    (String.length text > 0 && text.[String.length text - 1] = '\n')
+
+let test_cluster_stage_telemetry () =
+  let config = mk_config ~n:32 ~shards:2 () in
+  let g = rng_of 99 in
+  let events = Array.append (gen_events g 60) [| Engine.Event.Probe |] in
+  let plain = Serve.Cluster.create config in
+  let replies_plain = Serve.Cluster.apply_batch plain events in
+  let cluster = Serve.Cluster.create config in
+  let tel = Serve.Telemetry.create ~shards:2 in
+  Serve.Cluster.set_telemetry cluster tel;
+  let replies_tel = Serve.Cluster.apply_batch cluster events in
+  Alcotest.(check bool) "telemetry does not change replies" true
+    (replies_plain = replies_tel);
+  Alcotest.(check bool) "telemetry does not change state" true
+    (Serve.Cluster.state plain = Serve.Cluster.state cluster);
+  Alcotest.(check (list int)) "probe barrier drained every queue" [ 0; 0 ]
+    (Array.to_list (Serve.Cluster.queue_depths cluster));
+  let muts =
+    Array.fold_left
+      (fun k ev -> if Engine.Event.is_mutation ev then k + 1 else k)
+      0 events
+  in
+  let doc =
+    Experiment.Json.Obj
+      (Serve.Telemetry.report_json tel ~totals:mk_totals
+         ~cluster:mk_cluster_gauges
+         ~shards:[ mk_shard_gauges 0; mk_shard_gauges 1 ]
+         ~durability:None)
+  in
+  let ops =
+    match jget doc "ops" with
+    | Experiment.Json.Obj kvs -> kvs
+    | _ -> Alcotest.fail "ops is not an object"
+  in
+  let stage_count stage =
+    List.fold_left
+      (fun acc (_, op) ->
+        match Experiment.Json.member ("stage_ns_" ^ stage) op with
+        | Some h -> acc + jint h "count"
+        | None -> acc)
+      0 ops
+  in
+  Alcotest.(check int) "every mutation routed through the Route stage" muts
+    (stage_count "route");
+  Alcotest.(check bool) "Apply stage recorded work" true
+    (stage_count "apply" > 0)
+
+let test_store_durability_gauges () =
+  with_dir (fun dir ->
+      let config = mk_config ~n:16 ~shards:2 () in
+      let store = store_exn ~dir config in
+      let d0 = Serve.Store.durability store in
+      Alcotest.(check int) "fresh store has nothing pending" 0
+        d0.Serve.Telemetry.since_snapshot;
+      Alcotest.(check bool) "never fsynced without --sync" true
+        (d0.Serve.Telemetry.sync_age_s = None);
+      let muts = Array.init 10 (fun i -> Engine.Event.Insert i) in
+      ignore (Serve.Store.apply_batch store muts);
+      let d1 = Serve.Store.durability store in
+      Alcotest.(check int) "mutations pending a snapshot" 10
+        d1.Serve.Telemetry.since_snapshot;
+      Alcotest.(check bool) "journal grew" true
+        (d1.Serve.Telemetry.journal_bytes > d0.Serve.Telemetry.journal_bytes);
+      Alcotest.(check bool) "flush age is sane" true
+        (d1.Serve.Telemetry.flush_age_s >= 0.
+        && d1.Serve.Telemetry.snapshot_age_s >= 0.);
+      Serve.Store.snapshot_now store;
+      let d2 = Serve.Store.durability store in
+      Alcotest.(check int) "snapshot covers everything" 0
+        d2.Serve.Telemetry.since_snapshot;
+      Alcotest.(check int) "snapshot seq advanced" 10
+        d2.Serve.Telemetry.snapshot_seq;
+      Serve.Store.close store)
 
 let test_wire_format () =
   let line ?id reply =
@@ -421,6 +619,14 @@ let suite =
     Alcotest.test_case "wire parse" `Quick test_wire_parse;
     Alcotest.test_case "wire format" `Quick test_wire_format;
     Alcotest.test_case "wire addresses" `Quick test_wire_address;
+    Alcotest.test_case "telemetry json report" `Quick
+      test_telemetry_report_json;
+    Alcotest.test_case "telemetry prometheus exposition" `Quick
+      test_telemetry_report_prom;
+    Alcotest.test_case "cluster stage telemetry" `Quick
+      test_cluster_stage_telemetry;
+    Alcotest.test_case "store durability gauges" `Quick
+      test_store_durability_gauges;
   ]
   @ List.map QCheck_alcotest.to_alcotest
       [
