@@ -132,6 +132,12 @@ let () =
   in
   parse (List.concat_map split_eq (List.tl (Array.to_list Sys.argv)));
   if !list_only then begin
+    (match Experiment.Driver.unknown_tags specs !tags with
+    | [] -> ()
+    | bad ->
+        fail "%s"
+          (Experiment.Driver.selection_error_message specs
+             (Experiment.Driver.Unknown_tags bad)));
     let listed =
       match !tags with
       | [] -> specs

@@ -1,6 +1,6 @@
 (* Every experiment spec, in presentation order.  The driver's
-   no-argument selection takes the [default = true] specs (e1..e22);
-   [e23] and [micro] opt out and run only when named. *)
+   no-argument selection takes the [default = true] specs (e1..e22,
+   e24, e25); [e23] and [micro] opt out and run only when named. *)
 
 let all : Experiment.Spec.t list =
   [
@@ -27,5 +27,7 @@ let all : Experiment.Spec.t list =
     E21_coalescence_tail.spec;
     E22_removal_rules.spec;
     E23_conformance.spec;
+    E24_rbb_stabilization.spec;
+    E25_rbb_mixing.spec;
     Micro.spec;
   ]

@@ -587,8 +587,31 @@ let bench ids list_only verbose full seed domains csv json trace checkpoint
       repr = Option.value repr ~default:base.repr;
     }
   in
-  if list_only then
-    Experiment.Driver.print_list ~verbose ~repr:cfg.repr specs
+  if list_only then begin
+    (match Experiment.Driver.unknown_tags specs tags with
+    | [] -> ()
+    | bad ->
+        prerr_endline
+          (Experiment.Driver.selection_error_message specs
+             (Experiment.Driver.Unknown_tags bad));
+        exit 2);
+    let listed =
+      match tags with
+      | [] -> specs
+      | tags ->
+          List.filter
+            (fun (s : Experiment.Spec.t) ->
+              List.exists (fun t -> Experiment.Spec.has_tag s t) tags)
+            specs
+    in
+    (if listed = [] then begin
+       prerr_endline
+         (Experiment.Driver.selection_error_message specs
+            Experiment.Driver.Empty_selection);
+       exit 2
+     end);
+    Experiment.Driver.print_list ~verbose ~repr:cfg.repr listed
+  end
   else begin
     let ids = List.map String.lowercase_ascii ids in
     match Experiment.Driver.select specs ~ids ~tags with
@@ -788,10 +811,12 @@ let connect_arg =
   Arg.(value & opt address_conv default_address
        & info [ "connect" ] ~docv:"ADDR" ~doc)
 
-let serve seed n m scenario rule repr listen shards dir snapshot_every sync
-    domains max_batch quiet trace trace_sample =
+let serve seed n m scenario rule repr process listen shards dir snapshot_every
+    sync domains max_batch quiet trace trace_sample =
   let m = resolve_m n m in
-  let cluster = { Serve.Cluster.n; m; shards; scenario; rule; repr; seed } in
+  let cluster =
+    { Serve.Cluster.n; m; shards; process; scenario; rule; repr; seed }
+  in
   let domains =
     match domains with
     | Some d -> d
@@ -807,6 +832,25 @@ let serve seed n m scenario rule repr listen shards dir snapshot_every sync
     exit 1
 
 let serve_cmd =
+  let process =
+    let process_conv =
+      let parse s =
+        match Serve.Process.of_string s with
+        | Ok p -> Ok p
+        | Error m -> Error (`Msg m)
+      in
+      Arg.conv (parse, fun fmt p ->
+          Format.fprintf fmt "%s" (Serve.Process.name p))
+    in
+    Arg.(value & opt process_conv Serve.Process.Sequential
+         & info [ "process" ] ~docv:"FAMILY"
+             ~doc:(Printf.sprintf
+                     "Hosted process family (%s): seq shards answer \
+                      step/insert/remove, rbb shards answer round/insert \
+                      (round-synchronous repeated balls-into-bins; needs an \
+                      ABKU rule)."
+                     Serve.Process.help))
+  in
   let listen =
     Arg.(value & opt address_conv default_address
          & info [ "listen" ] ~docv:"ADDR"
@@ -863,8 +907,8 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the allocation service daemon")
     Term.(const serve $ seed_arg $ n_arg $ m_arg $ scenario_arg $ rule_arg
-          $ repr_arg $ listen $ shards $ dir $ snapshot_every $ sync $ domains
-          $ max_batch $ quiet $ trace $ trace_sample)
+          $ repr_arg $ process $ listen $ shards $ dir $ snapshot_every $ sync
+          $ domains $ max_batch $ quiet $ trace $ trace_sample)
 
 let parse_mix s =
   match String.split_on_char ':' s |> List.map int_of_string_opt with
@@ -916,7 +960,7 @@ let load_cmd =
 let parse_query_op s =
   match String.split_on_char ':' s with
   | [ ("probe" | "watermark" | "occupancy" | "metrics" | "ping" | "step"
-      | "remove") as op ] ->
+      | "round" | "remove") as op ] ->
       Ok (Printf.sprintf "{\"op\":%S}" op)
   | [ "insert"; key ] -> (
       match int_of_string_opt key with

@@ -10,6 +10,7 @@
 
 type t =
   | Step  (* one full process transition (remove + insert) *)
+  | Round  (* one synchronous round of a round-parallel process *)
   | Insert of int  (* place one new ball; the payload is a routing key *)
   | Remove  (* remove one ball per the machine's scenario *)
   | Probe  (* cheap scalar observable (max load, distance, ...) *)
@@ -26,6 +27,7 @@ type reply =
 
 let name = function
   | Step -> "step"
+  | Round -> "round"
   | Insert _ -> "insert"
   | Remove -> "remove"
   | Probe -> "probe"
@@ -35,7 +37,7 @@ let name = function
 (* Mutations advance the machine state and therefore belong in a replay
    journal; queries are pure reads. *)
 let is_mutation = function
-  | Step | Insert _ | Remove -> true
+  | Step | Round | Insert _ | Remove -> true
   | Probe | Occupancy | Watermark -> false
 
 let reply_name = function

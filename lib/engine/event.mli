@@ -13,6 +13,12 @@
 
 type t =
   | Step  (** One full process transition (remove + insert). *)
+  | Round
+      (** One synchronous round of a round-parallel process (every
+          non-empty bin ejects one ball, ejected balls re-place): the
+          unit transition of {!Rbb}-style machines, beside [Step] for
+          the sequential ones.  Machines without a round semantics
+          answer [Rejected]. *)
   | Insert of int
       (** Place one new ball per the machine's scheduling rule.  The
           payload is an opaque routing key (the serve layer shards on

@@ -64,7 +64,7 @@ let apply s g ev =
       Event.Ack
   | Event.Probe -> Event.Level (s.probe ())
   | Event.Watermark -> Event.Level (Metrics.watermark_level s.metrics)
-  | Event.Insert _ | Event.Remove | Event.Occupancy -> (
+  | Event.Round | Event.Insert _ | Event.Remove | Event.Occupancy -> (
       match s.extend with
       | Some handle -> handle g ev
       | None -> Event.Rejected (Event.name ev ^ " unsupported"))

@@ -7,10 +7,18 @@ let results_file = "BENCH_RESULTS.json"
 
 type selection_error =
   | Unknown_ids of string list
+  | Unknown_tags of string list  (* no spec at all carries them *)
   | Empty_selection  (* tag filter matched nothing *)
 
 let known_ids specs =
   String.concat " " (List.map (fun (s : Spec.t) -> s.id) specs)
+
+let known_tags specs =
+  List.sort_uniq compare (List.concat_map (fun (s : Spec.t) -> s.tags) specs)
+
+let unknown_tags specs tags =
+  let known = known_tags specs in
+  List.filter (fun t -> not (List.mem t known)) tags
 
 let selection_error_message specs = function
   | Unknown_ids ids ->
@@ -18,10 +26,17 @@ let selection_error_message specs = function
         (if List.length ids > 1 then "s" else "")
         (String.concat " " (List.map (Printf.sprintf "%S") ids))
         (known_ids specs)
+  | Unknown_tags tags ->
+      Printf.sprintf "unknown tag%s %s; known: %s"
+        (if List.length tags > 1 then "s" else "")
+        (String.concat " " (List.map (Printf.sprintf "%S") tags))
+        (String.concat " " (known_tags specs))
   | Empty_selection -> "no experiment matches the tag filter"
 
 (* Resolve ids (in the order given) and apply the tag filter; [ids = []]
-   selects every default spec. *)
+   selects every default spec.  Tags are validated against the union of
+   every spec's tags, so a typo is reported as such rather than as an
+   empty selection. *)
 let select specs ~ids ~tags =
   let base, unknown =
     match ids with
@@ -39,6 +54,9 @@ let select specs ~ids ~tags =
   in
   if unknown <> [] then Error (Unknown_ids unknown)
   else
+    match unknown_tags specs tags with
+    | _ :: _ as bad -> Error (Unknown_tags bad)
+    | [] ->
     let selected =
       match tags with
       | [] -> base

@@ -9,9 +9,15 @@ val results_file : string
 
 type selection_error =
   | Unknown_ids of string list
+  | Unknown_tags of string list
   | Empty_selection
 
 val selection_error_message : Spec.t list -> selection_error -> string
+
+val unknown_tags : Spec.t list -> string list -> string list
+(** The requested tags carried by no spec at all — callers that filter
+    outside {!select} (e.g. a [--list] path) use this to reject typos
+    with the same error the selection would give. *)
 
 val select :
   Spec.t list ->
@@ -20,7 +26,9 @@ val select :
   (Spec.t list, selection_error) result
 (** Resolve [ids] (in the order given; [[]] means every spec with
     [default = true]) and then keep only specs carrying at least one of
-    [tags] ([[]] keeps all). *)
+    [tags] ([[]] keeps all).  Tags absent from every spec are an
+    [Unknown_tags] error; valid tags that merely match nothing in the
+    id-selected base are [Empty_selection]. *)
 
 val print_list : ?verbose:bool -> ?repr:string -> Spec.t list -> unit
 (** One line per spec: id, claim, tags.  With [~verbose:true], extra

@@ -135,6 +135,20 @@ let shift_down t l =
       t.max_level <- t.max_level - 1
     done
 
+(* Synchronous ejection: every non-empty bin drops one level at once,
+   i.e. the whole count profile slides down by one (level-0 bins stay).
+   One O(max_level) pass — the count-backend twin of
+   Mutable_vector.eject_all. *)
+let eject_all t =
+  let q = t.n - t.counts.(0) in
+  for l = 1 to t.max_level do
+    t.counts.(l - 1) <- (if l = 1 then t.counts.(0) else 0) + t.counts.(l)
+  done;
+  if t.max_level >= 1 then t.counts.(t.max_level) <- 0;
+  t.total <- t.total - q;
+  if t.max_level > 0 then t.max_level <- t.max_level - 1;
+  q
+
 (* One bin moves from level l to l + 1 (a ball lands in it). *)
 let shift_up t l =
   if l < 0 || l > t.max_level || t.counts.(l) = 0 then

@@ -48,6 +48,13 @@ val level_of_ball : t -> target:float -> int
     remove from the same load class on the same draw.
     @raise Invalid_argument if the vector has no balls. *)
 
+val eject_all : t -> int
+(** One synchronous ejection: every non-empty bin drops one level at
+    once — the whole count profile slides down by one.  Returns the
+    number of balls ejected (the support before the call).
+    O(max_level); the count-backend twin of
+    {!Mutable_vector.eject_all}. *)
+
 val shift_down : t -> int -> unit
 (** [shift_down t l] moves one bin from level [l] to [l - 1] — the
     multiset form of ⊖ at a rank of load [l].

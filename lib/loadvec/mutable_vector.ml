@@ -67,6 +67,19 @@ let decr_at v i =
   v.total <- v.total - 1;
   s
 
+(* Synchronous ejection (one round of an RBB-style parallel process):
+   every strictly positive entry loses one ball.  The positives are a
+   prefix of the descending sort and all drop by the same amount, so
+   sortedness is preserved without any re-normalization. *)
+let eject_all v =
+  let q = v.support in
+  for i = 0 to q - 1 do
+    v.loads.(i) <- v.loads.(i) - 1;
+    if v.loads.(i) = 0 then v.support <- v.support - 1
+  done;
+  v.total <- v.total - q;
+  q
+
 let equal a b = a.loads = b.loads
 
 let l1_distance a b =

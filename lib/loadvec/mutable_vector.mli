@@ -41,6 +41,13 @@ val decr_at : t -> int -> int
     was actually decremented (Fact 3.2's [s]).
     @raise Invalid_argument if the load at rank [i] is zero. *)
 
+val eject_all : t -> int
+(** One synchronous ejection: every strictly positive entry loses one
+    ball (the deterministic phase of a repeated balls-into-bins round).
+    Returns the number of balls ejected, i.e. the support before the
+    call.  O(support); sortedness is preserved because the positives
+    form a prefix that drops uniformly. *)
+
 val equal : t -> t -> bool
 (** Structural equality of the load vectors. *)
 

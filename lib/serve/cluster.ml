@@ -18,6 +18,7 @@ type config = {
   n : int;
   m : int;
   shards : int;
+  process : Process.t;
   scenario : Core.Scenario.t;
   rule : Core.Scheduling_rule.t;
   repr : Core.Repr.t;
@@ -57,7 +58,11 @@ let validate_config c =
   if c.m < 0 then invalid_arg "Serve.Cluster: m must be non-negative";
   if c.shards <= 0 then invalid_arg "Serve.Cluster: shards must be positive";
   if c.shards > c.n then
-    invalid_arg "Serve.Cluster: more shards than bins"
+    invalid_arg "Serve.Cluster: more shards than bins";
+  if c.process = Process.Rbb then
+    match Rbb.of_scheduling_rule c.rule with
+    | Ok _ -> ()
+    | Error e -> invalid_arg ("Serve.Cluster: " ^ e)
 
 (* Contiguous ranges of near-equal size: the first [n mod shards]
    shards own one extra bin. *)
@@ -100,8 +105,9 @@ let create ?pool config =
             shards=%d) — every shard needs an initial ball; raise m (m >= n \
             always works) or lower the shard count"
            s config.n config.m config.shards);
-    Shard.create ~id:s ~lo ~scenario:config.scenario ~rule:config.rule
-      ~repr:config.repr ~loads:slice ~rng:(Prng.Rng.split root)
+    Shard.create ~id:s ~lo ~process:config.process ~scenario:config.scenario
+      ~rule:config.rule ~repr:config.repr ~loads:slice
+      ~rng:(Prng.Rng.split root)
   in
   let t = build ~pool config mk in
   (* Overwrite the placeholder router with the derived stream. *)
@@ -153,7 +159,7 @@ let route t ev =
       (* Composite remove-then-insert stays within one shard: net zero
          ball movement, weighted like a removal. *)
       if t.total = 0 then None else Some (pick_weighted t)
-  | _ -> invalid_arg "Serve.Cluster.route: not a mutation"
+  | _ -> invalid_arg "Serve.Cluster.route: not a single-shard mutation"
 
 (* {2 Batch application} *)
 
@@ -184,7 +190,9 @@ let drain_shard t replies s =
           | Engine.Event.Removed bin -> Engine.Event.Removed (lo + bin)
           | reply -> reply
         in
-        replies.(q.slots.(i)) <- reply
+        (* Broadcast events (rounds) carry slot -1: one reply was
+           already written at route time, per-shard replies drop. *)
+        if q.slots.(i) >= 0 then replies.(q.slots.(i)) <- reply
       done
   | Some tel ->
       (* Same loop with the shard-apply stage timed per event.  Hist
@@ -202,7 +210,7 @@ let drain_shard t replies s =
         Telemetry.observe_stage tel Telemetry.Apply
           ~op:(Telemetry.op_of_event ev)
           (Obs.Clock.ns_since ta);
-        replies.(q.slots.(i)) <- reply
+        if q.slots.(i) >= 0 then replies.(q.slots.(i)) <- reply
       done;
       Telemetry.observe_drain tel ~shard:s ~depth:q.len
         (Obs.Clock.ns_since t0));
@@ -246,9 +254,32 @@ let answer_query t ev =
   | _ -> invalid_arg "Serve.Cluster.answer_query: not a query"
 
 let route_and_queue t replies ev i =
-  match route t ev with
-  | Some s -> push t.queues.(s) ev i
-  | None -> replies.(i) <- Engine.Event.Rejected "empty"
+  match ev with
+  | Engine.Event.Round ->
+      (* A round is a broadcast: every shard advances one synchronous
+         round, in queue order relative to the inserts around it.  The
+         single global reply is written here (slot -1 marks the
+         per-shard copies); the router draws nothing and its ball
+         accounting is untouched — rounds conserve balls. *)
+      if t.config.process <> Process.Rbb then
+        replies.(i) <-
+          Engine.Event.Rejected "round unsupported (sequential cluster)"
+      else begin
+        for s = 0 to Array.length t.queues - 1 do
+          push t.queues.(s) ev (-1)
+        done;
+        replies.(i) <- Engine.Event.Ack
+      end
+  | (Engine.Event.Step | Engine.Event.Remove)
+    when t.config.process = Process.Rbb ->
+      (* Rounds conserve balls: the round-synchronous family has no
+         single-ball removal law, and its unit transition is [Round]. *)
+      replies.(i) <-
+        Engine.Event.Rejected "round-synchronous cluster: use round"
+  | _ -> (
+      match route t ev with
+      | Some s -> push t.queues.(s) ev i
+      | None -> replies.(i) <- Engine.Event.Rejected "empty")
 
 let apply_batch t events =
   let n = Array.length events in
@@ -315,8 +346,8 @@ let of_state ?pool config (st : state) =
     let shard_st = st.shards.(s) in
     if shard_st.Shard.bins.Core.Bins.sn_n <> len then
       invalid_arg "Serve.Cluster.of_state: shard width mismatch";
-    Shard.of_state ~id:s ~lo ~scenario:config.scenario ~rule:config.rule
-      ~repr:config.repr shard_st
+    Shard.of_state ~id:s ~lo ~process:config.process
+      ~scenario:config.scenario ~rule:config.rule ~repr:config.repr shard_st
   in
   let t = build ~pool config mk in
   let t = { t with router = Prng.Rng.restore st.router } in

@@ -8,6 +8,10 @@
     - [Remove] / [Step] — a shard drawn from the {e router's} generator
       with probability proportional to its tracked ball count (exact for
       the global scenario-A removal law; an approximation for B);
+    - [Round] (round-synchronous clusters only) — a {e broadcast}: every
+      shard advances one synchronous round, ordered in its queue
+      relative to the inserts around it; the router draws nothing
+      (rounds conserve balls);
     - queries ([Probe]/[Occupancy]/[Watermark]) are {e barriers}: all
       queued mutations are flushed (in parallel across shards when a
       {!Parallel.Pool} is attached) before the query is answered
@@ -22,6 +26,12 @@ type config = {
   n : int;  (** Global bins. *)
   m : int;  (** Initial balls, spread near-uniformly ([m >= n] keeps every shard non-empty). *)
   shards : int;
+  process : Process.t;
+      (** Which machine the shards host: [Sequential] answers
+          [Step]/[Remove] and rejects [Round]; [Rbb] answers [Round]
+          (and [Insert]) and rejects [Step]/[Remove] — the
+          round-synchronous family conserves balls.  An [Rbb] cluster
+          requires an ABKU rule ({!Rbb.of_scheduling_rule}). *)
   scenario : Core.Scenario.t;
   rule : Core.Scheduling_rule.t;
   repr : Core.Repr.t;
@@ -68,7 +78,9 @@ val loads : t -> int array
 val apply_batch : t -> Engine.Event.t array -> Engine.Event.reply array
 (** Apply a batch in arrival order; [replies.(i)] answers [events.(i)].
     [Placed]/[Removed] bin ids are global.  A [Remove]/[Step] against an
-    empty cluster is [Rejected "empty"] and consumes no randomness. *)
+    empty cluster is [Rejected "empty"] and consumes no randomness; so
+    are the family mismatches ([Round] on a sequential cluster,
+    [Step]/[Remove] on a round-synchronous one). *)
 
 val apply : t -> Engine.Event.t -> Engine.Event.reply
 (** [apply t ev] is [apply_batch t [|ev|]].(0). *)

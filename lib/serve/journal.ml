@@ -1,11 +1,12 @@
 (* Durability for the allocation service: a snapshot file plus an
    append-only event journal.
 
-   Snapshot schema "repro.serve-snapshot/3" (integers int64 LE,
+   Snapshot schema "repro.serve-snapshot/4" (integers int64 LE,
    strings length-prefixed):
 
-     magic[23] = "repro.serve-snapshot/3\n"
-     fingerprint            — n, m, shards, seed, scenario, rule, repr
+     magic[23] = "repro.serve-snapshot/4\n"
+     fingerprint            — n, m, shards, seed, process, scenario,
+                              rule, repr
      seq                    — mutations routed when the snapshot was cut
      router[5]              — router generator words
      counts[shards]         — router ball accounting
@@ -19,12 +20,17 @@
    added the representation backend to the fingerprint and the
    per-level bucket orders to the registry: sampled insertion picks
    uniformly inside a bucket, so bucket order is replayable state too.
+   Schema /4 added the process family (sequential vs round-synchronous)
+   to the fingerprint: the same event suffix means different things to
+   different machines.
 
-   Journal schema "repro.serve-journal/2" (bumped alongside /3 for the
-   fingerprint's repr field): the same fingerprint header, then records
+   Journal schema "repro.serve-journal/3" (bumped alongside /4 for the
+   fingerprint's process field and the round record): the same
+   fingerprint header, then records
 
      [seq i64][count i64][count x event][trailer "JRNL"]
      event = tag u8: 0 = Step | 1 = Insert key:i64 | 2 = Remove
+             | 3 = Round
 
    The trailer is written last, so a record is valid iff its trailer is
    intact: a kill mid-append leaves a torn tail that the reader (and
@@ -35,8 +41,8 @@
    snapshot cut at a record boundary is exactly: apply each record with
    [record.seq >= snapshot.seq]. *)
 
-let snapshot_magic = "repro.serve-snapshot/3\n"
-let journal_magic = "repro.serve-journal/2\n"
+let snapshot_magic = "repro.serve-snapshot/4\n"
+let journal_magic = "repro.serve-journal/3\n"
 let trailer = "JRNL"
 
 type fingerprint = {
@@ -44,6 +50,7 @@ type fingerprint = {
   m : int;
   shards : int;
   seed : int;
+  process : string;
   scenario : string;
   rule : string;
   repr : string;
@@ -51,13 +58,15 @@ type fingerprint = {
 
 let fingerprint_of_config (c : Cluster.config) =
   { n = c.n; m = c.m; shards = c.shards; seed = c.seed;
+    process = Process.name c.process;
     scenario = Core.Scenario.name c.scenario;
     rule = Core.Scheduling_rule.name c.rule;
     repr = Core.Repr.name c.repr }
 
 let fingerprint_to_string fp =
-  Printf.sprintf "n=%d m=%d shards=%d seed=%d scenario=%s rule=%s repr=%s" fp.n
-    fp.m fp.shards fp.seed fp.scenario fp.rule fp.repr
+  Printf.sprintf
+    "n=%d m=%d shards=%d seed=%d process=%s scenario=%s rule=%s repr=%s" fp.n
+    fp.m fp.shards fp.seed fp.process fp.scenario fp.rule fp.repr
 
 (* {2 Encoding} *)
 
@@ -81,6 +90,7 @@ let put_fingerprint buf fp =
   put_i64 buf fp.m;
   put_i64 buf fp.shards;
   put_i64 buf fp.seed;
+  put_str buf fp.process;
   put_str buf fp.scenario;
   put_str buf fp.rule;
   put_str buf fp.repr
@@ -139,10 +149,11 @@ let get_fingerprint c =
   let m = get_i64 c in
   let shards = get_i64 c in
   let seed = get_i64 c in
+  let process = get_str c in
   let scenario = get_str c in
   let rule = get_str c in
   let repr = get_str c in
-  { n; m; shards; seed; scenario; rule; repr }
+  { n; m; shards; seed; process; scenario; rule; repr }
 
 let read_all path =
   match open_in_bin path with
@@ -240,6 +251,7 @@ let encode_record buf ~seq events =
           Buffer.add_char buf '\001';
           put_i64 buf key
       | Engine.Event.Remove -> Buffer.add_char buf '\002'
+      | Engine.Event.Round -> Buffer.add_char buf '\003'
       | ev ->
           invalid_arg
             ("Serve.Journal: cannot journal non-mutation " ^ Engine.Event.name ev))
@@ -262,6 +274,7 @@ let scan_records c f =
              | 0 -> Engine.Event.Step
              | 1 -> Engine.Event.Insert (get_i64 c)
              | 2 -> Engine.Event.Remove
+             | 3 -> Engine.Event.Round
              | _ -> raise Corrupt)
        in
        let k = String.length trailer in

@@ -2,7 +2,7 @@
     append-only event journal.
 
     Both files open with a versioned magic string
-    ([repro.serve-snapshot/3] / [repro.serve-journal/2]) and a service
+    ([repro.serve-snapshot/4] / [repro.serve-journal/3]) and a service
     {!fingerprint}.  Snapshots are written to a temporary sibling and
     renamed into place; journal records end with a trailer written
     last, so a kill mid-append leaves a torn tail that readers detect
@@ -17,6 +17,7 @@ type fingerprint = {
   m : int;
   shards : int;
   seed : int;
+  process : string;  (** {!Serve.Process.name} — the hosted family. *)
   scenario : string;  (** {!Core.Scenario.name}. *)
   rule : string;  (** {!Core.Scheduling_rule.name}. *)
   repr : string;  (** {!Core.Repr.name} — the representation backend. *)

@@ -1,0 +1,21 @@
+(* Which process family a cluster's shards host.  Sequential is the
+   paper's remove-then-insert machine driven by [Step]; Rbb is the
+   round-synchronous repeated balls-into-bins machine driven by
+   [Round].  Part of the durability fingerprint: a journal written by
+   one family must not replay into the other. *)
+
+type t = Sequential | Rbb
+
+let all = [ Sequential; Rbb ]
+
+let name = function Sequential -> "seq" | Rbb -> "rbb"
+
+let of_string = function
+  | "seq" | "sequential" -> Ok Sequential
+  | "rbb" -> Ok Rbb
+  | s ->
+      Error
+        (Printf.sprintf "unknown process family %S (expected one of: %s)" s
+           (String.concat ", " (List.map name all)))
+
+let help = "seq | rbb"

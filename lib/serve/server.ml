@@ -216,10 +216,13 @@ let run ?on_ready config =
     (totals, cg, shards, durability)
   in
   if not config.quiet then begin
-    Printf.printf "repro serve: listening on %s (n=%d m=%d shards=%d rule=%s scenario=%s%s)\n"
+    Printf.printf
+      "repro serve: listening on %s (n=%d m=%d shards=%d process=%s rule=%s \
+       scenario=%s%s)\n"
       (Wire.address_to_string config.listen)
       config.cluster.Cluster.n config.cluster.Cluster.m
       config.cluster.Cluster.shards
+      (Process.name config.cluster.Cluster.process)
       (Core.Scheduling_rule.name config.cluster.Cluster.rule)
       (Core.Scenario.name config.cluster.Cluster.scenario)
       (match config.dir with None -> ", ephemeral" | Some d -> ", dir=" ^ d);

@@ -1,26 +1,32 @@
 (** One shard of the allocation service.
 
     A shard owns a contiguous range of the global bin space as a private
-    {!Core.System} event machine plus its own generator, and is driven
-    exclusively through {!Engine.Sim.apply}.  Bin ids in its replies are
-    {e shard-local}; {!Serve.Cluster} translates them by the shard's
-    {!lo} offset. *)
+    event machine over {!Core.Bins} plus its own generator — a
+    {!Core.System} for the sequential family, an {!Rbb.service_sim} for
+    the round-synchronous one — and is driven exclusively through
+    {!Engine.Sim.apply}.  Bin ids in its replies are {e shard-local};
+    {!Serve.Cluster} translates them by the shard's {!lo} offset. *)
 
 type t
 
 val create :
   id:int ->
   lo:int ->
+  process:Process.t ->
   scenario:Core.Scenario.t ->
   rule:Core.Scheduling_rule.t ->
   repr:Core.Repr.t ->
   loads:int array ->
   rng:Prng.Rng.t ->
   t
-(** [repr] selects the insertion machinery (see {!Core.System.create}).
+(** [process] selects the hosted machine; [scenario]/[repr] configure
+    the sequential one (see {!Core.System.create}) and are ignored by
+    the round-synchronous machine, whose [rule] must be ABKU
+    ({!Rbb.of_scheduling_rule}).
     @raise Invalid_argument when [loads] is empty or holds no balls
     (every shard must start with at least one ball, because the
-    underlying {!Core.System} forbids empty systems). *)
+    underlying {!Core.System} forbids empty systems), or when [process]
+    is [Rbb] and [rule] has no round-synchronous form. *)
 
 val id : t -> int
 
@@ -42,7 +48,9 @@ val apply : t -> Engine.Event.t -> Engine.Event.reply
 (** Apply one event with the shard's own generator.  [Step] against an
     empty shard is [Rejected "empty"] (consuming no randomness), like
     the machine's own [Remove] guard; everything else is
-    {!Engine.Sim.apply} on the shard's machine. *)
+    {!Engine.Sim.apply} on the shard's machine.  [Round] needs no
+    guard: a round over an empty shard ejects nothing and draws
+    nothing. *)
 
 (** {2 Snapshot state}
 
@@ -67,6 +75,7 @@ val state : t -> state
 val of_state :
   id:int ->
   lo:int ->
+  process:Process.t ->
   scenario:Core.Scenario.t ->
   rule:Core.Scheduling_rule.t ->
   repr:Core.Repr.t ->

@@ -37,23 +37,25 @@ module Json = Experiment.Json
 (* Wire-visible request kinds, including the server-answered ones:
    stage histograms are keyed by these indices. *)
 let op_names =
-  [| "step"; "insert"; "remove"; "probe"; "occupancy"; "watermark";
+  [| "step"; "round"; "insert"; "remove"; "probe"; "occupancy"; "watermark";
      "ping"; "metrics"; "stats"; "error" |]
 
 let op_count = Array.length op_names
 let op_step = 0
-let op_insert = 1
-let op_remove = 2
-let op_probe = 3
-let op_occupancy = 4
-let op_watermark = 5
-let op_ping = 6
-let op_metrics = 7
-let op_stats = 8
-let op_error = 9
+let op_round = 1
+let op_insert = 2
+let op_remove = 3
+let op_probe = 4
+let op_occupancy = 5
+let op_watermark = 6
+let op_ping = 7
+let op_metrics = 8
+let op_stats = 9
+let op_error = 10
 
 let op_of_event = function
   | Engine.Event.Step -> op_step
+  | Engine.Event.Round -> op_round
   | Engine.Event.Insert _ -> op_insert
   | Engine.Event.Remove -> op_remove
   | Engine.Event.Probe -> op_probe

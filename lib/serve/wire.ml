@@ -5,6 +5,7 @@
      {"op":"insert","key":123,"id":7}   -> {"id":7,"ok":true,"reply":"placed","bin":17}
      {"op":"remove"}                    -> {"ok":true,"reply":"removed","bin":4}
      {"op":"step"}                      -> {"ok":true,"reply":"ack"}
+     {"op":"round"}                     -> {"ok":true,"reply":"ack"}
      {"op":"probe"}                     -> {"ok":true,"reply":"level","value":3}
      {"op":"watermark"}                 -> {"ok":true,"reply":"level","value":5}
      {"op":"occupancy"}                 -> {"ok":true,"reply":"loads","loads":[...]}
@@ -74,6 +75,7 @@ let parse line =
       | Some (Experiment.Json.String op) -> (
           match op with
           | "step" -> Ok (id, Event Engine.Event.Step)
+          | "round" -> Ok (id, Event Engine.Event.Round)
           | "insert" -> (
               match Experiment.Json.member "key" json with
               | Some (Experiment.Json.Int key) ->

@@ -68,3 +68,16 @@ let recovery_b_steps ~n =
   if n < 2 then invalid_arg "Bounds.recovery_b_steps: n < 2";
   let fn = float_of_int n in
   fn *. fn *. log fn
+
+let rbb_mixing ~n ~m =
+  if n < 2 || m < 1 then invalid_arg "Bounds.rbb_mixing";
+  let fn = float_of_int n in
+  float_of_int m /. fn *. (fn *. log fn)
+
+let rbb_stabilization ~n =
+  if n < 2 then invalid_arg "Bounds.rbb_stabilization: n < 2";
+  float_of_int n
+
+let rbb_max_load ~n =
+  if n < 2 then invalid_arg "Bounds.rbb_max_load: n < 2";
+  log (float_of_int n)

@@ -51,3 +51,22 @@ val recovery_a_steps : n:int -> float
 val recovery_b_steps : n:int -> float
 (** Section 1.1, first removal scenario (a server chosen i.u.r. finishes
     a job): recovery within O(n² ln n) steps — rendered as [n² ln n]. *)
+
+(** {2 Repeated balls-into-bins (round-synchronous family)} *)
+
+val rbb_mixing : n:int -> m:int -> float
+(** Los & Sauerwald (tight bounds for repeated balls-into-bins): for
+    [m = Θ(n)] the uniform RBB process mixes in Θ(n log n) rounds;
+    rendered with unit constants as [(m/n)·n ln n] so the [m = n] case
+    reads [n ln n].  @raise Invalid_argument if [n < 2] or [m < 1]. *)
+
+val rbb_stabilization : n:int -> float
+(** Becchetti et al. (self-stabilizing repeated balls-into-bins,
+    [m = n]): from any configuration the max load drops to O(log n)
+    within O(n) rounds w.h.p.; the rounds bound rendered as [n].
+    @raise Invalid_argument if [n < 2]. *)
+
+val rbb_max_load : n:int -> float
+(** The same theorem's equilibrium ceiling: max load O(log n) w.h.p.
+    once stabilized; rendered as [ln n].
+    @raise Invalid_argument if [n < 2]. *)

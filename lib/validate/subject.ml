@@ -52,6 +52,30 @@ let balls ?block_rows ?(repr = Core.Repr.Array_backed) scenario rule ~n ~m =
       block_rows;
     }
 
+(* Round-synchronous subjects: the RBB sims answer [Step] as one full
+   round, so the Step-driven conformance harness needs no changes — it
+   checks the empirical one-round law against [Rbb.exact_transitions]
+   and the long-run occupancy against the exact stationary vector. *)
+let rbb ?block_rows ?(repr = Core.Repr.Array_backed) rule ~n ~m =
+  let p = Rbb.make rule ~n in
+  let start = Lv.all_in_one ~n ~m in
+  let suffix =
+    match repr with
+    | Core.Repr.Array_backed -> ""
+    | r -> Printf.sprintf " (%s)" (Core.Repr.name r)
+  in
+  P
+    {
+      name = Printf.sprintf "%s n=%d m=%d%s" (Rbb.name p) n m suffix;
+      family = "rbb";
+      states = Markov.Partition_space.enumerate ~n ~m;
+      transitions = Rbb.exact_transitions p;
+      fresh_sim = (fun () -> Rbb.sim_repr ~repr p start);
+      start;
+      bound = Some ("Los-Sauerwald", Theory.Bounds.rbb_mixing ~n ~m);
+      block_rows;
+    }
+
 let edge ?block_rows ~n () =
   let module Cc = Edgeorient.Class_chain in
   let start = Cc.adversarial ~n in
@@ -127,6 +151,8 @@ let quick_catalog () =
     balls ~repr:Core.Repr.Count_sampled Core.Scenario.A
       (Core.Scheduling_rule.abku 2) ~n:4 ~m:4;
     edge ~block_rows:4 ~n:3 ();
+    rbb Rbb.uniform ~n:4 ~m:4;
+    rbb (Rbb.dchoice 2) ~n:4 ~m:5;
   ]
 
 let full_catalog () =
@@ -150,4 +176,7 @@ let full_catalog () =
     edge ~block_rows:4 ~n:4 ();
     open_system ~n:3 ~capacity:4;
     relocation Core.Scenario.A ~d:2 ~relocations:1 ~n:3 ~m:3;
+    rbb Rbb.uniform ~n:4 ~m:4;
+    rbb ~block_rows:8 (Rbb.dchoice 2) ~n:4 ~m:5;
+    rbb ~repr:Core.Repr.Count_sampled (Rbb.dchoice 2) ~n:4 ~m:4;
   ]

@@ -11,7 +11,8 @@
 
 type 'state spec = {
   name : string;
-  family : string;  (** ["balls"], ["edge"], ["open"] or ["relocation"]. *)
+  family : string;
+  (** ["balls"], ["rbb"], ["edge"], ["open"] or ["relocation"]. *)
   states : 'state array;
   transitions : 'state -> ('state * float) list;
   fresh_sim : unit -> 'state Engine.Sim.t;
@@ -49,6 +50,13 @@ val balls :
     equality-in-law check the non-draw-order-preserving backends are
     held to. *)
 
+val rbb : ?block_rows:int -> ?repr:Core.Repr.t -> Rbb.rule -> n:int -> m:int -> t
+(** A round-synchronous repeated balls-into-bins process over the same
+    Ω_m (rounds conserve balls), starting from all-in-one-bin, with the
+    Los–Sauerwald Θ(n log n)-style mixing bound.  The subject's unit
+    transition is one full {e round}; [repr] selects the round
+    stepper's backend through {!Rbb.sim_repr}. *)
+
 val edge : ?block_rows:int -> n:int -> unit -> t
 (** The Section 6 edge-orientation class chain, state space reachable
     from the adversarial state, bound Corollary 6.4. *)
@@ -65,10 +73,10 @@ val relocation :
 (** {1 Catalogs} *)
 
 val quick_catalog : unit -> t list
-(** Two cheap subjects (one balls-into-bins, one edge orientation) for
-    CI and [--quick] runs. *)
+(** Cheap subjects for CI and [--quick] runs: two balls-into-bins, one
+    edge orientation and two round-synchronous RBB processes. *)
 
 val full_catalog : unit -> t list
 (** The full conformance matrix: Id/Ib × ABKU/ADAP closed processes,
-    the edge class chain, a capacity-bounded open system and a
-    relocation process — 8 subjects on small (n, m). *)
+    the edge class chain, a capacity-bounded open system, a relocation
+    process and the RBB round family — 14 subjects on small (n, m). *)

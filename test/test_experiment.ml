@@ -237,8 +237,19 @@ let test_selection () =
       Alcotest.(check (list string)) "unknown ids reported" [ "nope"; "bogus" ] bad
   | _ -> Alcotest.fail "expected Unknown_ids");
   (match Experiment.Driver.select specs ~ids:[] ~tags:[ "no-such-tag" ] with
+  | Error (Experiment.Driver.Unknown_tags bad) ->
+      Alcotest.(check (list string))
+        "unknown tags reported" [ "no-such-tag" ] bad
+  | _ -> Alcotest.fail "expected Unknown_tags");
+  (match Experiment.Driver.select specs ~ids:[ "e1" ] ~tags:[ "rbb" ] with
   | Error Experiment.Driver.Empty_selection -> ()
-  | _ -> Alcotest.fail "expected Empty_selection");
+  | _ -> Alcotest.fail "expected Empty_selection (valid tag, empty base)");
+  (match Experiment.Driver.select specs ~ids:[] ~tags:[ "rbb" ] with
+  | Ok sel ->
+      Alcotest.(check (list string))
+        "the rbb tag selects exactly the RBB experiments" [ "e24"; "e25" ]
+        (List.map (fun s -> s.Experiment.Spec.id) sel)
+  | _ -> Alcotest.fail "rbb tag selection should succeed");
   match Experiment.Driver.select specs ~ids:[ "e8"; "e1" ] ~tags:[] with
   | Ok [ a; b ] ->
       Alcotest.(check string) "order preserved" "e8" a.Experiment.Spec.id;
@@ -248,13 +259,13 @@ let test_selection () =
 let test_registry_complete () =
   let ids = List.map (fun s -> s.Experiment.Spec.id) Experiments.Registry.all in
   let expected =
-    List.init 23 (fun i -> Printf.sprintf "e%d" (i + 1)) @ [ "micro" ]
+    List.init 25 (fun i -> Printf.sprintf "e%d" (i + 1)) @ [ "micro" ]
   in
-  Alcotest.(check (list string)) "all 23 experiments plus micro" expected ids;
+  Alcotest.(check (list string)) "all 25 experiments plus micro" expected ids;
   let defaults =
     List.filter (fun s -> s.Experiment.Spec.default) Experiments.Registry.all
   in
-  Alcotest.(check int) "e23 and micro are opt-in" 22 (List.length defaults)
+  Alcotest.(check int) "e23 and micro are opt-in" 24 (List.length defaults)
 
 (* Regression: the --tags filter applies before the run, so the JSON
    sink only ever sees the selected specs — the document must agree with

@@ -227,6 +227,28 @@ let test_counts_shifts () =
     (Invalid_argument "Count_vector.shift_down: no bin at level") (fun () ->
       Cv.shift_down cv 9)
 
+(* One ejection round (every non-empty bin loses a ball), on both
+   mutable representations: same resulting multiset, same count of
+   ejected balls, totals maintained. *)
+let test_eject_all () =
+  let check_pair loads expect_q expect_after =
+    let v = Lv.of_array loads in
+    let mv = Mv.of_load_vector v in
+    let cv = Cv.of_load_vector v in
+    Alcotest.(check int) "mv ejected count" expect_q (Mv.eject_all mv);
+    Alcotest.(check int) "cv ejected count" expect_q (Cv.eject_all cv);
+    Alcotest.(check (array int)) "mv after ejection" expect_after
+      (Lv.to_array (Mv.to_load_vector mv));
+    Alcotest.(check (array int)) "cv after ejection" expect_after
+      (Lv.to_array (Cv.to_load_vector cv));
+    Alcotest.(check int) "mv total" (Lv.total v - expect_q) (Mv.total mv);
+    Alcotest.(check int) "cv total" (Lv.total v - expect_q) (Cv.total cv)
+  in
+  check_pair [| 3; 2; 1; 0 |] 3 [| 2; 1; 0; 0 |];
+  check_pair [| 1; 1; 1 |] 3 [| 0; 0; 0 |];
+  check_pair [| 0; 0 |] 0 [| 0; 0 |];
+  check_pair [| 5 |] 1 [| 4 |]
+
 let test_counts_copy_independent () =
   let a = Cv.of_load_vector (Lv.of_array [| 2; 1 |]) in
   let b = Cv.copy a in
@@ -308,6 +330,7 @@ let suite =
       ("counts basics", test_counts_basics);
       ("counts level_of_rank", test_counts_level_of_rank);
       ("counts shifts", test_counts_shifts);
+      ("eject_all on both mutable representations", test_eject_all);
       ("counts copy independent", test_counts_copy_independent);
     ]
   @ List.map QCheck_alcotest.to_alcotest

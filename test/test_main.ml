@@ -24,6 +24,7 @@ let () =
       ("removal+adap-fluid", Test_fluid_adap.suite);
       ("path-metric", Test_path_metric.suite);
       ("experiment", Test_experiment.suite);
+      ("rbb", Test_rbb.suite);
       ("validate", Test_validate.suite);
       ("serve", Test_serve.suite);
     ]

@@ -7,11 +7,12 @@
 let rng_of seed = Prng.Rng.create ~seed ()
 
 let mk_config ?(seed = 0x5EED) ?(m_factor = 2) ?(repr = Core.Repr.Array_backed)
-    ~n ~shards () =
+    ?(process = Serve.Process.Sequential) ~n ~shards () =
   {
     Serve.Cluster.n;
     m = m_factor * n;
     shards;
+    process;
     scenario = (if seed land 1 = 0 then Core.Scenario.A else Core.Scenario.B);
     rule = Core.Scheduling_rule.abku 2;
     repr;
@@ -30,6 +31,18 @@ let gen_event g =
   | _ -> Engine.Event.Occupancy
 
 let gen_events g k = Array.init k (fun _ -> gen_event g)
+
+(* Round-synchronous clusters reject Step/Remove by contract, so their
+   random streams draw from the rbb vocabulary instead. *)
+let gen_rbb_event g =
+  match Prng.Rng.int g 100 with
+  | r when r < 40 -> Engine.Event.Round
+  | r when r < 70 -> Engine.Event.Insert (Int64.to_int (Prng.Rng.bits64 g))
+  | r when r < 80 -> Engine.Event.Probe
+  | r when r < 90 -> Engine.Event.Watermark
+  | _ -> Engine.Event.Occupancy
+
+let gen_rbb_events g k = Array.init k (fun _ -> gen_rbb_event g)
 
 let random_chunks g events =
   let n = Array.length events in
@@ -111,16 +124,16 @@ let qcheck_pool_invariance =
           Serve.Cluster.state serial = Serve.Cluster.state fanned
           && replies_serial = replies_fanned))
 
-let state_roundtrip_prop ?repr (seed, n, shards) =
+let state_roundtrip_prop ?repr ?process ?(gen = gen_events) (seed, n, shards) =
       let shards = min shards n in
-      let config = mk_config ~seed ?repr ~n ~shards () in
+      let config = mk_config ~seed ?repr ?process ~n ~shards () in
       let g = rng_of (seed + 31) in
       let cluster = Serve.Cluster.create config in
-      ignore (Serve.Cluster.apply_batch cluster (gen_events g 80));
+      ignore (Serve.Cluster.apply_batch cluster (gen g 80));
       let st = Serve.Cluster.state cluster in
       let revived = Serve.Cluster.of_state config st in
       (* Same snapshot, and same behaviour afterwards. *)
-      let tail = gen_events g 40 in
+      let tail = gen g 40 in
       let a = Serve.Cluster.apply_batch cluster tail in
       let b = Serve.Cluster.apply_batch revived tail in
       st = Serve.Cluster.state (Serve.Cluster.of_state config st)
@@ -141,13 +154,20 @@ let qcheck_sampled_state_roundtrip =
     QCheck.(triple small_int (int_range 4 40) (int_range 1 4))
     (state_roundtrip_prop ~repr:Core.Repr.Count_sampled)
 
+let qcheck_rbb_state_roundtrip =
+  QCheck.Test.make
+    ~name:"rbb cluster of_state . state is the identity" ~count:80
+    QCheck.(triple small_int (int_range 4 40) (int_range 1 4))
+    (state_roundtrip_prop ~process:Serve.Process.Rbb ~gen:gen_rbb_events)
+
 (* {2 Crash-recovery properties} *)
 
-let kill_and_restore_prop ?repr (seed, n, shards, snapshot_every) =
+let kill_and_restore_prop ?repr ?process ?(gen = gen_events)
+    (seed, n, shards, snapshot_every) =
       let shards = min shards n in
-      let config = mk_config ~seed ?repr ~n ~shards () in
+      let config = mk_config ~seed ?repr ?process ~n ~shards () in
       let g = rng_of (seed + 41) in
-      let chunks = random_chunks g (gen_events g (20 + Prng.Rng.int g 150)) in
+      let chunks = random_chunks g (gen g (20 + Prng.Rng.int g 150)) in
       let cut = Prng.Rng.int g (List.length chunks + 1) in
       let before = List.filteri (fun i _ -> i < cut) chunks in
       let after = List.filteri (fun i _ -> i >= cut) chunks in
@@ -194,6 +214,16 @@ let qcheck_sampled_kill_and_restore =
     ~count:40
     QCheck.(quad small_int (int_range 4 32) (int_range 1 4) (int_range 1 60))
     (kill_and_restore_prop ~repr:Core.Repr.Count_sampled)
+
+(* Round records ride the journal (tag 3) and the /4 snapshot carries
+   the process field: an rbb shard cluster must replay through a kill
+   exactly like a sequential one. *)
+let qcheck_rbb_kill_and_restore =
+  QCheck.Test.make
+    ~name:"rbb store restore replays rounds to the never-killed state"
+    ~count:40
+    QCheck.(quad small_int (int_range 4 32) (int_range 1 4) (int_range 1 60))
+    (kill_and_restore_prop ~process:Serve.Process.Rbb ~gen:gen_rbb_events)
 
 let qcheck_torn_tail =
   QCheck.Test.make
@@ -257,6 +287,40 @@ let test_initial_queries () =
   match Serve.Cluster.apply cluster Engine.Event.Watermark with
   | Engine.Event.Level l -> Alcotest.(check int) "watermark seeded" 2 l
   | r -> Alcotest.failf "unexpected %s" (Engine.Event.reply_name r)
+
+(* The round-synchronous vocabulary split: an rbb cluster broadcasts
+   Round to every shard (one Ack, balls conserved) and rejects the
+   sequential mutations; a sequential cluster rejects Round. *)
+let test_rbb_cluster_vocabulary () =
+  let config =
+    { (mk_config ~seed:6 ~n:8 ~shards:3 ()) with
+      process = Serve.Process.Rbb }
+  in
+  let cluster = Serve.Cluster.create config in
+  for _ = 1 to 5 do
+    match Serve.Cluster.apply cluster Engine.Event.Round with
+    | Engine.Event.Ack -> ()
+    | r -> Alcotest.failf "expected Ack, got %s" (Engine.Event.reply_name r)
+  done;
+  (match Serve.Cluster.apply cluster Engine.Event.Step with
+  | Engine.Event.Rejected _ -> ()
+  | r -> Alcotest.failf "expected Rejected, got %s" (Engine.Event.reply_name r));
+  (match Serve.Cluster.apply cluster Engine.Event.Remove with
+  | Engine.Event.Rejected _ -> ()
+  | r -> Alcotest.failf "expected Rejected, got %s" (Engine.Event.reply_name r));
+  (match Serve.Cluster.apply cluster (Engine.Event.Insert 7) with
+  | Engine.Event.Placed bin ->
+      Alcotest.(check bool) "global bin id" true (bin >= 0 && bin < 8)
+  | r -> Alcotest.failf "expected Placed, got %s" (Engine.Event.reply_name r));
+  (match Serve.Cluster.apply cluster Engine.Event.Occupancy with
+  | Engine.Event.Loads loads ->
+      Alcotest.(check int) "rounds conserve, insert adds one" 17
+        (Array.fold_left ( + ) 0 loads)
+  | r -> Alcotest.failf "expected Loads, got %s" (Engine.Event.reply_name r));
+  let sequential = Serve.Cluster.create (mk_config ~seed:6 ~n:8 ~shards:3 ()) in
+  match Serve.Cluster.apply sequential Engine.Event.Round with
+  | Engine.Event.Rejected _ -> ()
+  | r -> Alcotest.failf "expected Rejected, got %s" (Engine.Event.reply_name r)
 
 let test_drained_cluster_rejects () =
   let config = mk_config ~seed:4 ~n:4 ~shards:2 ~m_factor:1 () in
@@ -610,6 +674,8 @@ let suite =
     Alcotest.test_case "initial queries" `Quick test_initial_queries;
     Alcotest.test_case "drained cluster rejects, then recovers" `Quick
       test_drained_cluster_rejects;
+    Alcotest.test_case "rbb cluster vocabulary" `Quick
+      test_rbb_cluster_vocabulary;
     Alcotest.test_case "extreme insert keys route in range" `Quick
       test_extreme_insert_keys;
     Alcotest.test_case "foreign state directory is refused" `Quick
@@ -634,7 +700,9 @@ let suite =
         qcheck_pool_invariance;
         qcheck_state_roundtrip;
         qcheck_sampled_state_roundtrip;
+        qcheck_rbb_state_roundtrip;
         qcheck_kill_and_restore;
         qcheck_sampled_kill_and_restore;
+        qcheck_rbb_kill_and_restore;
         qcheck_torn_tail;
       ]

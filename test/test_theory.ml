@@ -96,6 +96,26 @@ let test_theorem1_consistent_with_lemma () =
   let thm = B.theorem1 ~m ~eps:0.25 in
   Alcotest.(check bool) "within one" true (Float.abs (thm -. lemma) <= 1.)
 
+let test_rbb_bounds () =
+  (* rbb_mixing at m = n reads n ln n; the m/n prefactor is linear. *)
+  Alcotest.(check (float 1e-9))
+    "rbb_mixing n=m=64" (64. *. log 64.)
+    (B.rbb_mixing ~n:64 ~m:64);
+  Alcotest.(check (float 1e-9))
+    "rbb_mixing doubles with m" (2. *. B.rbb_mixing ~n:64 ~m:64)
+    (B.rbb_mixing ~n:64 ~m:128);
+  Alcotest.(check (float 1e-9)) "rbb_stabilization" 64. (B.rbb_stabilization ~n:64);
+  Alcotest.(check (float 1e-9)) "rbb_max_load" (log 64.) (B.rbb_max_load ~n:64);
+  List.iter
+    (fun (msg, f) ->
+      Alcotest.check_raises "n < 2 rejected" (Invalid_argument msg) f)
+    [
+      ("Bounds.rbb_mixing", fun () -> ignore (B.rbb_mixing ~n:1 ~m:4));
+      ( "Bounds.rbb_stabilization: n < 2",
+        fun () -> ignore (B.rbb_stabilization ~n:1) );
+      ("Bounds.rbb_max_load: n < 2", fun () -> ignore (B.rbb_max_load ~n:1));
+    ]
+
 let suite =
   List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
     [
@@ -112,4 +132,5 @@ let suite =
       ("recovery step formulas", test_recovery_steps);
       ("path coupling calculators agree", test_path_coupling_match);
       ("theorem 1 = lemma 3.1(1)", test_theorem1_consistent_with_lemma);
+      ("rbb bounds", test_rbb_bounds);
     ]
